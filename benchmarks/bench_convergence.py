@@ -1,0 +1,83 @@
+"""Convergence dynamics: the mechanism behind the Section 4.1 observation.
+
+"As more iterations are executed, neighbors of a vertex often share similar
+labels since they are likely to be assigned in the same community."  This
+bench traces, per iteration, the quantities that statement is about —
+changed vertices, distinct labels per neighborhood (``m``), MFL share
+(``f_max / degree``) — and additionally shows the classic synchronous-LP
+pathology (a persistent boundary-oscillation set) that the block-
+asynchronous reference engine eliminates.
+"""
+
+import numpy as np
+
+from repro import ClassicLP, GLPEngine
+from repro.baselines.cpu_serial import BlockAsyncSerialEngine
+from repro.bench.datasets import load_dataset
+from repro.bench.report import format_table
+from repro.graph.stats import neighborhood_label_concentration
+
+
+def test_convergence_dynamics(benchmark, save_report):
+    graph = load_dataset("dblp")
+
+    def trace():
+        sync_result = GLPEngine().run(
+            graph, ClassicLP(), max_iterations=20,
+            stop_on_convergence=False, record_history=True,
+        )
+        async_result = BlockAsyncSerialEngine(num_blocks=8).run(
+            graph, ClassicLP(), max_iterations=20,
+            stop_on_convergence=False, record_history=True,
+        )
+        rows = []
+        for i, labels in enumerate(sync_result.history):
+            distinct_ratio, mfl_share = neighborhood_label_concentration(
+                graph, labels, sample=400, seed=1
+            )
+            rows.append(
+                (
+                    i + 1,
+                    sync_result.iterations[i].changed_vertices,
+                    async_result.iterations[i].changed_vertices,
+                    f"{distinct_ratio:.3f}",
+                    f"{mfl_share:.3f}",
+                    np.unique(labels).size,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(trace, rounds=1, iterations=1)
+    text = format_table(
+        ["iteration", "changed (sync)", "changed (async)",
+         "m/degree", "f_max/degree", "communities"],
+        rows,
+        title="Convergence dynamics (dblp stand-in, classic LP)",
+    )
+    text += (
+        "\nThe synchronous engine retains a boundary-oscillation set "
+        "(vertices flipping between two equal-frequency labels); the "
+        "block-asynchronous engine drains it."
+    )
+    save_report("convergence_dynamics", text)
+
+    sync_changed = [r[1] for r in rows]
+    async_changed = [r[2] for r in rows]
+    distinct = [float(r[3]) for r in rows]
+    share = [float(r[4]) for r in rows]
+    communities = [r[5] for r in rows]
+
+    # Label churn collapses (but synchronously plateaus at the
+    # oscillation set)...
+    assert sync_changed[-1] < sync_changed[0] / 3
+    # ...which the asynchronous schedule eliminates almost entirely.
+    assert async_changed[-1] < sync_changed[-1] / 5
+    # Neighborhood label diversity shrinks (m falls)...
+    assert distinct[-1] < distinct[0] * 0.6
+    # ...the MFL dominates neighborhoods (f_max grows)...
+    assert share[-1] > 1.8 * share[0]
+    # ...and the community count stabilizes far below n.
+    assert communities[-1] < graph.num_vertices / 5
+    assert abs(communities[-1] - communities[-2]) <= max(
+        communities[-2] * 0.1, 5
+    )

@@ -1,0 +1,20 @@
+"""Section 5.4's monetary argument: one GPU box vs the 32-machine cluster."""
+
+from repro.bench.experiments import run_cost_efficiency
+
+
+def test_cost_efficiency(benchmark, save_report):
+    text, data = benchmark.pedantic(
+        run_cost_efficiency, kwargs={"iterations": 10}, rounds=1, iterations=1
+    )
+    save_report("cost_efficiency", text)
+
+    # The paper's price quote: $23,560 x 32 vs $3,616 -> ~208x cheaper.
+    assert data["cluster_cost"] == 753_920
+    assert data["glp_cost"] == 3_616
+    assert 200 < data["cost_ratio"] < 215
+
+    # GLP is both faster in absolute terms...
+    assert data["glp_throughput"] > data["dist_throughput"]
+    # ...and orders of magnitude better per dollar.
+    assert data["perf_per_dollar_ratio"] > 100

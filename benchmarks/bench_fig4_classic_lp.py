@@ -1,0 +1,26 @@
+"""Figure 4: speedup over OMP for classic LP, six approaches."""
+
+from repro.bench import run_fig4
+
+
+def test_fig4_classic_lp(benchmark, save_report):
+    text, speedups = benchmark.pedantic(
+        run_fig4, kwargs={"iterations": 8}, rounds=1, iterations=1
+    )
+    save_report("fig4_classic_lp", text)
+
+    import numpy as np
+
+    for dataset, per_approach in speedups.items():
+        # GLP is the fastest approach on every dataset (paper: "GLP
+        # achieves the best performance").
+        assert max(per_approach, key=per_approach.get) == "GLP", dataset
+        # TG is slower than OMP; Ligra is in OMP's ballpark.
+        assert per_approach["TG"] < 1.0, dataset
+        assert per_approach["Ligra"] > 0.5, dataset
+
+    # Paper: 4.5x over G-Sort and 7x over G-Hash on average.
+    gsort = np.mean([p["GLP"] / p["G-Sort"] for p in speedups.values()])
+    ghash = np.mean([p["GLP"] / p["G-Hash"] for p in speedups.values()])
+    assert 2.0 < gsort < 9.0, gsort
+    assert 3.5 < ghash < 14.0, ghash

@@ -1,0 +1,18 @@
+"""Figure 5: speedup over OMP for LLP (gamma sweep)."""
+
+from repro.bench import run_fig5
+
+
+def test_fig5_llp(benchmark, save_report):
+    text, speedups = benchmark.pedantic(
+        run_fig5, kwargs={"iterations": 5}, rounds=1, iterations=1
+    )
+    save_report("fig5_llp", text)
+
+    for dataset, per_approach in speedups.items():
+        # Paper: "For LLP ... the results are consistent with those of
+        # classic LP" — GLP stays the fastest; TG is absent (classic-only).
+        assert max(per_approach, key=per_approach.get) == "GLP", dataset
+        assert "TG" not in per_approach
+        assert per_approach["GLP"] > per_approach["G-Sort"], dataset
+        assert per_approach["GLP"] > per_approach["G-Hash"], dataset

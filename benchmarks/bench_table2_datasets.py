@@ -1,0 +1,18 @@
+"""Table 2: dataset inventory (paper shapes vs scaled stand-ins)."""
+
+from repro.bench import run_table2
+
+
+def test_table2_datasets(benchmark, save_report):
+    text, rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    save_report("table2_datasets", text)
+
+    # Shape: the stand-ins preserve the paper's average-degree ordering —
+    # roadNet smallest, aligraph by far the largest.
+    by_name = {row[0]: row for row in rows}
+    ours_avg = {name: row[6] for name, row in by_name.items()}
+    assert min(ours_avg, key=ours_avg.get) == "roadNet"
+    assert max(ours_avg, key=ours_avg.get) == "aligraph"
+    assert ours_avg["aligraph"] > 4 * ours_avg["twitter"]
+    # And the V/E ranking of the paper's large graphs.
+    assert by_name["twitter"][5] > by_name["wiki-en"][5] > by_name["uk-2002"][5]

@@ -1,0 +1,23 @@
+"""Table 4: sliding-window workload shapes."""
+
+from repro.bench import run_table4
+from repro.bench.datasets import PAPER_TABLE4, WINDOW_DAYS
+
+
+def test_table4_windows(benchmark, save_report):
+    text, data = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    save_report("table4_windows", text)
+
+    # Monotone growth in both V and E, like the paper's windows.
+    vertices = [data[d][0] for d in WINDOW_DAYS]
+    edges = [data[d][1] for d in WINDOW_DAYS]
+    assert vertices == sorted(vertices)
+    assert edges == sorted(edges)
+
+    # Growth shape: E grows much faster than V (vertices saturate as the
+    # same users/products recur; paper: V x2.2 and E x6.3 from 10d to 100d).
+    v_growth = vertices[-1] / vertices[0]
+    e_growth = edges[-1] / edges[0]
+    assert 1.2 < v_growth < 4.0
+    assert 4.0 < e_growth < 12.0
+    assert e_growth > 2 * v_growth

@@ -1,0 +1,41 @@
+"""Section 4.1 theory: Lemma 1/2 bounds vs Monte-Carlo, plus the measured
+fallback rate of the CMS+HT kernel against Theorem 1's regime."""
+
+import numpy as np
+
+from repro import ClassicLP, GLPEngine
+from repro.bench import run_theory_bounds
+from repro.bench.datasets import load_dataset
+
+
+def test_theory_bounds(benchmark, save_report):
+    text, data = benchmark.pedantic(
+        run_theory_bounds, kwargs={"trials": 400}, rounds=1, iterations=1
+    )
+
+    # Lemma 1: measured <= exact <= bound (up to Monte-Carlo noise).
+    for m, h, f_max, bound, exact, measured in data["lemma1"]:
+        assert exact <= bound + 1e-12, (m, h, f_max)
+        assert measured <= bound + 0.05, (m, h, f_max)
+    # Lemma 2: measured <= bound (again with MC slack).
+    for m, d, bound, measured in data["lemma2"]:
+        assert measured <= bound + 0.05, (m, d)
+
+    # Kernel-level: the smem kernel's measured global-fallback rate drops
+    # as communities form (m shrinks, f_max grows — Theorem 1's regime).
+    graph = load_dataset("twitter")
+    engine = GLPEngine()
+    result = engine.run(
+        graph, ClassicLP(), max_iterations=6, stop_on_convergence=False
+    )
+    rates = []
+    for stats in result.iterations:
+        high = stats.kernel_stats.get("smem_high_vertices", 0)
+        fallback = stats.kernel_stats.get("smem_fallback_vertices", 0)
+        rates.append(fallback / high if high else 0.0)
+    assert np.mean(rates[3:]) <= np.mean(rates[:2]) + 0.05, rates
+    fallback_text = (
+        "\nCMS+HT kernel fallback rate per iteration (twitter stand-in): "
+        + ", ".join(f"{rate:.2%}" for rate in rates)
+    )
+    save_report("theory_bounds", text + fallback_text)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module reproduces one paper table/figure: the experiment
+runs once under ``benchmark.pedantic`` (wall-clock of the full simulated
+experiment), asserts the paper's qualitative shape, and writes the rendered
+report to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered experiment report under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[report saved to benchmarks/results/{name}.txt]")
+
+    return _save

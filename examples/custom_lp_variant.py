@@ -1,0 +1,81 @@
+"""Writing a custom LP variant with the GLP hook API (paper, Table 1).
+
+Data engineers deploy new fraud-detection strategies by overriding the four
+hooks — no GPU knowledge needed.  This example builds a *degree-discounted*
+LP: high-degree neighbors (popular products, celebrity accounts) get their
+votes damped, so labels spread through tight peer groups rather than hubs —
+a common trick against label leakage through popular products.
+
+The same program runs unchanged on every engine (CPU serial, OMP, GLP).
+
+Run with::
+
+    python examples/custom_lp_variant.py
+"""
+
+import numpy as np
+
+from repro import GLPEngine, LPProgram
+from repro.baselines import SerialEngine
+from repro.graph.generators.community import fraud_ring_graph
+from repro.types import WEIGHT_DTYPE
+
+
+class DegreeDiscountedLP(LPProgram):
+    """Classic LP with hub-damped votes.
+
+    *LoadNeighbor* rescales each neighbor's contribution by
+    ``1 / log2(2 + degree(neighbor))`` so hubs cannot dominate the MFL.
+    """
+
+    name = "degree-discounted-lp"
+    frontier_safe = True
+
+    def init_state(self, graph, labels):
+        self._degrees = graph.degrees
+
+    def load_neighbor(self, vertex_ids, neighbor_ids, neighbor_labels, edge_weights):
+        damping = 1.0 / np.log2(2.0 + self._degrees[neighbor_ids])
+        return neighbor_labels, (edge_weights * damping).astype(WEIGHT_DTYPE)
+
+
+def main() -> None:
+    # A background graph with 8 dense rings attached through hub products.
+    graph, ring_id = fraud_ring_graph(
+        num_background=3000,
+        num_rings=8,
+        ring_size=15,
+        background_degree=6.0,
+        seed=11,
+    )
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    program = DegreeDiscountedLP()
+    result = GLPEngine().run(graph, program, max_iterations=15)
+    print(
+        f"GLP: {result.num_iterations} iterations, "
+        f"{np.unique(result.labels).size} communities, "
+        f"modeled {result.total_seconds * 1e6:.1f} us"
+    )
+
+    # The hooks are engine-agnostic: the CPU reference computes the exact
+    # same labels.
+    reference = SerialEngine().run(
+        graph, DegreeDiscountedLP(), max_iterations=15
+    )
+    assert np.array_equal(result.labels, reference.labels)
+    print("CPU reference produces identical labels — hooks are portable.")
+
+    # How well do detected communities isolate the planted rings?
+    for ring in range(8):
+        members = np.flatnonzero(ring_id == ring)
+        labels = result.labels[members]
+        dominant = np.bincount(labels % labels.size).argmax()
+        coherent = np.max(np.unique(labels, return_counts=True)[1])
+        print(
+            f"ring {ring}: {coherent}/{members.size} members share one label"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""End-to-end fraud detection: the TaoBao-style pipeline of Figure 1.
+
+Generates a transaction stream with planted fraud rings, builds a 30-day
+sliding-window graph, propagates labels from black-listed seed users with
+GLP, scores the resulting clusters, and reports detection quality plus the
+per-stage time split — including how the LP stage's share collapses when
+GLP replaces the in-house distributed engine.
+
+Run with::
+
+    python examples/fraud_detection_pipeline.py
+"""
+
+from repro import GLPEngine
+from repro.baselines import InHouseDistributedEngine
+from repro.pipeline import (
+    ClusterDetector,
+    FraudDetectionPipeline,
+    TransactionStream,
+    TransactionStreamConfig,
+)
+
+
+def run_with(engine, label: str, stream: TransactionStream) -> None:
+    detector = ClusterDetector(engine, max_iterations=20, max_hops=6)
+    pipeline = FraudDetectionPipeline(stream, detector)
+    report = pipeline.run_window(window_days=30)
+
+    print(f"\n=== {label} ===")
+    print(
+        f"window graph: {report.num_vertices:,} vertices, "
+        f"{report.num_edges:,} edges"
+    )
+    print(
+        f"stage times: build={report.construction_seconds * 1e3:.2f} ms, "
+        f"LP={report.lp_seconds * 1e3:.2f} ms, "
+        f"downstream={report.downstream_seconds * 1e3:.2f} ms"
+    )
+    print(f"LP share of pipeline: {report.lp_fraction:.0%}")
+    print(
+        f"clusters: {report.num_clusters} detected, "
+        f"{report.num_fraud_clusters} classified fraudulent"
+    )
+    print(
+        f"user-level precision={report.metrics.precision:.2f} "
+        f"recall={report.metrics.recall:.2f} f1={report.metrics.f1:.2f}"
+    )
+
+
+def main() -> None:
+    stream = TransactionStream(
+        TransactionStreamConfig(num_days=60, num_rings=30, seed=7)
+    )
+    print(
+        f"stream: {stream.transactions.size:,} transactions, "
+        f"{len(stream.rings)} planted fraud rings, "
+        f"{len(stream.blacklist())} black-listed seed users"
+    )
+
+    # The production baseline: LP dominates the pipeline (~75%).
+    run_with(
+        InHouseDistributedEngine(), "in-house distributed engine", stream
+    )
+    # GLP on one simulated GPU: same detections, LP share collapses.
+    run_with(GLPEngine(), "GLP (one simulated Titan V)", stream)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Graph partitioning with balanced LP (extension variant).
+
+Balanced label propagation (Ugander & Backstrom — the paper's citation
+[34]) shards a massive graph into near-equal parts while keeping neighbors
+together: the preprocessing step before distributing a graph across
+machines.  This example partitions an LFR benchmark into 4 shards and
+compares edge-cut and balance against naive round-robin sharding.
+
+Run with::
+
+    python examples/graph_partitioning.py
+"""
+
+import numpy as np
+
+from repro import GLPEngine
+from repro.algorithms import BalancedLP
+from repro.graph.generators.lfr import lfr_graph
+
+
+def main() -> None:
+    graph, _ = lfr_graph(2000, mu=0.15, avg_degree=12.0, seed=8)
+    print(
+        f"graph: {graph.num_vertices:,} vertices, "
+        f"{graph.num_edges:,} edges"
+    )
+
+    program = BalancedLP(num_partitions=4, penalty=6.0, slack=0.05)
+
+    # The round-robin initial assignment is perfectly balanced but cuts
+    # almost every edge.
+    initial = program.init_labels(graph)
+    program.init_state(graph, initial)
+    print(
+        f"\nround-robin start: edge cut "
+        f"{program.edge_cut_fraction(graph, initial):.1%}, "
+        f"imbalance {program.imbalance():.3f}"
+    )
+
+    result = GLPEngine().run(
+        graph, program, max_iterations=25, stop_on_convergence=False
+    )
+    cut = program.edge_cut_fraction(graph, result.labels)
+    print(
+        f"balanced LP:       edge cut {cut:.1%}, "
+        f"imbalance {program.imbalance():.3f}"
+    )
+    print(f"partition sizes: {program.partition_sizes.tolist()}")
+
+    # What an unconstrained LP would do: great locality, terrible balance.
+    from repro import ClassicLP
+
+    free = GLPEngine().run(graph, ClassicLP(), max_iterations=25)
+    sizes = np.sort(np.bincount(free.labels))[::-1][:4]
+    print(
+        f"\nunconstrained classic LP for contrast: "
+        f"{np.unique(free.labels).size} communities, "
+        f"top sizes {sizes.tolist()} — locality without balance"
+    )
+    print(
+        "\nbalanced LP trades a little edge locality for shard balance — "
+        "the partitioning trade-off of Ugander & Backstrom."
+    )
+
+
+if __name__ == "__main__":
+    main()

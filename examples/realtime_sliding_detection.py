@@ -1,0 +1,80 @@
+"""Real-time detection loop: daily window slides with warm-started LP.
+
+The paper's motivation is *real-time* fraud detection.  A production
+deployment does not rebuild its 10-day window from scratch every day — it
+slides the window incrementally and warm-starts LP from yesterday's labels,
+because most of the graph (and most of the converged labeling) carries
+over.  This example runs that daily loop and shows the warm start cutting
+LP iterations every day after the first.
+
+Run with::
+
+    python examples/realtime_sliding_detection.py
+"""
+
+import numpy as np
+
+from repro import GLPEngine, SeededFraudLP
+from repro.pipeline import (
+    IncrementalWindowBuilder,
+    SeedStore,
+    TransactionStream,
+    TransactionStreamConfig,
+    warm_start_seeds,
+)
+
+
+def main() -> None:
+    stream = TransactionStream(
+        TransactionStreamConfig(
+            num_days=20,
+            num_users=20_000,
+            num_products=12_000,
+            transactions_per_day=6_000,
+            num_rings=15,
+            ring_size=10,
+            seed=17,
+        )
+    )
+    store = SeedStore(stream.blacklist())
+    engine = GLPEngine()
+
+    # Bootstrap a 10-day window.
+    builder = IncrementalWindowBuilder(stream)
+    for day in range(10):
+        builder.add_day(day)
+
+    previous_window = None
+    previous_labels = None
+    print("day  window(V/E)        seeds  iters  modeled-LP   labeled")
+    for day in range(5):
+        window = builder.build()
+        base_seeds = store.window_seeds(window)
+        if previous_window is None:
+            seeds = base_seeds
+        else:
+            seeds = warm_start_seeds(
+                previous_window, previous_labels, window, base_seeds
+            )
+        result = engine.run(
+            window.graph, SeededFraudLP(seeds), max_iterations=20
+        )
+        labeled = int((result.labels >= 0).sum())
+        kind = "cold " if previous_window is None else "warm "
+        print(
+            f"{10 + day:3d}  {window.graph.num_vertices:6,}/"
+            f"{window.graph.num_edges:8,}  {len(seeds):5d}  "
+            f"{result.num_iterations:5d}  "
+            f"{result.total_seconds * 1e3:7.3f} ms  {labeled:6,}  ({kind})"
+        )
+        previous_window, previous_labels = window, result.labels
+        builder.slide()
+
+    print(
+        "\nwarm-started days converge in fewer LP iterations because the "
+        "previous window's labels seed ~all of the stable clusters."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs cannot build; this shim lets
+``pip install -e . --no-build-isolation`` (and ``python setup.py develop``)
+fall back to the classic editable path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

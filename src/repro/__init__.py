@@ -1,0 +1,48 @@
+"""GLP reproduction: GPU-accelerated graph label propagation on a simulated GPU.
+
+Reproduction of *"GPU-Accelerated Graph Label Propagation for Real-Time
+Fraud Detection"* (Ye, Li, He, Li & Sun, SIGMOD 2021).  The paper's Titan V
+is replaced by :mod:`repro.gpusim`, a functional + analytical GPU simulator;
+everything above it — the GLP framework, the CMS+HT and warp-centric MFL
+kernels, the LP variants, the baselines and the TaoBao-style fraud
+pipeline — is implemented faithfully to the paper.
+
+Quickstart::
+
+    from repro import ClassicLP, GLPEngine
+    from repro.graph.generators import planted_partition_graph
+
+    graph, truth = planted_partition_graph(1000, 20, 8.0, 0.9)
+    result = GLPEngine().run(graph, ClassicLP(), max_iterations=20)
+    print(result.community_sizes()[:5], result.total_seconds)
+"""
+
+from repro.algorithms import (
+    ClassicLP,
+    LabelRankLP,
+    LayeredLP,
+    SeededFraudLP,
+    SpeakerListenerLP,
+)
+from repro.core import GLPEngine, LPProgram, LPResult
+from repro.graph import CSRGraph, GraphBuilder
+from repro.gpusim import Device, DeviceSpec, TITAN_V
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClassicLP",
+    "LayeredLP",
+    "SpeakerListenerLP",
+    "SeededFraudLP",
+    "LabelRankLP",
+    "GLPEngine",
+    "LPProgram",
+    "LPResult",
+    "CSRGraph",
+    "GraphBuilder",
+    "Device",
+    "DeviceSpec",
+    "TITAN_V",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""LP algorithm variants implemented on the GLP API.
+
+* :class:`~repro.algorithms.classic.ClassicLP` — Raghavan et al. [28].
+* :class:`~repro.algorithms.llp.LayeredLP` — Boldi et al. [7], the
+  ``gamma``-parameterized variant that resists giant communities.
+* :class:`~repro.algorithms.slp.SpeakerListenerLP` — SLPA [38], overlapping
+  communities with bounded per-vertex label memory.
+* :class:`~repro.algorithms.seeded.SeededFraudLP` — propagation from
+  black-listed seed vertices (the TaoBao pipeline's workload).
+* :class:`~repro.algorithms.labelrank.LabelRankLP` — LabelRank [40]
+  (stabilized LP), implemented as an extension variant.
+* :class:`~repro.algorithms.balanced.BalancedLP` — balanced LP [34]
+  (graph partitioning with capacity constraints), extension variant.
+"""
+
+from repro.algorithms.classic import ClassicLP
+from repro.algorithms.llp import LayeredLP
+from repro.algorithms.slp import SpeakerListenerLP
+from repro.algorithms.seeded import SeededFraudLP
+from repro.algorithms.labelrank import LabelRankLP
+from repro.algorithms.balanced import BalancedLP
+
+__all__ = [
+    "ClassicLP",
+    "LayeredLP",
+    "SpeakerListenerLP",
+    "SeededFraudLP",
+    "LabelRankLP",
+    "BalancedLP",
+]

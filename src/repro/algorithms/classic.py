@@ -1,0 +1,23 @@
+"""Classic label propagation (Raghavan, Albert & Kumara, 2007).
+
+Every vertex starts with a unique label; each iteration it adopts the most
+frequent label among its in-neighbors (ties broken toward the smaller label
+id for determinism across engines).  Terminates when no label changes or the
+iteration budget runs out.
+
+This is exactly the default behaviour of :class:`~repro.core.api.LPProgram`;
+the subclass exists to carry the name and to document the semantics.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import LPProgram
+
+
+class ClassicLP(LPProgram):
+    """The classic LP algorithm (Section 2.1 of the paper)."""
+
+    name = "classic-lp"
+    # A vertex's MFL depends only on its neighbors' labels, so frontier
+    # engines may skip vertices with unchanged neighborhoods.
+    frontier_safe = True

@@ -1,0 +1,56 @@
+"""Layered label propagation (Boldi, Rosa, Santini & Vigna, 2011).
+
+Classic LP tends to collapse into a few giant communities.  LLP penalizes a
+label by the *global* number of vertices currently holding it: for each
+candidate label ``l`` with ``k`` occurrences among the neighbors and ``v``
+vertices holding it graph-wide, the score is
+
+``val = k - gamma * (v - k)``
+
+Larger ``gamma`` means stronger resistance to popular labels, hence finer
+communities.  The paper's evaluation sweeps ``gamma = 2**i, i = 0..9`` and
+runs 20 iterations per value (Section 5.1).
+
+Implementation note: the score rewrites to ``k * (1 + gamma) - gamma * v``,
+which is monotone non-decreasing in ``k`` for fixed ``(vertex, label)`` —
+the property the CMS pruning requires — since ``v`` depends only on the
+label.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import LPProgram
+from repro.errors import ProgramError
+from repro.graph.csr import CSRGraph
+from repro.types import WEIGHT_DTYPE
+
+
+class LayeredLP(LPProgram):
+    """LLP with density parameter ``gamma``."""
+
+    def __init__(self, gamma: float = 1.0) -> None:
+        if gamma < 0:
+            raise ProgramError(f"gamma must be non-negative, got {gamma}")
+        self.gamma = float(gamma)
+        self.name = f"llp(gamma={gamma:g})"
+        self._volumes: np.ndarray = np.empty(0, dtype=np.int64)
+
+    def init_state(self, graph: CSRGraph, labels: np.ndarray) -> None:
+        # Labels live in the vertex-id space, so a dense volume array works.
+        self._volumes = np.bincount(labels, minlength=graph.num_vertices)
+
+    def score(self, vertex_ids, labels, frequencies):
+        volumes = self._volumes[labels]
+        return (
+            frequencies * (1.0 + self.gamma) - self.gamma * volumes
+        ).astype(WEIGHT_DTYPE, copy=False)
+
+    def on_iteration_end(self, graph, old_labels, new_labels, iteration):
+        self._volumes = np.bincount(new_labels, minlength=graph.num_vertices)
+
+    @property
+    def label_volumes(self) -> np.ndarray:
+        """Current per-label vertex counts (``v`` in the LLP formula)."""
+        return self._volumes

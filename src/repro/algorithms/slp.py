@@ -1,0 +1,182 @@
+"""Speaker-listener label propagation (SLPA; Xie, Szymanski & Liu, 2011).
+
+SLPA discovers *overlapping* communities: every vertex keeps a bounded
+memory of candidate labels with occurrence counts.  Each iteration:
+
+1. **Speak** (*PickLabel*): every vertex samples one label from its memory,
+   with probability proportional to the stored counts.
+2. **Listen** (*LabelPropagation* + *UpdateVertex*): every vertex takes the
+   most frequent spoken label among its neighbors and adds it to its
+   memory.
+3. **Prune**: labels whose in-memory share falls below a threshold are
+   dropped (the paper caps each vertex at 5 candidate labels).
+
+The run never "converges" in the classic sense; it executes a fixed
+iteration budget (20 in Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.api import LPProgram
+from repro.errors import ProgramError
+from repro.graph.csr import CSRGraph
+from repro.types import LABEL_DTYPE, NO_LABEL
+
+
+class SpeakerListenerLP(LPProgram):
+    """SLPA with bounded per-vertex label memory.
+
+    Parameters
+    ----------
+    max_labels:
+        Memory slots per vertex (paper: 5).
+    prune_threshold:
+        Minimum share of a vertex's memory mass a label needs to survive
+        the end-of-iteration pruning.
+    seed:
+        Seed of the speaking rule's random choices.
+    """
+
+    def __init__(
+        self,
+        max_labels: int = 5,
+        prune_threshold: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if max_labels <= 0:
+            raise ProgramError("max_labels must be positive")
+        if not 0.0 <= prune_threshold < 1.0:
+            raise ProgramError("prune_threshold must be in [0, 1)")
+        self.max_labels = max_labels
+        self.prune_threshold = prune_threshold
+        self.name = f"slp(max={max_labels})"
+        self._rng = np.random.default_rng(seed)
+        self._mem_labels: np.ndarray = np.empty((0, 0), dtype=LABEL_DTYPE)
+        self._mem_counts: np.ndarray = np.empty((0, 0), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def init_state(self, graph: CSRGraph, labels: np.ndarray) -> None:
+        n = graph.num_vertices
+        self._mem_labels = np.full((n, self.max_labels), NO_LABEL, dtype=LABEL_DTYPE)
+        self._mem_counts = np.zeros((n, self.max_labels), dtype=np.float64)
+        self._mem_labels[:, 0] = labels
+        self._mem_counts[:, 0] = 1.0
+
+    def pick_labels(self, graph, labels, iteration):
+        """Speak: sample one label per vertex ∝ memory counts."""
+        totals = self._mem_counts.sum(axis=1, keepdims=True)
+        probs = np.divide(
+            self._mem_counts,
+            totals,
+            out=np.zeros_like(self._mem_counts),
+            where=totals > 0,
+        )
+        cumulative = np.cumsum(probs, axis=1)
+        draws = self._rng.random((labels.size, 1))
+        slots = (draws > cumulative).sum(axis=1)
+        slots = np.minimum(slots, self.max_labels - 1)
+        spoken = self._mem_labels[np.arange(labels.size), slots]
+        # Vertices with empty memory (possible after pruning) speak their
+        # original id.
+        empty = spoken == NO_LABEL
+        spoken = spoken.copy()
+        spoken[empty] = np.arange(labels.size, dtype=LABEL_DTYPE)[empty]
+        return spoken.astype(LABEL_DTYPE, copy=False)
+
+    def update_vertices(self, vertex_ids, best_labels, best_scores, current_labels):
+        """Listen: add each vertex's heard MFL to its memory."""
+        heard = super().update_vertices(
+            vertex_ids, best_labels, best_scores, current_labels
+        )
+        valid = np.isfinite(best_scores)
+        self._listen(
+            vertex_ids[valid],
+            best_labels[valid].astype(LABEL_DTYPE, copy=False),
+        )
+        return heard
+
+    def _listen(self, vertices: np.ndarray, labels: np.ndarray) -> None:
+        mem_labels = self._mem_labels
+        mem_counts = self._mem_counts
+        # Increment where the label is already in memory.
+        matches = mem_labels[vertices] == labels[:, None]
+        has_match = matches.any(axis=1)
+        match_slot = matches.argmax(axis=1)
+        hit_v = vertices[has_match]
+        mem_counts[hit_v, match_slot[has_match]] += 1.0
+
+        # Insert into a free slot, else replace the weakest entry.
+        miss_v = vertices[~has_match]
+        miss_l = labels[~has_match]
+        if miss_v.size:
+            free = mem_labels[miss_v] == NO_LABEL
+            has_free = free.any(axis=1)
+            free_slot = free.argmax(axis=1)
+            insert_v = miss_v[has_free]
+            mem_labels[insert_v, free_slot[has_free]] = miss_l[has_free]
+            mem_counts[insert_v, free_slot[has_free]] = 1.0
+
+            evict_v = miss_v[~has_free]
+            if evict_v.size:
+                weakest = mem_counts[evict_v].argmin(axis=1)
+                mem_labels[evict_v, weakest] = miss_l[~has_free]
+                mem_counts[evict_v, weakest] = 1.0
+
+    def on_iteration_end(self, graph, old_labels, new_labels, iteration):
+        """Prune labels below the memory-share threshold."""
+        totals = self._mem_counts.sum(axis=1, keepdims=True)
+        share = np.divide(
+            self._mem_counts,
+            totals,
+            out=np.zeros_like(self._mem_counts),
+            where=totals > 0,
+        )
+        prune = (share < self.prune_threshold) & (self._mem_labels != NO_LABEL)
+        # Never prune a vertex's strongest label.
+        strongest = self._mem_counts.argmax(axis=1)
+        prune[np.arange(prune.shape[0]), strongest] = False
+        self._mem_labels[prune] = NO_LABEL
+        self._mem_counts[prune] = 0.0
+
+    def converged(self, old_labels, new_labels, iteration):
+        return False  # SLPA runs its fixed budget
+
+    def final_labels(self, labels):
+        """Dominant memory label per vertex."""
+        strongest = self._mem_counts.argmax(axis=1)
+        dominant = self._mem_labels[
+            np.arange(self._mem_labels.shape[0]), strongest
+        ]
+        missing = dominant == NO_LABEL
+        dominant = dominant.copy()
+        dominant[missing] = labels[missing]
+        return dominant.astype(LABEL_DTYPE, copy=False)
+
+    # ------------------------------------------------------------------
+    def overlapping_communities(self) -> Dict[int, List[int]]:
+        """All (label → member vertices) pairs above the prune threshold.
+
+        A vertex may appear under several labels — SLPA's overlapping
+        output.
+        """
+        result: Dict[int, List[int]] = {}
+        totals = self._mem_counts.sum(axis=1)
+        for v in range(self._mem_labels.shape[0]):
+            if totals[v] <= 0:
+                continue
+            for slot in range(self.max_labels):
+                label = int(self._mem_labels[v, slot])
+                if label == NO_LABEL:
+                    continue
+                if self._mem_counts[v, slot] / totals[v] >= self.prune_threshold:
+                    result.setdefault(label, []).append(v)
+        return result
+
+    @property
+    def memory(self):
+        """Read-only view of (labels, counts) memories (for tests)."""
+        return self._mem_labels, self._mem_counts

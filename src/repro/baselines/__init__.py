@@ -1,0 +1,40 @@
+"""Baseline LP engines the paper compares against (Section 5.1).
+
+CPU engines (multicore cost model, functionally identical label updates):
+
+* :class:`~repro.baselines.cpu_serial.SerialEngine` — single-thread
+  reference (ground truth for differential tests).
+* :class:`~repro.baselines.omp.OMPEngine` — OpenMP-style parallel-for.
+* :class:`~repro.baselines.ligra.LigraEngine` — Ligra-style engine with
+  frontier sparsification where the program allows it.
+* :class:`~repro.baselines.tigergraph.TigerGraphEngine` — message-passing
+  style engine (classic LP only, like TG in the paper).
+
+GPU baselines (run on the same simulated device as GLP):
+
+* :class:`~repro.baselines.gsort.GSortEngine` — segmented-sort MFL [17].
+* :class:`~repro.baselines.ghash.GHashEngine` — global hash-table MFL [2].
+
+Cluster baseline:
+
+* :class:`~repro.baselines.distributed.InHouseDistributedEngine` — a
+  32-machine BSP message-passing cluster (the TaoBao in-house solution).
+"""
+
+from repro.baselines.cpu_serial import SerialEngine
+from repro.baselines.omp import OMPEngine
+from repro.baselines.ligra import LigraEngine
+from repro.baselines.tigergraph import TigerGraphEngine
+from repro.baselines.gsort import GSortEngine
+from repro.baselines.ghash import GHashEngine
+from repro.baselines.distributed import InHouseDistributedEngine
+
+__all__ = [
+    "SerialEngine",
+    "OMPEngine",
+    "LigraEngine",
+    "TigerGraphEngine",
+    "GSortEngine",
+    "GHashEngine",
+    "InHouseDistributedEngine",
+]

@@ -1,0 +1,31 @@
+"""G-Hash: the global hash-table GPU baseline ([2], extending G-Sort).
+
+One warp per vertex, all counting through a global-memory hash table — the
+configuration the paper's ablation calls ``global`` (Section 5.3).  Relies
+on the GPU cache for locality; once neighbor lists outgrow the cache, every
+probe is a random global transaction, which is exactly what the accounting
+model charges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.framework import GLPEngine
+from repro.gpusim.config import TITAN_V, DeviceSpec
+from repro.gpusim.device import Device
+from repro.kernels.base import GLOBAL_BASELINE
+
+
+class GHashEngine(GLPEngine):
+    """The G-Hash baseline engine."""
+
+    name = "G-Hash"
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        *,
+        spec: DeviceSpec = TITAN_V,
+    ) -> None:
+        super().__init__(device, config=GLOBAL_BASELINE, spec=spec)

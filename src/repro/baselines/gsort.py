@@ -1,0 +1,29 @@
+"""G-Sort: the segmented-sort GPU baseline (Kozawa et al., 2017).
+
+A thin engine wrapper forcing the GLP framework's segmented-sort pass for
+every vertex.  The original implementation supports only classic LP; like
+the paper (Section 5.1) we "extend their code" by routing any LP program's
+hooks through the same sort-based counting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.framework import GLPEngine
+from repro.gpusim.config import TITAN_V, DeviceSpec
+from repro.gpusim.device import Device
+
+
+class GSortEngine(GLPEngine):
+    """The G-Sort baseline engine."""
+
+    name = "G-Sort"
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        *,
+        spec: DeviceSpec = TITAN_V,
+    ) -> None:
+        super().__init__(device, pass_kind="gsort", spec=spec)

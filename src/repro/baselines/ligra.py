@@ -1,0 +1,74 @@
+"""Ligra-style frontier-based LP engine (Shun & Blelloch, 2013).
+
+Ligra's edgeMap processes only *active* vertices.  For LP a vertex's MFL can
+change only if some in-neighbor changed its label last iteration, so when
+the program declares itself ``frontier_safe`` (classic LP does) the engine
+sparsifies: the active set is the out-neighborhood of last iteration's
+changed vertices.  Programs with global score state (LLP) or randomized
+picks (SLP) fall back to dense iterations — where Ligra performs like OMP,
+matching the paper's observation that "OMP and Ligra show similar
+performance on most of the datasets".
+
+The frontier machinery itself costs time (building the active set, switching
+between sparse/dense representations), modeled as a per-active-vertex
+overhead on top of the OMP-style compute model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.cpumodel import CPUEngineBase, CPUSpec, XEON_W2133
+from repro.core.api import LPProgram
+from repro.graph.csr import CSRGraph
+from repro.scaling import TIME_SCALE
+
+
+class LigraEngine(CPUEngineBase):
+    """Frontier-sparsified multicore engine."""
+
+    name = "Ligra"
+
+    def __init__(self, spec: CPUSpec = XEON_W2133) -> None:
+        super().__init__(spec)
+        self._out_graph: Optional[CSRGraph] = None
+        self._out_graph_source: Optional[int] = None
+
+    def _active_vertices(
+        self,
+        graph: CSRGraph,
+        program: LPProgram,
+        changed_mask: Optional[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        if not program.frontier_safe or changed_mask is None:
+            return None
+        changed = np.flatnonzero(changed_mask)
+        # Dense mode is cheaper once most vertices are active (Ligra's
+        # sparse->dense threshold is |frontier edges| > E/20).
+        if changed.size > graph.num_vertices // 20:
+            return None
+        # Out-neighbors of changed vertices = vertices whose *in*-neighbor
+        # set contains a changed vertex; compute on the reversed graph.
+        if self._out_graph is None or self._out_graph_source != id(graph):
+            self._out_graph = graph.reversed()
+            self._out_graph_source = id(graph)
+        out = self._out_graph
+        chunks = [out.neighbors(int(v)) for v in changed]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks)).astype(np.int64)
+
+    def _iteration_seconds(
+        self, graph: CSRGraph, *, active_edges: int, active_vertices: int
+    ) -> float:
+        spec = self.spec
+        effective_rate = (
+            spec.edges_per_core_per_second * spec.num_cores * 1.3
+        )
+        balanced = active_edges / effective_rate
+        straggler = graph.max_degree / spec.edges_per_core_per_second
+        compute = max(balanced, straggler) if active_edges else 0.0
+        frontier_overhead = active_vertices * 2e-9 + 5e-6 * TIME_SCALE
+        return compute + frontier_overhead + spec.sync_seconds

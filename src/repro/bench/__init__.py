@@ -1,0 +1,38 @@
+"""Benchmark harness: one experiment definition per paper table/figure.
+
+The modules here hold the *logic* of each experiment; the thin
+``benchmarks/bench_*.py`` files wire them into pytest-benchmark and write
+the rendered reports to ``benchmarks/results/``.
+
+* :mod:`~repro.bench.datasets` — dataset and workload registries.
+* :mod:`~repro.bench.runner` — engine construction and sweep helpers.
+* :mod:`~repro.bench.report` — text table / bar-series rendering.
+* :mod:`~repro.bench.experiments` — ``run_table2`` ... ``run_fig7`` plus
+  the theory-validation and pipeline-share experiments.
+"""
+
+from repro.bench.experiments import (
+    run_cost_efficiency,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_pipeline_share,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_theory_bounds,
+)
+
+__all__ = [
+    "run_cost_efficiency",
+    "run_table2",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_table3",
+    "run_table4",
+    "run_fig7",
+    "run_pipeline_share",
+    "run_theory_bounds",
+]

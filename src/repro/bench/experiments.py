@@ -1,0 +1,490 @@
+"""Experiment definitions: one function per paper table/figure.
+
+Every function returns ``(report_text, data)`` where ``report_text`` is the
+rendered table/series (what the paper's table or figure shows) and ``data``
+is the raw structure for programmatic checks.  Wall-clock cost is kept
+benchmark-friendly by running fewer iterations than the paper's 20 — the
+per-iteration metric the paper reports is iteration-count independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.algorithms import ClassicLP, LayeredLP, SeededFraudLP, SpeakerListenerLP
+from repro.baselines import InHouseDistributedEngine
+from repro.bench import datasets as bench_datasets
+from repro.bench.report import format_bar_series, format_table
+from repro.bench.runner import (
+    APPROACH_FACTORIES,
+    VARIANT_APPROACHES,
+    SweepResult,
+    sweep,
+)
+from repro.core.framework import GLPEngine
+from repro.core.hybrid import HybridEngine, run_auto
+from repro.core.multigpu import MultiGPUEngine
+from repro.kernels.base import GLOBAL_BASELINE, SMEM_ONLY, SMEM_WARP
+from repro.pipeline.detector import ClusterDetector
+from repro.pipeline.pipeline import FraudDetectionPipeline
+from repro.sketch import theory
+
+
+def _all_datasets() -> Dict[str, object]:
+    return {
+        name: bench_datasets.load_dataset(name)
+        for name in bench_datasets.dataset_names()
+    }
+
+
+# ----------------------------------------------------------------------
+# Table 2 — datasets
+# ----------------------------------------------------------------------
+def run_table2() -> Tuple[str, List[tuple]]:
+    """Dataset shapes: the paper's Table 2 vs our scaled stand-ins."""
+    rows = bench_datasets.table2_rows()
+    table_rows = [
+        (
+            name,
+            paper_v,
+            paper_e,
+            round(paper_avg, 1),
+            ours_v,
+            ours_e,
+            round(ours_avg, 1),
+        )
+        for name, paper_v, paper_e, paper_avg, ours_v, ours_e, ours_avg in rows
+    ]
+    text = format_table(
+        ["dataset", "paper |V|", "paper |E|", "paper avg",
+         "ours |V|", "ours |E|", "ours avg"],
+        table_rows,
+        title="Table 2: datasets (paper vs ~1000x-scaled stand-ins)",
+    )
+    return text, rows
+
+
+# ----------------------------------------------------------------------
+# Figures 4-6 — speedups over OMP for classic LP / LLP / SLP
+# ----------------------------------------------------------------------
+def _speedup_report(
+    result: SweepResult, title: str
+) -> Tuple[str, Dict[str, Dict[str, float]]]:
+    speedups = result.speedups_over("OMP")
+    text = format_bar_series(speedups, title=title, unit="x")
+    glp_vs = {
+        "G-Sort": [], "G-Hash": [],
+    }
+    for per_approach in speedups.values():
+        for rival in glp_vs:
+            if rival in per_approach:
+                glp_vs[rival].append(
+                    per_approach["GLP"] / per_approach[rival]
+                )
+    summary_lines = [
+        f"GLP speedup over {rival}: {np.mean(vals):.2f}x on average"
+        for rival, vals in glp_vs.items()
+        if vals
+    ]
+    return text + "\n" + "\n".join(summary_lines), speedups
+
+
+def run_fig4(*, iterations: int = 8) -> Tuple[str, Dict]:
+    """Figure 4: classic LP, all six approaches, all eight datasets."""
+    result = sweep(
+        _all_datasets(),
+        list(APPROACH_FACTORIES),
+        ClassicLP,
+        max_iterations=iterations,
+    )
+    return _speedup_report(
+        result, "Figure 4: speedup over OMP (classic LP)"
+    )
+
+
+def run_fig5(
+    *, iterations: int = 5, gammas: Tuple[float, ...] = (1.0, 16.0)
+) -> Tuple[str, Dict]:
+    """Figure 5: LLP (averaged over the gamma sweep)."""
+    datasets = _all_datasets()
+    accumulated: Dict[str, Dict[str, float]] = {}
+    for gamma in gammas:
+        result = sweep(
+            datasets,
+            VARIANT_APPROACHES,
+            lambda gamma=gamma: LayeredLP(gamma=gamma),
+            max_iterations=iterations,
+        )
+        for dataset, per_approach in result.seconds.items():
+            slot = accumulated.setdefault(dataset, {})
+            for name, value in per_approach.items():
+                slot[name] = slot.get(name, 0.0) + value / len(gammas)
+    merged = SweepResult(seconds=accumulated, label_checksums={})
+    return _speedup_report(
+        merged,
+        f"Figure 5: speedup over OMP (LLP, gamma in {list(gammas)})",
+    )
+
+
+def run_fig6(*, iterations: int = 5) -> Tuple[str, Dict]:
+    """Figure 6: SLP (speaker-listener, <=5 labels per vertex)."""
+    result = sweep(
+        _all_datasets(),
+        VARIANT_APPROACHES,
+        lambda: SpeakerListenerLP(max_labels=5, seed=0),
+        max_iterations=iterations,
+    )
+    return _speedup_report(
+        result, "Figure 6: speedup over OMP (SLP)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3 — ablation of the two optimizations
+# ----------------------------------------------------------------------
+#: Paper's Table 3 values: dataset -> (smem, smem+warp) speedups.
+PAPER_TABLE3 = {
+    "dblp": (1.4, 6.1),
+    "roadNet": (1.2, 13.2),
+    "youtube": (1.6, 8.6),
+    "aligraph": (7.4, 10.1),
+    "ljournal": (1.7, 3.6),
+    "uk-2002": (3.4, 5.6),
+    "wiki-en": (2.2, 3.3),
+    "twitter": (4.1, 5.6),
+}
+
+
+def run_table3(*, iterations: int = 8) -> Tuple[str, Dict]:
+    """Table 3: `smem` and `smem+warp` speedups over `global`."""
+    configs = [
+        ("global", GLOBAL_BASELINE),
+        ("smem", SMEM_ONLY),
+        ("smem+warp", SMEM_WARP),
+    ]
+    rows = []
+    data: Dict[str, Dict[str, float]] = {}
+    for name in bench_datasets.dataset_names():
+        graph = bench_datasets.load_dataset(name)
+        seconds = {}
+        reference = None
+        for label, config in configs:
+            engine = GLPEngine(config=config)
+            result = engine.run(
+                graph,
+                ClassicLP(),
+                max_iterations=iterations,
+                stop_on_convergence=False,
+            )
+            if reference is None:
+                reference = result.labels
+            else:
+                assert np.array_equal(result.labels, reference)
+            seconds[label] = result.seconds_per_iteration
+        smem = seconds["global"] / seconds["smem"]
+        warp = seconds["global"] / seconds["smem+warp"]
+        data[name] = {"smem": smem, "smem+warp": warp}
+        paper_smem, paper_warp = PAPER_TABLE3[name]
+        rows.append(
+            (name, f"{smem:.1f}x", f"{warp:.1f}x",
+             f"{paper_smem}x", f"{paper_warp}x")
+        )
+    text = format_table(
+        ["dataset", "smem", "smem+warp", "paper smem", "paper smem+warp"],
+        rows,
+        title="Table 3: effectiveness of the proposed optimizations "
+        "(speedup over `global`)",
+    )
+    return text, data
+
+
+# ----------------------------------------------------------------------
+# Table 4 — sliding-window workloads
+# ----------------------------------------------------------------------
+def run_table4() -> Tuple[str, Dict]:
+    """Table 4: per-window graph shapes (paper vs ~1e-4-scaled)."""
+    rows = []
+    data = {}
+    for days in bench_datasets.WINDOW_DAYS:
+        window = bench_datasets.taobao_window(days)
+        paper_v, paper_e = bench_datasets.PAPER_TABLE4[days]
+        undirected_edges = window.graph.num_edges // 2
+        rows.append(
+            (
+                f"{days}days",
+                f"{paper_v}M",
+                f"{paper_e}B",
+                window.graph.num_vertices,
+                undirected_edges,
+            )
+        )
+        data[days] = (window.graph.num_vertices, undirected_edges)
+    text = format_table(
+        ["window", "paper |V|", "paper |E|", "ours |V|", "ours |E|"],
+        rows,
+        title="Table 4: sliding-window workloads (paper vs ~1e-4 scale)",
+    )
+    return text, data
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — GLP vs the in-house distributed solution
+# ----------------------------------------------------------------------
+def run_fig7(
+    *,
+    iterations: int = 10,
+    window_days: List[int] = None,
+) -> Tuple[str, Dict]:
+    """Figure 7: per-iteration elapsed time on the Table 4 windows.
+
+    Compares GLP (auto single-GPU/hybrid), GLP with two GPUs, and the
+    in-house distributed baseline, all running the production seeded-LP
+    workload.  Also verifies the hybrid-mode claims: the largest window
+    exceeds device memory and its visible transfer overhead stays below
+    10 % of elapsed time.
+    """
+    if window_days is None:
+        window_days = bench_datasets.WINDOW_DAYS
+    spec = bench_datasets.FIG7_DEVICE
+    rows = []
+    data = {}
+    for days in window_days:
+        window = bench_datasets.taobao_window(days)
+        seeds = bench_datasets.window_seeds(days)
+
+        glp_result, engine = run_auto(
+            window.graph,
+            SeededFraudLP(seeds),
+            spec=spec,
+            max_iterations=iterations,
+            stop_on_convergence=False,
+        )
+        dist_result = InHouseDistributedEngine().run(
+            window.graph,
+            SeededFraudLP(seeds),
+            max_iterations=iterations,
+            stop_on_convergence=False,
+        )
+        multi_result = MultiGPUEngine(2, spec=spec).run(
+            window.graph,
+            SeededFraudLP(seeds),
+            max_iterations=iterations,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(glp_result.labels, dist_result.labels)
+        assert np.array_equal(glp_result.labels, multi_result.labels)
+
+        transfer_fraction = None
+        if isinstance(engine, HybridEngine) and engine.last_stats:
+            transfer_fraction = engine.last_stats.transfer_fraction
+        entry = {
+            "glp_ms": glp_result.seconds_per_iteration * 1e3,
+            "dist_ms": dist_result.seconds_per_iteration * 1e3,
+            "multi_ms": multi_result.seconds_per_iteration * 1e3,
+            "speedup": (
+                dist_result.seconds_per_iteration
+                / glp_result.seconds_per_iteration
+            ),
+            "multi_speedup": (
+                glp_result.seconds_per_iteration
+                / multi_result.seconds_per_iteration
+            ),
+            "mode": engine.name,
+            "transfer_fraction": transfer_fraction,
+        }
+        data[days] = entry
+        rows.append(
+            (
+                f"{days}days",
+                f"{entry['dist_ms']:.3f}",
+                f"{entry['glp_ms']:.3f}",
+                f"{entry['multi_ms']:.3f}",
+                f"{entry['speedup']:.1f}x",
+                f"{entry['multi_speedup']:.2f}x",
+                entry["mode"],
+                (
+                    f"{transfer_fraction:.1%}"
+                    if transfer_fraction is not None
+                    else "-"
+                ),
+            )
+        )
+    avg_speedup = float(np.mean([e["speedup"] for e in data.values()]))
+    avg_multi = float(np.mean([e["multi_speedup"] for e in data.values()]))
+    text = format_table(
+        ["window", "in-house ms/it", "GLP ms/it", "2-GPU ms/it",
+         "GLP speedup", "2-GPU gain", "mode", "transfer"],
+        rows,
+        title="Figure 7: elapsed time per LP iteration "
+        "(GLP vs TaoBao in-house distributed)",
+    )
+    text += (
+        f"\naverage GLP speedup over in-house: {avg_speedup:.1f}x "
+        f"(paper: 8.2x)"
+        f"\naverage 2-GPU gain over 1 GPU:     {avg_multi:.2f}x "
+        f"(paper: 1.8x)"
+    )
+    data["avg_speedup"] = avg_speedup
+    data["avg_multi"] = avg_multi
+    return text, data
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 prose — LP share of the pipeline
+# ----------------------------------------------------------------------
+def run_pipeline_share(*, window_days: int = 30) -> Tuple[str, Dict]:
+    """The 75 %-of-pipeline claim, and its collapse under GLP."""
+    stream = bench_datasets.taobao_stream()
+    rows = []
+    data = {}
+    for label, engine in [
+        ("in-house distributed", InHouseDistributedEngine()),
+        ("GLP (1 GPU)", GLPEngine()),
+    ]:
+        detector = ClusterDetector(engine, max_iterations=20, max_hops=6)
+        pipeline = FraudDetectionPipeline(stream, detector)
+        report = pipeline.run_window(window_days)
+        rows.append(
+            (
+                label,
+                f"{report.construction_seconds * 1e3:.2f}",
+                f"{report.lp_seconds * 1e3:.2f}",
+                f"{report.downstream_seconds * 1e3:.2f}",
+                f"{report.lp_fraction:.0%}",
+                report.num_fraud_clusters,
+                f"{report.metrics.precision:.2f}",
+                f"{report.metrics.recall:.2f}",
+            )
+        )
+        data[label] = report
+    text = format_table(
+        ["engine", "build ms", "LP ms", "downstream ms", "LP share",
+         "fraud clusters", "precision", "recall"],
+        rows,
+        title=f"Pipeline stage shares ({window_days}-day window; "
+        "paper: LP = 75% with the in-house engine)",
+    )
+    return text, data
+
+
+# ----------------------------------------------------------------------
+# Section 5.4 prose — monetary efficiency
+# ----------------------------------------------------------------------
+#: Hardware list prices the paper quotes (Section 5.4).
+HARDWARE_PRICES_USD = {
+    "cluster_cpu": 5890,      # Xeon Platinum 8168, x4 per machine
+    "cluster_machines": 32,
+    "workstation_cpu": 617,   # Xeon W-2133
+    "gpu": 2999,              # Titan V
+}
+
+
+def run_cost_efficiency(
+    *, iterations: int = 10, window_days: int = 50
+) -> Tuple[str, Dict]:
+    """The paper's monetary argument, with measured throughput attached.
+
+    Paper: the in-house solution's CPUs cost ``5890 * 4 = $23,560`` per
+    machine (x32 machines); the GLP box costs ``617 + 2999 = $3,616``.
+    We add the measured per-iteration throughput to get edges/second/dollar.
+    """
+    prices = HARDWARE_PRICES_USD
+    cluster_cost = prices["cluster_cpu"] * 4 * prices["cluster_machines"]
+    glp_cost = prices["workstation_cpu"] + prices["gpu"]
+
+    window = bench_datasets.taobao_window(window_days)
+    seeds = bench_datasets.window_seeds(window_days)
+    glp = GLPEngine().run(
+        window.graph, SeededFraudLP(seeds), max_iterations=iterations,
+        stop_on_convergence=False,
+    )
+    dist = InHouseDistributedEngine().run(
+        window.graph, SeededFraudLP(seeds), max_iterations=iterations,
+        stop_on_convergence=False,
+    )
+    edges = window.graph.num_edges
+    glp_throughput = edges / glp.seconds_per_iteration
+    dist_throughput = edges / dist.seconds_per_iteration
+    rows = [
+        (
+            "in-house (32 machines)",
+            f"${cluster_cost:,}",
+            f"{dist_throughput / 1e9:.2f}",
+            f"{dist_throughput / cluster_cost / 1e6:.2f}",
+        ),
+        (
+            "GLP (1 CPU + 1 GPU)",
+            f"${glp_cost:,}",
+            f"{glp_throughput / 1e9:.2f}",
+            f"{glp_throughput / glp_cost / 1e6:.2f}",
+        ),
+    ]
+    text = format_table(
+        ["deployment", "hardware cost", "Gedges/s", "Medges/s per $"],
+        rows,
+        title=f"Section 5.4 monetary efficiency ({window_days}-day window)",
+    )
+    cost_ratio = cluster_cost / glp_cost
+    perf_per_dollar_ratio = (glp_throughput / glp_cost) / (
+        dist_throughput / cluster_cost
+    )
+    text += (
+        f"\nhardware cost ratio: {cost_ratio:.1f}x "
+        f"(paper: $753,920 vs $3,616 = 208x)"
+        f"\nthroughput-per-dollar advantage of GLP: "
+        f"{perf_per_dollar_ratio:.0f}x"
+    )
+    data = {
+        "cluster_cost": cluster_cost,
+        "glp_cost": glp_cost,
+        "cost_ratio": cost_ratio,
+        "glp_throughput": glp_throughput,
+        "dist_throughput": dist_throughput,
+        "perf_per_dollar_ratio": perf_per_dollar_ratio,
+    }
+    return text, data
+
+
+# ----------------------------------------------------------------------
+# Section 4.1 — theory validation
+# ----------------------------------------------------------------------
+def run_theory_bounds(*, trials: int = 400) -> Tuple[str, Dict]:
+    """Lemma 1 / Lemma 2 bounds vs Monte-Carlo measurements."""
+    rows = []
+    data = {"lemma1": [], "lemma2": []}
+    for m, h, f_max in [
+        (64, 16, 9),
+        (128, 32, 17),
+        (256, 32, 65),
+        (512, 64, 129),
+        (1024, 128, 257),
+    ]:
+        bound = theory.lemma1_bound(m, h, f_max)
+        exact = theory.lemma1_exact(m, h, f_max)
+        measured = theory.simulate_mfl_misses_ht(
+            m, h, f_max, trials=trials
+        )
+        data["lemma1"].append((m, h, f_max, bound, exact, measured))
+        rows.append(
+            ("Lemma1", f"m={m} h={h} fmax={f_max}",
+             f"{bound:.4f}", f"{exact:.4f}", f"{measured:.4f}")
+        )
+    # Depths chosen so the m * 2^-d bound is informative (below 1).
+    for m, d in [(8, 6), (16, 8), (32, 8), (64, 8)]:
+        bound = theory.lemma2_bound(m, d)
+        measured = theory.simulate_cms_overestimates(
+            m, d, f_max=1, trials=max(100, trials // 2)
+        )
+        data["lemma2"].append((m, d, bound, measured))
+        rows.append(
+            ("Lemma2", f"m={m} d={d}", f"{bound:.4f}", "-", f"{measured:.4f}")
+        )
+    text = format_table(
+        ["lemma", "parameters", "bound", "exact", "measured"],
+        rows,
+        title="Section 4.1 theory: analytical bounds vs Monte-Carlo "
+        "(measured <= exact <= bound expected)",
+    )
+    return text, data

@@ -1,0 +1,77 @@
+"""Plain-text rendering of experiment results (tables and bar series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(cell.rjust(w) for cell, w in zip(cells[0], widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_series(
+    series: Dict[str, Dict[str, float]],
+    *,
+    title: Optional[str] = None,
+    unit: str = "x",
+    width: int = 40,
+) -> str:
+    """Render grouped horizontal bars: ``{group: {name: value}}``.
+
+    Used for the figure reproductions: each group is a dataset, each bar an
+    approach's speedup.
+    """
+    flat = [v for group in series.values() for v in group.values()]
+    max_value = max(flat) if flat else 1.0
+    name_width = max(
+        (len(name) for group in series.values() for name in group),
+        default=4,
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group_name, group in series.items():
+        lines.append(f"{group_name}:")
+        for name, value in group.items():
+            bar = "#" * max(1, int(round(width * value / max_value)))
+            lines.append(
+                f"  {name.ljust(name_width)} {value:8.2f}{unit} {bar}"
+            )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

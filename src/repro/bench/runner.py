@@ -1,0 +1,116 @@
+"""Engine construction and sweep helpers for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import (
+    GHashEngine,
+    GSortEngine,
+    LigraEngine,
+    OMPEngine,
+    TigerGraphEngine,
+)
+from repro.core.api import LPProgram
+from repro.core.framework import GLPEngine
+from repro.core.results import LPResult
+from repro.errors import BenchmarkError
+from repro.graph.csr import CSRGraph
+
+#: Factories of the Figure 4-6 comparison approaches, in the paper's order.
+APPROACH_FACTORIES: Dict[str, Callable[[], object]] = {
+    "TG": TigerGraphEngine,
+    "Ligra": LigraEngine,
+    "OMP": OMPEngine,
+    "G-Sort": GSortEngine,
+    "G-Hash": GHashEngine,
+    "GLP": GLPEngine,
+}
+
+#: Approaches supporting every LP variant (TG is classic-only, as in the
+#: paper: "TG only supports the classic LP, we thus omit its results").
+VARIANT_APPROACHES: List[str] = ["Ligra", "OMP", "G-Sort", "G-Hash", "GLP"]
+
+
+@dataclass
+class SweepResult:
+    """Per-(approach, dataset) seconds-per-iteration plus label checksums."""
+
+    seconds: Dict[str, Dict[str, float]]
+    label_checksums: Dict[str, Dict[str, int]]
+
+    def speedups_over(self, baseline: str) -> Dict[str, Dict[str, float]]:
+        """``{dataset: {approach: baseline_time / approach_time}}``."""
+        result: Dict[str, Dict[str, float]] = {}
+        for dataset, per_approach in self.seconds.items():
+            base = per_approach.get(baseline)
+            if base is None:
+                raise BenchmarkError(
+                    f"baseline {baseline!r} missing for dataset {dataset!r}"
+                )
+            result[dataset] = {
+                name: base / value for name, value in per_approach.items()
+            }
+        return result
+
+
+def run_approach(
+    name: str,
+    graph: CSRGraph,
+    program_factory: Callable[[], LPProgram],
+    *,
+    max_iterations: int,
+) -> LPResult:
+    """Build approach ``name`` fresh and run one program on ``graph``."""
+    factory = APPROACH_FACTORIES.get(name)
+    if factory is None:
+        raise BenchmarkError(
+            f"unknown approach {name!r}; known: {sorted(APPROACH_FACTORIES)}"
+        )
+    engine = factory()
+    return engine.run(
+        graph,
+        program_factory(),
+        max_iterations=max_iterations,
+        stop_on_convergence=False,
+    )
+
+
+def sweep(
+    datasets: Dict[str, CSRGraph],
+    approaches: List[str],
+    program_factory: Callable[[], LPProgram],
+    *,
+    max_iterations: int,
+    check_agreement: bool = True,
+) -> SweepResult:
+    """Run every approach on every dataset; verify label agreement.
+
+    All engines share the same deterministic MFL semantics, so any label
+    disagreement indicates an engine bug — the sweep fails loudly rather
+    than report timings for diverged computations.
+    """
+    seconds: Dict[str, Dict[str, float]] = {}
+    checksums: Dict[str, Dict[str, int]] = {}
+    for dataset_name, graph in datasets.items():
+        seconds[dataset_name] = {}
+        checksums[dataset_name] = {}
+        reference: Optional[np.ndarray] = None
+        for approach in approaches:
+            result = run_approach(
+                approach, graph, program_factory, max_iterations=max_iterations
+            )
+            seconds[dataset_name][approach] = result.seconds_per_iteration
+            checksums[dataset_name][approach] = int(result.labels.sum())
+            if check_agreement:
+                if reference is None:
+                    reference = result.labels
+                elif not np.array_equal(result.labels, reference):
+                    raise BenchmarkError(
+                        f"approach {approach!r} diverged from the reference "
+                        f"labels on dataset {dataset_name!r}"
+                    )
+    return SweepResult(seconds=seconds, label_checksums=checksums)

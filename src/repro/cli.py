@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run an LP variant on a named Table 2 dataset or an edge-list file and
+    print community statistics, modeled timing and hardware counters.
+``datasets``
+    List the Table 2 dataset registry.
+``bench``
+    Run one paper experiment (table2, fig4, fig5, fig6, table3, table4,
+    fig7, pipeline, theory) and print its report.
+``pipeline``
+    Run the end-to-end fraud-detection pipeline on a synthetic stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+#: Engine names accepted by ``run --engine``.
+ENGINES = ["glp", "gsort", "ghash", "serial", "omp", "ligra", "distributed"]
+
+#: Algorithm names accepted by ``run --algorithm``.
+ALGORITHMS = ["classic", "llp", "slp", "labelrank"]
+
+#: Experiment names accepted by ``bench``.
+EXPERIMENTS = [
+    "table2", "fig4", "fig5", "fig6", "table3", "table4", "fig7",
+    "pipeline", "theory", "cost",
+]
+
+
+def _build_engine(name: str):
+    from repro.baselines import (
+        GHashEngine,
+        GSortEngine,
+        InHouseDistributedEngine,
+        LigraEngine,
+        OMPEngine,
+        SerialEngine,
+    )
+    from repro.core.framework import GLPEngine
+
+    factories = {
+        "glp": GLPEngine,
+        "gsort": GSortEngine,
+        "ghash": GHashEngine,
+        "serial": SerialEngine,
+        "omp": OMPEngine,
+        "ligra": LigraEngine,
+        "distributed": InHouseDistributedEngine,
+    }
+    return factories[name]()
+
+
+def _build_program(name: str, args):
+    from repro.algorithms import (
+        ClassicLP,
+        LabelRankLP,
+        LayeredLP,
+        SpeakerListenerLP,
+    )
+
+    if name == "classic":
+        return ClassicLP()
+    if name == "llp":
+        return LayeredLP(gamma=args.gamma)
+    if name == "slp":
+        return SpeakerListenerLP(seed=args.seed)
+    return LabelRankLP()
+
+
+def _load_graph(source: str):
+    from repro.graph.generators.datasets import DATASETS, load_dataset
+    from repro.graph.io import load_edge_list
+
+    if source in DATASETS:
+        return load_dataset(source)
+    return load_edge_list(source, symmetrize=True)
+
+
+def _cmd_run(args) -> int:
+    graph = _load_graph(args.graph)
+    engine = _build_engine(args.engine)
+    program = _build_program(args.algorithm, args)
+    result = engine.run(
+        graph,
+        program,
+        max_iterations=args.iterations,
+        stop_on_convergence=not args.no_early_stop,
+    )
+    sizes = result.community_sizes()
+    print(f"graph          : {graph.name} "
+          f"(V={graph.num_vertices:,}, E={graph.num_edges:,})")
+    print(f"engine         : {result.engine}")
+    print(f"algorithm      : {program.name}")
+    print(f"iterations     : {result.num_iterations} "
+          f"(converged={result.converged})")
+    print(f"modeled time   : {result.total_seconds * 1e3:.4f} ms "
+          f"({result.seconds_per_iteration * 1e3:.4f} ms/iteration)")
+    print(f"communities    : {sizes.size:,} "
+          f"(largest {sizes[:5].tolist()})")
+    counters = result.total_counters
+    if counters.global_transactions:
+        print(f"global traffic : {counters.global_transactions:,} "
+              f"transactions; lane utilization "
+              f"{counters.lane_utilization:.1%}")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.bench.experiments import run_table2
+
+    text, _ = run_table2()
+    print(text)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        run_fig4,
+        run_fig5,
+        run_fig6,
+        run_fig7,
+        run_pipeline_share,
+        run_table2,
+        run_table3,
+        run_table4,
+        run_theory_bounds,
+    )
+    from repro.bench.experiments import run_cost_efficiency
+
+    runners = {
+        "table2": run_table2,
+        "fig4": run_fig4,
+        "fig5": run_fig5,
+        "fig6": run_fig6,
+        "table3": run_table3,
+        "table4": run_table4,
+        "fig7": run_fig7,
+        "pipeline": run_pipeline_share,
+        "theory": run_theory_bounds,
+        "cost": run_cost_efficiency,
+    }
+    text, _ = runners[args.experiment]()
+    print(text)
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.baselines import InHouseDistributedEngine
+    from repro.core.framework import GLPEngine
+    from repro.pipeline import (
+        ClusterDetector,
+        FraudDetectionPipeline,
+        TransactionStream,
+        TransactionStreamConfig,
+    )
+
+    stream = TransactionStream(
+        TransactionStreamConfig(num_days=args.days, seed=args.seed)
+    )
+    engine = (
+        GLPEngine() if args.engine == "glp" else InHouseDistributedEngine()
+    )
+    detector = ClusterDetector(engine, max_iterations=20, max_hops=6)
+    pipeline = FraudDetectionPipeline(stream, detector)
+    report = pipeline.run_window(min(args.window, args.days))
+    print(f"window         : {report.window_days} days "
+          f"(V={report.num_vertices:,}, E={report.num_edges:,})")
+    print(f"stage times    : build={report.construction_seconds * 1e3:.2f} ms"
+          f"  LP={report.lp_seconds * 1e3:.2f} ms"
+          f"  downstream={report.downstream_seconds * 1e3:.2f} ms")
+    print(f"LP share       : {report.lp_fraction:.0%}")
+    print(f"fraud clusters : {report.num_fraud_clusters} "
+          f"of {report.num_clusters} detected")
+    print(f"quality        : precision={report.metrics.precision:.2f} "
+          f"recall={report.metrics.recall:.2f} f1={report.metrics.f1:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GLP reproduction: GPU label propagation on a "
+        "simulated device",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an LP algorithm on a graph")
+    run.add_argument(
+        "graph",
+        help="Table 2 dataset name (e.g. 'twitter') or edge-list file path",
+    )
+    run.add_argument("--engine", choices=ENGINES, default="glp")
+    run.add_argument("--algorithm", choices=ALGORITHMS, default="classic")
+    run.add_argument("--iterations", type=int, default=20)
+    run.add_argument("--gamma", type=float, default=1.0,
+                     help="LLP density parameter")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--no-early-stop", action="store_true",
+        help="always run the full iteration budget",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    datasets = sub.add_parser("datasets", help="list the dataset registry")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    bench = sub.add_parser("bench", help="run one paper experiment")
+    bench.add_argument("experiment", choices=EXPERIMENTS)
+    bench.set_defaults(func=_cmd_bench)
+
+    pipeline = sub.add_parser(
+        "pipeline", help="run the fraud-detection pipeline"
+    )
+    pipeline.add_argument("--days", type=int, default=60,
+                          help="stream length in days")
+    pipeline.add_argument("--window", type=int, default=30,
+                          help="detection window in days")
+    pipeline.add_argument("--engine", choices=["glp", "distributed"],
+                          default="glp")
+    pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.set_defaults(func=_cmd_pipeline)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

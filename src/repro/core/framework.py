@@ -1,0 +1,181 @@
+"""The GLP engine: bulk-synchronous iteration over a device-resident graph.
+
+Each iteration runs the three components of Figure 2:
+
+1. **PickLabel** — ``program.pick_labels`` decides the label every vertex
+   exposes this round (a trivial map kernel on the device);
+2. **LabelPropagation** — the degree-binned MFL kernels of Section 4;
+3. **UpdateVertex** — ``program.update_vertices`` folds the winners into
+   vertex state and emits next labels (another map kernel).
+
+The engine owns the device residency of the CSR arrays and both label
+arrays; construction fails with
+:class:`~repro.errors.OutOfDeviceMemoryError` when they do not fit — that is
+the signal to use :class:`~repro.core.hybrid.HybridEngine` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.api import LPProgram, validate_program
+from repro.core.results import IterationStats, LPResult
+from repro.errors import ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.config import TITAN_V, DeviceSpec
+from repro.gpusim.device import Device
+from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
+from repro.kernels.propagate import propagate_pass, segmented_sort_pass
+
+
+class GLPEngine:
+    """Run LP programs on one simulated GPU.
+
+    Parameters
+    ----------
+    device:
+        A :class:`~repro.gpusim.device.Device`; a fresh Titan V is created
+        when omitted.
+    config:
+        Kernel strategy selection (defaults to the full GLP configuration).
+    pass_kind:
+        "binned" for GLP's degree-dispatched kernels, "gsort" to force the
+        segmented-sort strategy over all vertices (the G-Sort baseline).
+    """
+
+    name = "GLP"
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        *,
+        config: StrategyConfig = GLP_DEFAULT,
+        pass_kind: str = "binned",
+        spec: DeviceSpec = TITAN_V,
+    ) -> None:
+        if pass_kind not in ("binned", "gsort"):
+            raise ConvergenceError(f"unknown pass_kind {pass_kind!r}")
+        self.device = device if device is not None else Device(spec)
+        self.config = config
+        self.pass_kind = pass_kind
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: CSRGraph,
+        program: LPProgram,
+        *,
+        max_iterations: int = 20,
+        record_history: bool = False,
+        stop_on_convergence: bool = True,
+    ) -> LPResult:
+        """Execute ``program`` on ``graph`` for up to ``max_iterations``."""
+        if max_iterations <= 0:
+            raise ConvergenceError("max_iterations must be positive")
+        device = self.device
+        device.reset_timing()
+
+        labels = program.init_labels(graph)
+        program.init_state(graph, labels)
+        validate_program(program, graph, labels)
+
+        # Device residency: CSR arrays + the double-buffered label arrays.
+        resident = [
+            device.h2d(graph.offsets),
+            device.h2d(graph.indices),
+            device.h2d(labels),
+            device.alloc(labels.shape, labels.dtype),
+        ]
+        if graph.weights is not None:
+            resident.append(device.h2d(graph.weights))
+
+        iterations = []
+        history = [] if record_history else None
+        converged = False
+        try:
+            for iteration in range(1, max_iterations + 1):
+                kernel_before = device.kernel_seconds
+                transfer_before = device.transfer_seconds
+                counters_before = device.counters.copy()
+
+                # PickLabel: a map over the vertex array.
+                with device.launch("pick-label"):
+                    picked = program.pick_labels(graph, labels, iteration)
+                    self._account_map_kernel(graph.num_vertices)
+
+                ctx = KernelContext(
+                    device=device,
+                    graph=graph,
+                    current_labels=picked,
+                    program=program,
+                    config=self.config,
+                )
+                if self.pass_kind == "gsort":
+                    result = segmented_sort_pass(ctx)
+                else:
+                    result = propagate_pass(ctx)
+
+                # UpdateVertex: another map kernel.
+                with device.launch("update-vertex"):
+                    new_labels = program.update_vertices(
+                        result.vertices,
+                        result.best_labels,
+                        result.best_scores,
+                        labels,
+                    )
+                    self._account_map_kernel(graph.num_vertices)
+
+                program.on_iteration_end(graph, labels, new_labels, iteration)
+                changed = int(np.count_nonzero(new_labels != labels))
+                iteration_converged = program.converged(
+                    labels, new_labels, iteration
+                )
+                labels = new_labels
+                if history is not None:
+                    history.append(labels.copy())
+
+                iterations.append(
+                    IterationStats(
+                        iteration=iteration,
+                        seconds=(
+                            device.kernel_seconds
+                            - kernel_before
+                            + device.transfer_seconds
+                            - transfer_before
+                        ),
+                        kernel_seconds=device.kernel_seconds - kernel_before,
+                        transfer_seconds=(
+                            device.transfer_seconds - transfer_before
+                        ),
+                        changed_vertices=changed,
+                        counters=device.counters.delta_since(counters_before),
+                        kernel_stats=result.stats,
+                    )
+                )
+                if iteration_converged and stop_on_convergence:
+                    converged = True
+                    break
+        finally:
+            for handle in resident:
+                device.free(handle)
+
+        return LPResult(
+            labels=program.final_labels(labels),
+            iterations=iterations,
+            converged=converged,
+            engine=self.name if self.pass_kind == "binned" else "G-Sort",
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _account_map_kernel(self, num_vertices: int) -> None:
+        """Cost of a trivial per-vertex map (PickLabel / UpdateVertex)."""
+        device = self.device
+        device.memory.load_sequential(num_vertices, ELEM_BYTES)
+        device.memory.store_sequential(num_vertices, ELEM_BYTES)
+        warps = -(-num_vertices // device.spec.warp_size)
+        device.counters.warp_instructions += warps * 2
+        device.counters.active_lane_sum += num_vertices * 2
+        device.counters.warps_launched += warps

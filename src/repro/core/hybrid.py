@@ -1,0 +1,380 @@
+"""CPU-GPU hybrid execution for graphs exceeding device memory.
+
+Section 3.1: "In the case of large graphs that cannot fit into the GPU
+memory, the CPUs can coordinate the CPU-GPU graph data movement as well as
+handle PickLabel and UpdateVertex.  The heavy lifting of processing
+LabelPropagation is then handled by one or multiple GPUs."
+
+Design — persistent residency + CPU co-processing:
+
+* The CSR is split into contiguous vertex chunks; as many as fit stay
+  **resident** on the device for the whole run (the CSR is read-only, so
+  they upload exactly once).
+* The overflow chunks are **not** streamed every iteration — PCIe at
+  12 GB/s can never keep up with HBM2 kernels, so re-shipping gigabytes per
+  iteration would drown the GPU.  Instead the host CPU co-processes the
+  overflow vertices with the same MFL semantics, in parallel with the GPU's
+  kernels (the "CPU-GPU heterogeneous mode").
+* For ``frontier_safe`` programs (classic and seeded LP) the CPU share is
+  frontier-sparsified: an overflow vertex is recomputed only when one of
+  its in-neighbors changed label, which after the first iterations shrinks
+  the CPU share to a trickle.
+* Per iteration only *label deltas* cross PCIe (changed ``(id, label)``
+  pairs in both directions) — which is how the visible memory-transfer
+  overhead stays below 10 % of elapsed time, the paper's Section 5.4 claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.cpumodel import CPUSpec, XEON_W2133
+from repro.core.api import LPProgram, validate_program
+from repro.core.results import IterationStats, LPResult
+from repro.errors import ConvergenceError, OutOfDeviceMemoryError
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import VertexPartition, partition_by_edge_count
+from repro.gpusim.config import TITAN_V, DeviceSpec
+from repro.gpusim.device import Device
+from repro.kernels import mfl
+from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
+from repro.kernels.mfl import NO_SCORE
+from repro.kernels.propagate import propagate_pass
+from repro.types import LABEL_DTYPE, WEIGHT_DTYPE
+
+
+@dataclass(frozen=True)
+class HybridStats:
+    """Aggregate hybrid-mode measurements over a run."""
+
+    num_chunks: int
+    num_resident_chunks: int
+    resident_edge_fraction: float
+    h2d_bytes: int
+    visible_transfer_seconds: float
+    kernel_seconds: float
+    cpu_seconds: float
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Visible transfer share of elapsed time (paper: < 10 %)."""
+        total = (
+            self.visible_transfer_seconds
+            + self.kernel_seconds
+            + self.cpu_seconds
+        )
+        if total <= 0:
+            return 0.0
+        return self.visible_transfer_seconds / total
+
+
+class HybridEngine:
+    """CPU-GPU hybrid GLP engine (resident chunks + CPU overflow).
+
+    Parameters
+    ----------
+    device:
+        Simulated GPU (fresh Titan V by default).  The graph is expected
+        *not* to fit its memory — otherwise prefer
+        :class:`~repro.core.framework.GLPEngine`.
+    cpu_spec:
+        The host CPU that co-processes overflow vertices.
+    memory_safety:
+        Fraction of device memory the residency planner may use.
+    """
+
+    name = "GLP-Hybrid"
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        *,
+        config: StrategyConfig = GLP_DEFAULT,
+        spec: DeviceSpec = TITAN_V,
+        cpu_spec: CPUSpec = XEON_W2133,
+        memory_safety: float = 0.9,
+    ) -> None:
+        if not 0.0 < memory_safety <= 1.0:
+            raise ConvergenceError("memory_safety must be in (0, 1]")
+        self.device = device if device is not None else Device(spec)
+        self.config = config
+        self.cpu_spec = cpu_spec
+        self.memory_safety = memory_safety
+        self.last_stats: Optional[HybridStats] = None
+
+    # ------------------------------------------------------------------
+    def _chunk_bytes(self, graph: CSRGraph, chunk: VertexPartition) -> int:
+        per_edge = ELEM_BYTES * (2 if graph.weights is not None else 1)
+        return chunk.num_edges * per_edge
+
+    def _plan(self, graph: CSRGraph):
+        """Split into chunks; the resident prefix fills the device."""
+        label_bytes = (graph.num_vertices + 1) * ELEM_BYTES
+        # offsets + labels + out + scores, plus a transient slot for the
+        # per-iteration delta-label buffers.
+        always_resident = 5 * label_bytes
+        budget = (
+            int(self.device.spec.global_mem_bytes * self.memory_safety)
+            - always_resident
+        )
+        if budget <= 0:
+            raise OutOfDeviceMemoryError(
+                "device too small to hold even the label arrays"
+            )
+        per_edge = ELEM_BYTES * (2 if graph.weights is not None else 1)
+        max_edges = max(1, budget // (64 * per_edge))
+        chunks = partition_by_edge_count(graph, max_edges)
+
+        resident: List[VertexPartition] = []
+        overflow: List[VertexPartition] = []
+        used = 0
+        for chunk in chunks:
+            nbytes = self._chunk_bytes(graph, chunk)
+            if not overflow and used + nbytes <= budget:
+                resident.append(chunk)
+                used += nbytes
+            else:
+                overflow.append(chunk)
+        return chunks, resident, overflow
+
+    def _cpu_rate(self) -> float:
+        """Host edge-processing rate for the co-processed share."""
+        return (
+            self.cpu_spec.edges_per_core_per_second
+            * self.cpu_spec.num_cores
+            * 1.3
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: CSRGraph,
+        program: LPProgram,
+        *,
+        max_iterations: int = 20,
+        record_history: bool = False,
+        stop_on_convergence: bool = True,
+    ) -> LPResult:
+        """Execute ``program`` on a graph larger than device memory."""
+        if max_iterations <= 0:
+            raise ConvergenceError("max_iterations must be positive")
+        device = self.device
+        device.reset_timing()
+
+        labels = program.init_labels(graph)
+        program.init_state(graph, labels)
+        validate_program(program, graph, labels)
+
+        chunks, resident, overflow = self._plan(graph)
+        resident_edges = sum(c.num_edges for c in resident)
+        overflow_start = overflow[0].start if overflow else graph.num_vertices
+
+        # One-time residency uploads (window setup, not per-iteration time).
+        persistent = [
+            device.h2d(graph.offsets),
+            device.h2d(labels),
+            device.alloc(labels.shape, labels.dtype),
+            device.alloc(labels.shape, np.float64),
+        ]
+        for chunk in resident:
+            persistent.append(
+                device.h2d(graph.indices[chunk.edge_start : chunk.edge_stop])
+            )
+            if graph.weights is not None:
+                persistent.append(
+                    device.h2d(
+                        graph.weights[chunk.edge_start : chunk.edge_stop]
+                    )
+                )
+        iterations: List[IterationStats] = []
+        history = [] if record_history else None
+        converged = False
+        total_cpu_seconds = 0.0
+        prev_changed: Optional[np.ndarray] = None
+
+        try:
+            for iteration in range(1, max_iterations + 1):
+                kernel_before = device.kernel_seconds
+                transfer_before = device.transfer_seconds
+                counters_before = device.counters.copy()
+
+                picked = program.pick_labels(graph, labels, iteration)
+
+                # Host -> device: ship the labels that changed last round.
+                if iteration == 1:
+                    up_count = graph.num_vertices
+                else:
+                    up_count = int(prev_changed.size)
+                if up_count:
+                    delta = device.h2d(
+                        np.empty((2, up_count), dtype=np.int32)
+                    )
+                    device.free(delta)
+
+                best_labels = picked.astype(LABEL_DTYPE, copy=True)
+                best_scores = np.full(
+                    graph.num_vertices, NO_SCORE, dtype=WEIGHT_DTYPE
+                )
+
+                # GPU: resident vertex ranges through the normal kernels.
+                if resident:
+                    ctx = KernelContext(
+                        device=device,
+                        graph=graph,
+                        current_labels=picked,
+                        program=program,
+                        config=self.config,
+                    )
+                    vertices = np.arange(
+                        resident[0].start, resident[-1].stop, dtype=np.int64
+                    )
+                    result = propagate_pass(ctx, vertices=vertices)
+                    best_labels[result.vertices] = result.best_labels
+                    best_scores[result.vertices] = result.best_scores
+
+                # CPU: overflow ranges, frontier-sparsified when safe.
+                cpu_seconds = 0.0
+                if overflow:
+                    active = self._overflow_active(
+                        graph,
+                        program,
+                        prev_changed,
+                        overflow_start,
+                        iteration,
+                    )
+                    if active.size:
+                        batch = mfl.expand_edges(graph, active)
+                        groups = mfl.aggregate_label_frequencies(
+                            program, batch, picked
+                        )
+                        o_labels, o_scores = mfl.select_best_labels(
+                            program, groups, active, picked
+                        )
+                        best_labels[active] = o_labels
+                        best_scores[active] = o_scores
+                        cpu_seconds = (
+                            batch.num_edges / self._cpu_rate()
+                            + self.cpu_spec.sync_seconds
+                        )
+                total_cpu_seconds += cpu_seconds
+
+                all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
+                new_labels = program.update_vertices(
+                    all_vertices, best_labels, best_scores, labels
+                )
+                program.on_iteration_end(graph, labels, new_labels, iteration)
+                changed_mask = new_labels != labels
+                changed = int(np.count_nonzero(changed_mask))
+                prev_changed = np.flatnonzero(changed_mask)
+
+                # Device -> host: the winners that moved.
+                if changed:
+                    down = device.h2d(np.empty((2, changed), dtype=np.int32))
+                    device.counters.h2d_bytes -= down.nbytes
+                    device.counters.d2h_bytes += down.nbytes
+                    device.free(down)
+
+                iteration_converged = program.converged(
+                    labels, new_labels, iteration
+                )
+                labels = new_labels
+                if history is not None:
+                    history.append(labels.copy())
+
+                kernel_delta = device.kernel_seconds - kernel_before
+                transfer_delta = device.transfer_seconds - transfer_before
+                iterations.append(
+                    IterationStats(
+                        iteration=iteration,
+                        # GPU and CPU shares run concurrently.
+                        seconds=max(kernel_delta, cpu_seconds) + transfer_delta,
+                        kernel_seconds=kernel_delta,
+                        transfer_seconds=transfer_delta,
+                        changed_vertices=changed,
+                        counters=device.counters.delta_since(counters_before),
+                    )
+                )
+                if iteration_converged and stop_on_convergence:
+                    converged = True
+                    break
+        finally:
+            for handle in persistent:
+                device.free(handle)
+
+        self.last_stats = HybridStats(
+            num_chunks=len(chunks),
+            num_resident_chunks=len(resident),
+            resident_edge_fraction=(
+                resident_edges / graph.num_edges if graph.num_edges else 1.0
+            ),
+            h2d_bytes=device.counters.h2d_bytes,
+            visible_transfer_seconds=sum(
+                stats.transfer_seconds for stats in iterations
+            ),
+            kernel_seconds=sum(
+                stats.kernel_seconds for stats in iterations
+            ),
+            cpu_seconds=total_cpu_seconds,
+        )
+        return LPResult(
+            labels=program.final_labels(labels),
+            iterations=iterations,
+            converged=converged,
+            engine=self.name,
+            history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _overflow_active(
+        self,
+        graph: CSRGraph,
+        program: LPProgram,
+        prev_changed: Optional[np.ndarray],
+        overflow_start: int,
+        iteration: int,
+    ) -> np.ndarray:
+        """Overflow vertices the CPU must recompute this iteration."""
+        all_overflow = np.arange(
+            overflow_start, graph.num_vertices, dtype=np.int64
+        )
+        if iteration == 1 or not program.frontier_safe:
+            return all_overflow
+        if prev_changed is None or prev_changed.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if not hasattr(self, "_reversed") or self._reversed_source != id(graph):
+            self._reversed = graph.reversed()
+            self._reversed_source = id(graph)
+        chunks = [
+            self._reversed.neighbors(int(v)) for v in prev_changed
+        ]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        candidates = np.unique(np.concatenate(chunks))
+        return candidates[candidates >= overflow_start].astype(np.int64)
+
+
+def run_auto(
+    graph: CSRGraph,
+    program: LPProgram,
+    *,
+    spec: DeviceSpec = TITAN_V,
+    config: StrategyConfig = GLP_DEFAULT,
+    **run_kwargs,
+):
+    """Pick GLPEngine or HybridEngine based on the graph's device footprint.
+
+    Returns ``(result, engine)`` — the engine exposes mode-specific stats
+    (e.g. ``HybridEngine.last_stats``).
+    """
+    from repro.core.framework import GLPEngine
+
+    label_bytes = graph.num_vertices * ELEM_BYTES * 2
+    needed = graph.nbytes + label_bytes
+    if needed <= spec.global_mem_bytes * 0.9:
+        engine = GLPEngine(spec=spec, config=config)
+    else:
+        engine = HybridEngine(spec=spec, config=config)
+    return engine.run(graph, program, **run_kwargs), engine

@@ -1,0 +1,93 @@
+"""Result containers for LP runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gpusim.counters import PerfCounters
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Per-iteration measurements of an engine run."""
+
+    iteration: int
+    seconds: float
+    kernel_seconds: float
+    transfer_seconds: float
+    changed_vertices: int
+    counters: PerfCounters
+    kernel_stats: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class LPResult:
+    """Outcome of a complete LP run.
+
+    Attributes
+    ----------
+    labels:
+        Final label of every vertex (after ``program.final_labels``).
+    iterations:
+        Per-iteration stats, in order.
+    converged:
+        Whether the program's convergence predicate fired before the
+        iteration budget ran out.
+    engine:
+        Name of the engine/approach that produced the result (for reports).
+    history:
+        Optional list of label arrays per iteration (``record_history``).
+    """
+
+    labels: np.ndarray
+    iterations: List[IterationStats]
+    converged: bool
+    engine: str = "glp"
+    history: Optional[List[np.ndarray]] = None
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total modeled elapsed time across iterations."""
+        return sum(stats.seconds for stats in self.iterations)
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        """Mean per-iteration elapsed time (the Figure 7 metric)."""
+        if not self.iterations:
+            return 0.0
+        return self.total_seconds / len(self.iterations)
+
+    @property
+    def total_counters(self) -> PerfCounters:
+        """Sum of hardware counters across iterations."""
+        total = PerfCounters()
+        for stats in self.iterations:
+            total.add(stats.counters)
+        return total
+
+    def communities(self) -> Dict[int, np.ndarray]:
+        """Group vertices by final label: ``{label: vertex_ids}``."""
+        order = np.argsort(self.labels, kind="stable")
+        sorted_labels = self.labels[order]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], sorted_labels[1:] != sorted_labels[:-1]))
+        )
+        result: Dict[int, np.ndarray] = {}
+        for i, start in enumerate(boundaries):
+            stop = (
+                boundaries[i + 1] if i + 1 < boundaries.size else order.size
+            )
+            result[int(sorted_labels[start])] = order[start:stop]
+        return result
+
+    def community_sizes(self) -> np.ndarray:
+        """Sizes of all communities, descending."""
+        _, counts = np.unique(self.labels, return_counts=True)
+        return np.sort(counts)[::-1]

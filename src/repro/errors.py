@@ -1,0 +1,53 @@
+"""Exception hierarchy for the GLP reproduction.
+
+Every error raised by the library derives from :class:`GLPError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the failure domain (graph construction, simulated device,
+framework configuration, ...).
+"""
+
+from __future__ import annotations
+
+
+class GLPError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(GLPError):
+    """Invalid graph input or malformed CSR structure."""
+
+
+class GraphFormatError(GraphError):
+    """A graph file or edge stream could not be parsed."""
+
+
+class DeviceError(GLPError):
+    """Misuse of the simulated GPU device (bad launch, bad handle, ...)."""
+
+
+class OutOfDeviceMemoryError(DeviceError):
+    """An allocation exceeded the simulated device memory capacity."""
+
+
+class KernelError(DeviceError):
+    """A kernel was launched with inconsistent configuration or inputs."""
+
+
+class SharedMemoryError(KernelError):
+    """A thread block requested more shared memory than the device offers."""
+
+
+class ProgramError(GLPError):
+    """An :class:`~repro.core.api.LPProgram` hook violated its contract."""
+
+
+class ConvergenceError(GLPError):
+    """An iterative engine failed to make progress within its budget."""
+
+
+class PipelineError(GLPError):
+    """A fraud-detection pipeline stage received inconsistent inputs."""
+
+
+class BenchmarkError(GLPError):
+    """An experiment definition or sweep configuration is invalid."""

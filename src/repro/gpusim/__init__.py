@@ -1,0 +1,35 @@
+"""A functional + analytical GPU execution simulator.
+
+This package is the substitute for the NVIDIA Titan V the paper runs on.
+Kernels written against it execute the *real* algorithms (real hash-table
+probes, real count-min-sketch collisions, real warp vote masks) while every
+memory touch is routed through accounting models:
+
+* :mod:`~repro.gpusim.memory` — global memory with a sector-level coalescing
+  model,
+* :mod:`~repro.gpusim.sharedmem` — shared memory with a bank-conflict model,
+* :mod:`~repro.gpusim.atomics` — atomic operations with intra-warp
+  serialization,
+* :mod:`~repro.gpusim.warp` — bit-exact warp intrinsics
+  (``ballot_sync``, ``match_any_sync``, ``popc``, ...),
+* :mod:`~repro.gpusim.timing` — a roofline model converting the collected
+  :class:`~repro.gpusim.counters.PerfCounters` into elapsed time,
+* :mod:`~repro.gpusim.device` — device memory management and PCIe transfers.
+
+The central claim-preserving property: relative performance between kernel
+strategies *emerges* from their counter profiles, not from hard-coded
+speedups.
+"""
+
+from repro.gpusim.config import DeviceSpec, TITAN_V, titan_v_scaled
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.device import Device, DeviceArray
+
+__all__ = [
+    "DeviceSpec",
+    "TITAN_V",
+    "titan_v_scaled",
+    "PerfCounters",
+    "Device",
+    "DeviceArray",
+]

@@ -1,0 +1,118 @@
+"""Simulated device specifications.
+
+The default spec models the NVIDIA Titan V used in the paper's experiments
+(Section 5.1): 80 SMs, 12 GB HBM2 at ~653 GB/s, 96 KB shared memory per SM,
+PCIe 3.0 x16 host link.
+
+Because our datasets are ~1000x scaled-down stand-ins, experiments that need
+the "graph exceeds GPU memory" regime (Figure 7) use
+:func:`titan_v_scaled` to shrink the device memory by the same factor, so the
+hybrid code path triggers exactly where it does in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceError
+from repro.scaling import TIME_SCALE
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name for reports.
+    num_sms:
+        Number of streaming multiprocessors.
+    warp_size:
+        Threads per warp (32 on every NVIDIA architecture).
+    max_threads_per_block:
+        Upper bound on block size accepted by kernel launches.
+    shared_mem_per_block:
+        Shared-memory bytes a single block may allocate.
+    num_shared_banks:
+        Shared-memory banks (32, 4-byte wide).
+    global_mem_bytes:
+        Device memory capacity; allocations beyond it raise
+        :class:`~repro.errors.OutOfDeviceMemoryError`.
+    mem_bandwidth:
+        Achievable global-memory bandwidth in bytes/second.
+    sector_bytes:
+        Memory-transaction granularity (32-byte sectors on Volta).
+    clock_hz:
+        SM clock used to convert cycles to seconds.
+    pcie_bandwidth:
+        Host-device transfer bandwidth in bytes/second.
+    pcie_latency:
+        Fixed per-transfer latency in seconds (pre-scaled to the
+        reproduction's time scale, see :mod:`repro.scaling`).
+    kernel_launch_overhead:
+        Fixed per-kernel-launch time in seconds (pre-scaled likewise).
+    shared_atomic_cost_cycles:
+        Cycles per serialized shared-memory atomic (same-address lanes
+        retry; cheap on-chip).
+    global_atomic_cost_cycles:
+        Cycles per serialized global-memory atomic (L2 read-modify-write
+        round trips; an order of magnitude costlier — the reason the
+        ``global`` counting strategy collapses once communities form and
+        warps hammer the same counters).
+    """
+
+    name: str = "TitanV-sim"
+    num_sms: int = 80
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    shared_mem_per_block: int = 96 * 1024
+    num_shared_banks: int = 32
+    global_mem_bytes: int = 12 * 1024**3
+    mem_bandwidth: float = 653e9
+    sector_bytes: int = 32
+    clock_hz: float = 1.455e9
+    pcie_bandwidth: float = 12e9
+    pcie_latency: float = 10e-6 * TIME_SCALE
+    kernel_launch_overhead: float = 5e-6 * TIME_SCALE
+    shared_atomic_cost_cycles: float = 4.0
+    global_atomic_cost_cycles: float = 56.0
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise DeviceError("warp_size must be a positive power of two")
+        if self.num_sms <= 0:
+            raise DeviceError("num_sms must be positive")
+        if self.sector_bytes <= 0:
+            raise DeviceError("sector_bytes must be positive")
+        if self.global_mem_bytes <= 0:
+            raise DeviceError("global_mem_bytes must be positive")
+
+    @property
+    def warp_throughput(self) -> float:
+        """Warp-instructions the device retires per second (all SMs)."""
+        return self.num_sms * self.clock_hz
+
+    def with_memory(self, global_mem_bytes: int) -> "DeviceSpec":
+        """A copy of this spec with a different memory capacity."""
+        return replace(self, global_mem_bytes=int(global_mem_bytes))
+
+
+#: The paper's experimental GPU.
+TITAN_V = DeviceSpec()
+
+
+def titan_v_scaled(scale: float, *, name: str = "TitanV-sim-scaled") -> DeviceSpec:
+    """A Titan V with memory capacity scaled by ``scale``.
+
+    Bandwidths and clocks are *not* scaled: the datasets are smaller, so
+    absolute times shrink naturally; only the capacity threshold that decides
+    "does the graph fit on the device" must track the dataset scale.
+    """
+    if scale <= 0:
+        raise DeviceError(f"scale must be positive, got {scale}")
+    return replace(
+        TITAN_V,
+        name=name,
+        global_mem_bytes=max(1, int(TITAN_V.global_mem_bytes * scale)),
+    )

@@ -1,0 +1,218 @@
+"""The simulated GPU device: allocations, transfers and kernel bookkeeping.
+
+A :class:`Device` owns
+
+* a capacity-checked allocation table (:class:`DeviceArray` handles),
+* the accounting models (global memory, shared memory, atomics),
+* a :class:`~repro.gpusim.counters.PerfCounters` instance, and
+* a timeline of kernel launches with per-launch timing breakdowns.
+
+Kernels run inside ``with device.launch("kernel-name"):`` blocks; the device
+snapshots counters on entry and converts the delta into elapsed time on exit
+via the roofline model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceError, OutOfDeviceMemoryError
+from repro.gpusim.atomics import AtomicsModel
+from repro.gpusim.config import TITAN_V, DeviceSpec
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.memory import GlobalMemoryModel
+from repro.gpusim.sharedmem import SharedMemoryModel
+from repro.gpusim.timing import KernelTiming, kernel_time, transfer_time
+
+
+@dataclass
+class DeviceArray:
+    """Handle to a device-resident array.
+
+    The payload is an ordinary numpy array (the simulator executes on the
+    host), but the handle tracks residency so capacity checks and transfer
+    accounting behave like the real device.
+    """
+
+    data: np.ndarray
+    device: "Device" = field(repr=False)
+    freed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise DeviceError("use of freed DeviceArray")
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One entry of the device timeline."""
+
+    name: str
+    timing: KernelTiming
+    counters: PerfCounters
+
+    @property
+    def seconds(self) -> float:
+        return self.timing.total_seconds
+
+
+class Device:
+    """A simulated GPU."""
+
+    def __init__(self, spec: DeviceSpec = TITAN_V, *, index: int = 0) -> None:
+        self.spec = spec
+        self.index = index
+        self.counters = PerfCounters()
+        self.memory = GlobalMemoryModel(spec, self.counters)
+        self.shared = SharedMemoryModel(spec, self.counters)
+        self.atomics = AtomicsModel(spec, self.counters)
+        self._allocated_bytes = 0
+        self._live_arrays: Dict[int, DeviceArray] = {}
+        self.timeline: List[LaunchRecord] = []
+        self._transfer_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.global_mem_bytes - self._allocated_bytes
+
+    def alloc(self, shape, dtype) -> DeviceArray:
+        """Allocate an uninitialized device array."""
+        data = np.empty(shape, dtype=dtype)
+        return self._register(data)
+
+    def zeros(self, shape, dtype) -> DeviceArray:
+        """Allocate a zero-initialized device array."""
+        data = np.zeros(shape, dtype=dtype)
+        return self._register(data)
+
+    def _register(self, data: np.ndarray) -> DeviceArray:
+        if data.nbytes > self.free_bytes:
+            raise OutOfDeviceMemoryError(
+                f"allocation of {data.nbytes} B exceeds free device memory "
+                f"({self.free_bytes} of {self.spec.global_mem_bytes} B)"
+            )
+        handle = DeviceArray(data=data, device=self)
+        self._allocated_bytes += data.nbytes
+        self._live_arrays[id(handle)] = handle
+        return handle
+
+    def free(self, handle: DeviceArray) -> None:
+        """Release a device array."""
+        if handle.freed:
+            return
+        if id(handle) not in self._live_arrays:
+            raise DeviceError("array does not belong to this device")
+        del self._live_arrays[id(handle)]
+        self._allocated_bytes -= handle.nbytes
+        handle.freed = True
+
+    def free_all(self) -> None:
+        """Release every live allocation (end-of-run cleanup)."""
+        for handle in list(self._live_arrays.values()):
+            self.free(handle)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def h2d(self, host_array: np.ndarray) -> DeviceArray:
+        """Copy a host array onto the device (PCIe-timed)."""
+        host_array = np.ascontiguousarray(host_array)
+        handle = self._register(host_array.copy())
+        self.counters.h2d_bytes += host_array.nbytes
+        self._transfer_seconds += transfer_time(host_array.nbytes, self.spec)
+        return handle
+
+    def d2h(self, handle: DeviceArray) -> np.ndarray:
+        """Copy a device array back to the host (PCIe-timed)."""
+        handle._check_alive()
+        self.counters.d2h_bytes += handle.nbytes
+        self._transfer_seconds += transfer_time(handle.nbytes, self.spec)
+        return handle.data.copy()
+
+    # ------------------------------------------------------------------
+    # Kernel bookkeeping
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def launch(self, name: str) -> Iterator[PerfCounters]:
+        """Run a kernel body; time it from the counter delta on exit."""
+        snapshot = self.counters.copy()
+        self.counters.kernel_launches += 1
+        yield self.counters
+        delta = self.counters.delta_since(snapshot)
+        timing = kernel_time(delta, self.spec)
+        self.timeline.append(
+            LaunchRecord(name=name, timing=timing, counters=delta)
+        )
+
+    # ------------------------------------------------------------------
+    # Timing queries
+    # ------------------------------------------------------------------
+    @property
+    def kernel_seconds(self) -> float:
+        """Total modeled kernel time since the last reset."""
+        return sum(record.seconds for record in self.timeline)
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Total modeled PCIe transfer time since the last reset."""
+        return self._transfer_seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Kernel + transfer time (the paper's "elapsed time" metric)."""
+        return self.kernel_seconds + self._transfer_seconds
+
+    def kernel_breakdown(self) -> Dict[str, float]:
+        """Per-kernel-name cumulative seconds."""
+        breakdown: Dict[str, float] = {}
+        for record in self.timeline:
+            breakdown[record.name] = (
+                breakdown.get(record.name, 0.0) + record.seconds
+            )
+        return breakdown
+
+    def reset_timing(self, *, reset_counters: bool = True) -> None:
+        """Clear the timeline (and optionally counters) for a fresh run."""
+        self.timeline.clear()
+        self._transfer_seconds = 0.0
+        if reset_counters:
+            self.counters.reset()
+
+    def discount_transfer(self, seconds: float) -> None:
+        """Remove overlapped transfer time (hybrid-mode copy/compute overlap).
+
+        The hybrid engine overlaps PCIe copies with kernel execution; it
+        calls this to credit back the hidden portion.
+        """
+        if seconds < 0:
+            raise DeviceError("overlap credit must be non-negative")
+        self._transfer_seconds = max(0.0, self._transfer_seconds - seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Device(index={self.index}, spec={self.spec.name!r}, "
+            f"allocated={self._allocated_bytes}B)"
+        )

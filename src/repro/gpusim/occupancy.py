@@ -1,0 +1,91 @@
+"""Occupancy estimation for kernel launch configurations.
+
+The CMS+HT kernel trades shared memory for global-memory avoidance; shared
+memory is also what bounds how many blocks an SM can host concurrently.
+This module computes that bound so configurations can be sanity-checked:
+an HT+CMS allocation past ~48 KB halves occupancy on a 96 KB/SM device,
+and the latency-hiding loss starts eating the pruning win.
+
+The timing model itself stays roofline (occupancy effects on bandwidth are
+second-order for these streaming kernels); occupancy here is a *diagnostic*
+surfaced through :func:`strategy_occupancy` and checked by tests and the
+ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.gpusim.config import TITAN_V, DeviceSpec
+
+#: Hardware block/warp slots per SM on Volta.
+MAX_BLOCKS_PER_SM = 32
+MAX_WARPS_PER_SM = 64
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy of one launch configuration on one device."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiter: str
+
+    @property
+    def occupancy(self) -> float:
+        """Active warps relative to the SM's warp slots (0..1)."""
+        return self.warps_per_sm / MAX_WARPS_PER_SM
+
+
+def estimate_occupancy(
+    block_size: int,
+    shared_mem_per_block: int,
+    spec: DeviceSpec = TITAN_V,
+) -> OccupancyReport:
+    """Blocks/warps resident per SM for a launch configuration.
+
+    Considers the three classical limiters: block slots, warp slots and
+    shared memory.  (Register pressure is not modeled — the LP kernels are
+    memory-code, far from register-bound.)
+    """
+    if block_size <= 0 or block_size % spec.warp_size:
+        raise KernelError(
+            f"block_size must be a positive multiple of {spec.warp_size}"
+        )
+    if shared_mem_per_block < 0:
+        raise KernelError("shared_mem_per_block must be non-negative")
+    if shared_mem_per_block > spec.shared_mem_per_block:
+        raise KernelError(
+            f"block requests {shared_mem_per_block} B shared memory; device "
+            f"offers {spec.shared_mem_per_block} B"
+        )
+
+    warps_per_block = block_size // spec.warp_size
+    limits = {
+        "blocks": MAX_BLOCKS_PER_SM,
+        "warps": MAX_WARPS_PER_SM // warps_per_block,
+    }
+    if shared_mem_per_block > 0:
+        limits["shared-memory"] = (
+            spec.shared_mem_per_block // shared_mem_per_block
+        )
+    limiter = min(limits, key=limits.get)
+    blocks = max(0, limits[limiter])
+    return OccupancyReport(
+        blocks_per_sm=blocks,
+        warps_per_sm=blocks * warps_per_block,
+        limiter=limiter,
+    )
+
+
+def strategy_occupancy(config, spec: DeviceSpec = TITAN_V) -> OccupancyReport:
+    """Occupancy of the CMS+HT high-degree kernel under ``config``.
+
+    ``config`` is a :class:`~repro.kernels.base.StrategyConfig`; the block
+    allocates the HT (8 B/slot) plus the CMS (4 B/counter).
+    """
+    shared_bytes = (
+        config.ht_capacity * 8 + config.cms_depth * config.cms_width * 4
+    )
+    return estimate_occupancy(config.block_size, shared_bytes, spec)

@@ -1,0 +1,76 @@
+"""Roofline timing model: counters → seconds.
+
+A kernel's elapsed time is modeled as
+
+``max(compute_time, memory_time) + launch_overhead``
+
+where
+
+* ``memory_time`` charges every global-memory sector transaction against the
+  device DRAM bandwidth, and
+* ``compute_time`` charges warp instructions, shared-memory operations
+  (1/32 cycle per lane-op, +1 cycle per bank-conflict replay) and atomic
+  serialization against the aggregate SM issue rate.
+
+This is the standard first-order GPU model: LP is memory-bound on real
+hardware (the paper calls it "I/O intensive"), and the same is true here —
+the strategies mostly differ in ``memory_time``, with the warp-centric
+kernel additionally slashing wasted issue slots in ``compute_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.config import DeviceSpec
+from repro.gpusim.counters import PerfCounters
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one kernel launch."""
+
+    compute_seconds: float
+    memory_seconds: float
+    launch_overhead: float
+
+    @property
+    def total_seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds) + self.launch_overhead
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when DRAM traffic dominates the kernel."""
+        return self.memory_seconds >= self.compute_seconds
+
+
+def compute_cycles(delta: PerfCounters, spec: DeviceSpec) -> float:
+    """Issue-slot cycles implied by a counter delta (whole device)."""
+    shared_lane_ops = delta.shared_load_ops + delta.shared_store_ops
+    return (
+        delta.warp_instructions
+        + shared_lane_ops / spec.warp_size
+        + delta.shared_bank_conflicts
+        + delta.shared_atomic_serialized_ops * spec.shared_atomic_cost_cycles
+        + delta.global_atomic_serialized_ops * spec.global_atomic_cost_cycles
+    )
+
+
+def kernel_time(delta: PerfCounters, spec: DeviceSpec) -> KernelTiming:
+    """Convert a per-kernel counter delta into a :class:`KernelTiming`."""
+    cycles = compute_cycles(delta, spec)
+    compute_seconds = cycles / spec.warp_throughput
+    memory_bytes = delta.global_transactions * spec.sector_bytes
+    memory_seconds = memory_bytes / spec.mem_bandwidth
+    return KernelTiming(
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        launch_overhead=spec.kernel_launch_overhead,
+    )
+
+
+def transfer_time(nbytes: int, spec: DeviceSpec) -> float:
+    """Host↔device transfer time over the PCIe model."""
+    if nbytes <= 0:
+        return 0.0
+    return spec.pcie_latency + nbytes / spec.pcie_bandwidth

@@ -1,0 +1,171 @@
+"""Bit-exact warp intrinsics.
+
+These reproduce the CUDA warp-level primitives the paper's Section 4.2
+kernel is built from — ``__ballot_sync``, ``__match_any_sync``, ``__popc``
+and the shuffle family — vectorized over *batches of warps*: every function
+takes arrays shaped ``(num_warps, warp_size)`` and returns per-warp or
+per-lane results, so a kernel can evaluate thousands of simulated warps with
+one call.
+
+Masks are returned as ``uint64`` holding a ``warp_size``-bit value in the
+low bits (warp_size is 32 in practice, matching CUDA's 32-bit masks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+
+#: Powers of two for mask assembly, index = lane id.
+_LANE_BITS = (np.uint64(1) << np.arange(64, dtype=np.uint64))
+
+
+def full_mask(warp_size: int = 32) -> int:
+    """The all-lanes-active mask (``0xFFFFFFFF`` for warp_size 32)."""
+    return (1 << warp_size) - 1
+
+
+def _check_lane_shape(arr: np.ndarray) -> None:
+    if arr.ndim != 2:
+        raise KernelError(
+            f"warp intrinsics expect (num_warps, warp_size) arrays, "
+            f"got shape {arr.shape}"
+        )
+    if arr.shape[1] > 64:
+        raise KernelError(f"warp_size {arr.shape[1]} exceeds 64")
+
+
+def ballot_sync(active: np.ndarray, predicate: np.ndarray) -> np.ndarray:
+    """``__ballot_sync``: per-warp mask of active lanes with a true predicate.
+
+    Parameters
+    ----------
+    active:
+        Boolean ``(W, warp_size)`` participation mask.
+    predicate:
+        Boolean ``(W, warp_size)`` per-lane predicate.
+
+    Returns
+    -------
+    ``(W,)`` uint64 array; bit ``i`` of entry ``w`` is set iff lane ``i`` of
+    warp ``w`` is active and its predicate is non-zero.
+    """
+    active = np.asarray(active, dtype=bool)
+    predicate = np.asarray(predicate, dtype=bool)
+    _check_lane_shape(active)
+    if predicate.shape != active.shape:
+        raise KernelError("predicate shape must match active shape")
+    warp_size = active.shape[1]
+    bits = _LANE_BITS[:warp_size]
+    return ((active & predicate) * bits).sum(axis=1, dtype=np.uint64)
+
+
+def match_any_sync(active: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """``__match_any_sync``: per-lane mask of active lanes holding equal values.
+
+    For every active lane the result contains the mask of all active lanes in
+    its warp whose ``values`` entry compares equal.  Inactive lanes get 0.
+
+    Returns a ``(W, warp_size)`` uint64 array.
+    """
+    active = np.asarray(active, dtype=bool)
+    values = np.asarray(values)
+    _check_lane_shape(active)
+    if values.shape != active.shape:
+        raise KernelError("values shape must match active shape")
+    warp_size = active.shape[1]
+    # eq[w, i, j] = lanes i and j of warp w are both active and hold equal
+    # values.  warp_size is <= 32 so the (W, 32, 32) temporary is cheap.
+    eq = values[:, :, None] == values[:, None, :]
+    eq &= active[:, :, None]
+    eq &= active[:, None, :]
+    bits = _LANE_BITS[:warp_size]
+    masks = (eq * bits[None, None, :]).sum(axis=2, dtype=np.uint64)
+    masks[~active] = 0
+    return masks
+
+
+def popc(masks: np.ndarray) -> np.ndarray:
+    """``__popc``: number of set bits per entry (vectorized popcount)."""
+    masks = np.asarray(masks, dtype=np.uint64)
+    counts = np.zeros(masks.shape, dtype=np.int64)
+    work = masks.copy()
+    while work.any():
+        counts += (work & np.uint64(1)).astype(np.int64)
+        work >>= np.uint64(1)
+    return counts
+
+
+def ffs(masks: np.ndarray) -> np.ndarray:
+    """``__ffs``: 1-based index of the least-significant set bit (0 if none)."""
+    masks = np.asarray(masks, dtype=np.uint64)
+    isolated = masks & (~masks + np.uint64(1))
+    result = np.zeros(masks.shape, dtype=np.int64)
+    work = isolated.copy()
+    position = np.zeros(masks.shape, dtype=np.int64)
+    while work.any():
+        nonzero = work != 0
+        position[nonzero] += 1
+        hit = (work & np.uint64(1)) != 0
+        result[hit] = position[hit]
+        work >>= np.uint64(1)
+    return result
+
+
+def lane_masks_lt(warp_size: int = 32) -> np.ndarray:
+    """``%lanemask_lt``: per-lane mask of all lower-numbered lanes."""
+    lanes = np.arange(warp_size, dtype=np.uint64)
+    return (np.uint64(1) << lanes) - np.uint64(1)
+
+
+def shfl_sync(
+    active: np.ndarray, values: np.ndarray, src_lane: int
+) -> np.ndarray:
+    """``__shfl_sync``: broadcast lane ``src_lane``'s value to all lanes."""
+    active = np.asarray(active, dtype=bool)
+    values = np.asarray(values)
+    _check_lane_shape(active)
+    if not 0 <= src_lane < active.shape[1]:
+        raise KernelError(f"src_lane {src_lane} out of range")
+    out = np.broadcast_to(
+        values[:, src_lane : src_lane + 1], values.shape
+    ).copy()
+    out[~active] = 0
+    return out
+
+
+def shfl_down_sync(
+    active: np.ndarray, values: np.ndarray, delta: int
+) -> np.ndarray:
+    """``__shfl_down_sync``: each lane reads the value ``delta`` lanes up.
+
+    Lanes whose source would fall off the warp keep their own value
+    (matching CUDA semantics).
+    """
+    active = np.asarray(active, dtype=bool)
+    values = np.asarray(values)
+    _check_lane_shape(active)
+    warp_size = active.shape[1]
+    if delta < 0:
+        raise KernelError("delta must be non-negative")
+    out = values.copy()
+    if delta and delta < warp_size:
+        out[:, : warp_size - delta] = values[:, delta:]
+    return out
+
+
+def warp_reduce_max(
+    active: np.ndarray, values: np.ndarray, fill
+) -> np.ndarray:
+    """Butterfly max-reduction over each warp's active lanes.
+
+    Returns a ``(W,)`` array of per-warp maxima; warps with no active lanes
+    return ``fill``.  The hardware cost is ``log2(warp_size)`` shuffle steps,
+    which callers account as warp instructions.
+    """
+    active = np.asarray(active, dtype=bool)
+    values = np.asarray(values)
+    _check_lane_shape(active)
+    masked = np.where(active, values, fill)
+    return masked.max(axis=1)

@@ -1,0 +1,18 @@
+"""Graph substrate: CSR storage, builders, IO, generators and statistics.
+
+The public surface of this subpackage:
+
+* :class:`~repro.graph.csr.CSRGraph` — immutable compressed-sparse-row graph.
+* :class:`~repro.graph.builder.GraphBuilder` — incremental edge accumulation.
+* :mod:`~repro.graph.io` — edge-list / npz persistence.
+* :mod:`~repro.graph.generators` — synthetic workload generators, including
+  the Table 2 dataset stand-ins.
+* :mod:`~repro.graph.stats` — degree statistics and power-law diagnostics.
+* :mod:`~repro.graph.partition` — vertex/edge partitioners used by the
+  hybrid, multi-GPU and distributed engines.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+
+__all__ = ["CSRGraph", "GraphBuilder"]

@@ -1,0 +1,29 @@
+"""Synthetic graph generators.
+
+These produce the structural signatures the GLP optimizations key on:
+
+* :mod:`~repro.graph.generators.rmat` — power-law social/web graphs
+  (dblp/youtube/ljournal/uk-2002/wiki-en/twitter stand-ins).
+* :mod:`~repro.graph.generators.community` — planted-partition graphs with
+  controllable community strength (used by correctness tests and theory
+  validation, where label concentration matters).
+* :mod:`~repro.graph.generators.road` — near-constant-degree lattices
+  (roadNet stand-in).
+* :mod:`~repro.graph.generators.bipartite` — user-product interaction graphs
+  (aligraph and TaoBao-window stand-ins).
+* :mod:`~repro.graph.generators.datasets` — the Table 2 dataset registry.
+"""
+
+from repro.graph.generators.community import planted_partition_graph
+from repro.graph.generators.rmat import rmat_graph
+from repro.graph.generators.road import road_network_graph
+from repro.graph.generators.bipartite import bipartite_interaction_graph
+from repro.graph.generators.lfr import lfr_graph
+
+__all__ = [
+    "planted_partition_graph",
+    "rmat_graph",
+    "road_network_graph",
+    "bipartite_interaction_graph",
+    "lfr_graph",
+]

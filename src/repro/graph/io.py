@@ -1,0 +1,124 @@
+"""Graph persistence: edge-list text files and binary npz snapshots.
+
+Two formats are supported:
+
+* **Edge list** (``.txt`` / ``.tsv``): one ``src dst [weight]`` per line,
+  ``#``-prefixed comment lines ignored — the format used by SNAP and KONECT,
+  the paper's dataset sources.
+* **npz snapshot**: the raw CSR arrays, loadable without re-sorting.  Used to
+  cache generated benchmark datasets between runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.csr import CSRGraph
+from repro.types import VERTEX_DTYPE, WEIGHT_DTYPE
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_edge_list(
+    path: PathLike,
+    *,
+    num_vertices: Optional[int] = None,
+    symmetrize: bool = False,
+    comment: str = "#",
+    name: Optional[str] = None,
+) -> CSRGraph:
+    """Load an edge-list text file into a CSR graph.
+
+    Lines must contain ``src dst`` or ``src dst weight`` separated by
+    whitespace.  Vertex ids are compacted unless ``num_vertices`` is given.
+    """
+    srcs: list = []
+    dsts: list = []
+    weights: list = []
+    saw_weight = False
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 2 or 3 fields, got {len(parts)}"
+                )
+            try:
+                srcs.append(int(parts[0]))
+                dsts.append(int(parts[1]))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-integer vertex id"
+                ) from exc
+            if len(parts) == 3:
+                saw_weight = True
+                try:
+                    weights.append(float(parts[2]))
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: non-numeric weight"
+                    ) from exc
+            else:
+                weights.append(1.0)
+
+    builder = GraphBuilder(num_vertices=num_vertices)
+    if srcs:
+        builder.add_edges(
+            np.asarray(srcs, dtype=VERTEX_DTYPE),
+            np.asarray(dsts, dtype=VERTEX_DTYPE),
+            weights=np.asarray(weights, dtype=WEIGHT_DTYPE) if saw_weight else None,
+        )
+    graph_name = name if name is not None else os.path.basename(str(path))
+    return builder.build(symmetrize=symmetrize, name=graph_name)
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write ``graph`` as ``src dst [weight]`` lines.
+
+    Edges are emitted in CSR order, as ``(in-neighbor, vertex)`` pairs so that
+    a round-trip through :func:`load_edge_list` reproduces the adjacency.
+    """
+    sources = graph.edge_sources()
+    with open(path, "w") as handle:
+        handle.write(f"# {graph.name}: V={graph.num_vertices} E={graph.num_edges}\n")
+        if graph.weights is None:
+            for dst, src in zip(sources, graph.indices):
+                handle.write(f"{src} {dst}\n")
+        else:
+            for dst, src, w in zip(sources, graph.indices, graph.weights):
+                handle.write(f"{src} {dst} {w:g}\n")
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Persist the raw CSR arrays to a compressed npz file."""
+    payload = {
+        "offsets": graph.offsets,
+        "indices": graph.indices,
+        "name": np.array(graph.name),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a CSR graph previously written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            offsets = data["offsets"]
+            indices = data["indices"]
+        except KeyError as exc:
+            raise GraphFormatError(
+                f"{path}: missing CSR array {exc}"
+            ) from exc
+        weights = data["weights"] if "weights" in data else None
+        name = str(data["name"]) if "name" in data else "graph"
+    return CSRGraph(offsets=offsets, indices=indices, weights=weights, name=name)

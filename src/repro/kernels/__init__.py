@@ -1,0 +1,26 @@
+"""MFL (most-frequent-label) kernels and the LabelPropagation pass.
+
+One module per strategy from the paper:
+
+* :mod:`~repro.kernels.global_hash` — the ``global`` baseline (G-Hash):
+  one warp per vertex, counting in a global-memory hash table.
+* :mod:`~repro.kernels.segmented_sort` — the G-Sort baseline: gather all
+  neighbor labels, segmented sort, scan for the MFL.
+* :mod:`~repro.kernels.smem_cms_ht` — ``SharedMemBigNodes`` (Section 4.1):
+  shared-memory CMS + HT for high-degree vertices.
+* :mod:`~repro.kernels.warp_centric` — one-warp-multi-vertices via warp
+  intrinsics for low-degree vertices (Section 4.2).
+* :mod:`~repro.kernels.scheduler` — degree binning (low < 32, high > 128).
+* :mod:`~repro.kernels.propagate` — composes strategies into one
+  LabelPropagation pass.
+"""
+
+from repro.kernels.propagate import StrategyConfig, propagate_pass
+from repro.kernels.scheduler import DegreeBins, bin_vertices_by_degree
+
+__all__ = [
+    "StrategyConfig",
+    "propagate_pass",
+    "DegreeBins",
+    "bin_vertices_by_degree",
+]

@@ -1,0 +1,188 @@
+"""Shared kernel-strategy plumbing: context, config and access accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.api import LPProgram
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.kernels.mfl import EdgeBatch
+
+#: Bytes per vertex id / label / offset on the device.
+ELEM_BYTES = 8
+
+#: Shift separating warp-id from step-id when composing warp-step keys.
+_STEP_SHIFT = np.int64(24)
+
+
+@dataclass(frozen=True)
+class StrategyConfig:
+    """Kernel-strategy selection and tuning knobs.
+
+    The defaults are the full GLP configuration; the ablation experiment
+    (Table 3) swaps individual strategies back to the baseline.
+    """
+
+    #: High-degree strategy: "smem" (CMS+HT) or "global" (global hash).
+    high_strategy: str = "smem"
+    #: Mid-degree strategy: "shared_ht" (warp + shared HT) or "global".
+    mid_strategy: str = "shared_ht"
+    #: Low-degree strategy: "warp_multi", "warp_per_vertex" or
+    #: "thread_per_vertex".
+    low_strategy: str = "warp_multi"
+    #: Degree below which a vertex is "low degree" (paper: 32).
+    low_threshold: int = 32
+    #: Degree above which a vertex is "high degree" (paper: 128).
+    high_threshold: int = 128
+    #: Shared-memory hash-table slots per block (``h`` in Lemma 1).
+    ht_capacity: int = 512
+    #: CMS rows (``d`` in Lemma 2).
+    cms_depth: int = 4
+    #: CMS buckets per row (``w``).
+    cms_width: int = 512
+    #: Threads per block for the high-degree kernel.
+    block_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.high_strategy not in ("smem", "global"):
+            raise KernelError(f"unknown high_strategy {self.high_strategy!r}")
+        if self.mid_strategy not in ("shared_ht", "global"):
+            raise KernelError(f"unknown mid_strategy {self.mid_strategy!r}")
+        if self.low_strategy not in (
+            "warp_multi",
+            "warp_per_vertex",
+            "thread_per_vertex",
+        ):
+            raise KernelError(f"unknown low_strategy {self.low_strategy!r}")
+        if self.ht_capacity <= 0 or self.cms_depth <= 0 or self.cms_width <= 0:
+            raise KernelError("sketch dimensions must be positive")
+        if self.block_size <= 0 or self.block_size % 32:
+            raise KernelError("block_size must be a positive multiple of 32")
+
+
+#: Table 3's ``global`` baseline: everything through the global hash table.
+GLOBAL_BASELINE = StrategyConfig(
+    high_strategy="global", mid_strategy="global", low_strategy="warp_per_vertex"
+)
+
+#: Table 3's ``smem`` row: only the high-degree kernel upgraded.
+SMEM_ONLY = StrategyConfig(
+    high_strategy="smem", mid_strategy="global", low_strategy="warp_per_vertex"
+)
+
+#: Table 3's ``smem+warp`` row: both paper optimizations active.
+SMEM_WARP = StrategyConfig(
+    high_strategy="smem", mid_strategy="global", low_strategy="warp_multi"
+)
+
+#: The full GLP configuration (also upgrades mid-degree vertices).
+GLP_DEFAULT = StrategyConfig()
+
+
+@dataclass
+class KernelContext:
+    """Everything a strategy kernel needs for one LabelPropagation pass."""
+
+    device: Device
+    graph: CSRGraph
+    current_labels: np.ndarray
+    program: LPProgram
+    config: StrategyConfig = field(default_factory=lambda: GLP_DEFAULT)
+    #: Per-pass kernel statistics (e.g. the CMS+HT kernel records how many
+    #: high-degree vertices needed the global-memory fallback — the
+    #: quantity Theorem 1 bounds).
+    stats: dict = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Warp-step maps: which (warp, issue-step) each edge access belongs to.
+# Two accesses coalesce only when they happen in the same warp on the same
+# step, so these maps are what turn a strategy's schedule into transactions.
+# ----------------------------------------------------------------------
+def warp_steps_one_warp_per_vertex(
+    graph: CSRGraph, batch: EdgeBatch, warp_size: int = 32
+) -> np.ndarray:
+    """Warp-step keys when one warp strides over each vertex's list.
+
+    Edge ``e`` of vertex ``v`` is handled by lane ``within % 32`` on step
+    ``within // 32``; all lanes of a step belong to vertex ``v``'s warp.
+    """
+    within = batch.edge_positions - graph.offsets[batch.vertex_ids]
+    steps = within // warp_size
+    return (batch.vertex_ids.astype(np.int64) << _STEP_SHIFT) | steps
+
+
+def warp_steps_one_thread_per_vertex(
+    graph: CSRGraph, batch: EdgeBatch, warp_size: int = 32
+) -> np.ndarray:
+    """Warp-step keys when each thread walks one vertex's list.
+
+    Thread ``v`` sits in warp ``v // 32``; on step ``k`` the warp's lanes
+    access the ``k``-th neighbor of 32 *different* vertices — the classic
+    uncoalesced pattern the paper criticizes.
+    """
+    within = batch.edge_positions - graph.offsets[batch.vertex_ids]
+    warps = batch.vertex_ids.astype(np.int64) // warp_size
+    return (warps << _STEP_SHIFT) | within
+
+
+def warp_steps_block_per_vertex(
+    graph: CSRGraph, batch: EdgeBatch, block_size: int, warp_size: int = 32
+) -> np.ndarray:
+    """Warp-step keys when a block of ``block_size`` threads strides a list."""
+    within = batch.edge_positions - graph.offsets[batch.vertex_ids]
+    lane_slot = within % block_size
+    step = within // block_size
+    warp_in_block = lane_slot // warp_size
+    key = (
+        (batch.vertex_ids.astype(np.int64) << _STEP_SHIFT)
+        | (step * (block_size // warp_size) + warp_in_block)
+    )
+    return key
+
+
+def account_common_reads(
+    ctx: KernelContext,
+    batch: EdgeBatch,
+    label_warp_steps: Optional[np.ndarray],
+    *,
+    neighbor_ids_scattered: bool = False,
+) -> None:
+    """Account the reads every counting strategy performs.
+
+    * the two CSR offsets per processed vertex (near-coalesced),
+    * the neighbor-id reads — contiguous segment streams when a warp/block
+      walks one list together, but *scattered* when each lane walks its own
+      list (``neighbor_ids_scattered=True``, the one-thread-one-vertex
+      pattern the paper criticizes), and
+    * the per-edge label gather — the access whose coalescing behaviour
+      differs between strategies, hence the caller-provided warp-step map.
+    """
+    device = ctx.device
+    graph = ctx.graph
+    vertices = batch.vertices
+    if vertices.size:
+        device.memory.load_gather(vertices, ELEM_BYTES)
+        if not neighbor_ids_scattered:
+            device.memory.load_segments(
+                graph.offsets[vertices], graph.degrees[vertices], ELEM_BYTES
+            )
+    if batch.num_edges:
+        if neighbor_ids_scattered:
+            device.memory.load_gather(
+                batch.edge_positions, ELEM_BYTES, warp_ids=label_warp_steps
+            )
+        device.memory.load_gather(
+            batch.neighbor_ids, ELEM_BYTES, warp_ids=label_warp_steps
+        )
+
+
+def account_label_writeback(ctx: KernelContext, num_vertices: int) -> None:
+    """Account the coalesced store of the per-vertex winning labels."""
+    if num_vertices:
+        ctx.device.memory.store_sequential(num_vertices, ELEM_BYTES)

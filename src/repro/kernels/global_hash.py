@@ -1,0 +1,127 @@
+"""The ``global`` counting strategy (G-Hash baseline).
+
+One warp per vertex; every neighbor label is counted by an ``atomicAdd``
+into a global-memory hash table keyed by ``(vertex, label)``.  This is the
+approach of [2] and the baseline row of Table 3.
+
+Its two weaknesses — which the accounting here surfaces — are exactly the
+paper's motivation:
+
+* every probe and counter update is an (often uncoalesced) global-memory
+  transaction, and once communities form, many lanes of a warp hit the
+  *same* counter, serializing the atomics;
+* low-degree vertices leave most of their warp's lanes idle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels import mfl
+from repro.kernels.base import (
+    ELEM_BYTES,
+    KernelContext,
+    account_common_reads,
+    account_label_writeback,
+    warp_steps_one_warp_per_vertex,
+)
+from repro.sketch.globalhash import GlobalHashTable, combine_keys
+
+#: Warp instructions per 32-edge loop step (index math, load, hash, branch).
+_LOOP_INSTRUCTIONS = 6
+#: Warp instructions for the final per-vertex max-score reduction.
+_REDUCE_INSTRUCTIONS = 5
+
+
+def run_global_hash(
+    ctx: KernelContext, vertices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Count labels of ``vertices`` through a global hash table.
+
+    Returns ``(best_labels, best_scores)`` aligned with ``vertices``.
+    """
+    device = ctx.device
+    graph = ctx.graph
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    batch = mfl.expand_edges(graph, vertices)
+    groups = mfl.aggregate_label_frequencies(
+        ctx.program, batch, ctx.current_labels
+    )
+
+    with device.launch("global-hash"):
+        warp_steps = warp_steps_one_warp_per_vertex(graph, batch)
+        account_common_reads(ctx, batch, warp_steps)
+
+        if batch.num_edges:
+            # Real hash-table insertion: probe counts and the slot addresses
+            # the atomics hit come from actual collisions at load factor 0.5.
+            table = GlobalHashTable.for_expected_keys(
+                max(1, groups.num_groups), load_factor=0.5
+            )
+            table_mem = device.alloc((table.capacity,), np.int64)
+            try:
+                neighbor_labels = ctx.current_labels[batch.neighbor_ids]
+                edge_labels, _ = ctx.program.load_neighbor(
+                    batch.vertex_ids,
+                    batch.neighbor_ids,
+                    neighbor_labels,
+                    batch.edge_weights,
+                )
+                keys = combine_keys(batch.vertex_ids, edge_labels)
+                slots, probes = table.add_batch(keys)
+                # One atomic RMW per edge at its resolved slot...
+                device.atomics.global_atomic_add(
+                    slots, ELEM_BYTES, warp_ids=warp_steps
+                )
+                # ...plus one uncoalesced probe load per extra inspection.
+                extra_probes = probes - batch.num_edges
+                device.counters.global_load_transactions += int(extra_probes)
+
+                # MFL extraction: the warp re-reads its neighbor labels to
+                # enumerate candidates (the "label values are repeatedly
+                # loaded" issue of Section 2.2) and re-reads the counters.
+                device.memory.load_gather(
+                    batch.neighbor_ids, ELEM_BYTES, warp_ids=warp_steps
+                )
+                if groups.num_groups:
+                    first_of_group = np.concatenate(
+                        (
+                            [True],
+                            groups.group_of_edge[1:] != groups.group_of_edge[:-1],
+                        )
+                    )
+                    group_slots = slots[groups.edge_order][first_of_group]
+                    device.memory.load_gather(group_slots, ELEM_BYTES)
+            finally:
+                device.free(table_mem)
+
+        # Warp-level loop cost: one warp strides each vertex's list.
+        degrees = graph.degrees[vertices]
+        steps = -(-degrees // device.spec.warp_size)
+        loop_instr = int(steps.sum()) * _LOOP_INSTRUCTIONS
+        device.counters.warp_instructions += loop_instr
+        device.counters.active_lane_sum += int(degrees.sum()) * _LOOP_INSTRUCTIONS
+        device.counters.warp_instructions += (
+            vertices.size * _REDUCE_INSTRUCTIONS
+        )
+        # The reduction only has one live lane per counted label; lanes
+        # beyond the vertex's degree idle through it like the main loop.
+        device.counters.active_lane_sum += int(
+            np.minimum(degrees, device.spec.warp_size).sum()
+        ) * _REDUCE_INSTRUCTIONS
+        device.counters.warps_launched += int(vertices.size)
+
+        best_labels, best_scores = mfl.select_best_labels(
+            ctx.program, groups, vertices, ctx.current_labels
+        )
+        account_label_writeback(ctx, vertices.size)
+
+    return best_labels, best_scores

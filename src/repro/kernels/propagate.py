@@ -1,0 +1,140 @@
+"""The LabelPropagation pass: degree-binned kernel composition.
+
+``propagate_pass`` is what the GLP engine runs once per iteration: it bins
+vertices by degree, dispatches each bin to the strategy the
+:class:`~repro.kernels.base.StrategyConfig` selects, and merges the
+per-vertex winners back into dense arrays.
+
+Strategy → kernel mapping:
+
+=================  ====================================================
+``high_strategy``  "smem" → :func:`run_smem_cms_ht`; "global" → pooled
+                   into the global-hash kernel
+``mid_strategy``   "shared_ht" → :func:`run_warp_shared_ht`; "global" →
+                   pooled into the global-hash kernel
+``low_strategy``   "warp_multi" → :func:`run_warp_multi`;
+                   "warp_per_vertex" → pooled into the global-hash
+                   kernel (a warp per vertex counting globally — the
+                   G-Hash scheduling); "thread_per_vertex" →
+                   :func:`run_thread_per_vertex`
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.kernels.base import (  # noqa: F401  (re-exported presets)
+    GLOBAL_BASELINE,
+    GLP_DEFAULT,
+    SMEM_ONLY,
+    SMEM_WARP,
+    KernelContext,
+    StrategyConfig,
+)
+from repro.kernels.global_hash import run_global_hash
+from repro.kernels.scheduler import DegreeBins, bin_vertices_by_degree
+from repro.kernels.segmented_sort import run_segmented_sort
+from repro.kernels.smem_cms_ht import run_smem_cms_ht
+from repro.kernels.warp_centric import (
+    run_thread_per_vertex,
+    run_warp_multi,
+    run_warp_shared_ht,
+)
+from repro.kernels.mfl import NO_SCORE
+from repro.types import LABEL_DTYPE, WEIGHT_DTYPE
+
+
+@dataclass(frozen=True)
+class PassResult:
+    """Outcome of one LabelPropagation pass over a vertex subset."""
+
+    vertices: np.ndarray
+    best_labels: np.ndarray
+    best_scores: np.ndarray
+    bins: DegreeBins
+    stats: dict
+
+
+def propagate_pass(
+    ctx: KernelContext, vertices: np.ndarray = None
+) -> PassResult:
+    """Run one MFL pass over ``vertices`` (all vertices by default)."""
+    graph = ctx.graph
+    config = ctx.config
+    if vertices is None:
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    else:
+        vertices = np.sort(np.asarray(vertices, dtype=np.int64))
+
+    bins = bin_vertices_by_degree(
+        graph,
+        low_threshold=config.low_threshold,
+        high_threshold=config.high_threshold,
+        vertices=vertices,
+    )
+
+    best_labels = ctx.current_labels[vertices].astype(LABEL_DTYPE, copy=True)
+    best_scores = np.full(vertices.size, NO_SCORE, dtype=WEIGHT_DTYPE)
+
+    def merge(subset: np.ndarray, labels: np.ndarray, scores: np.ndarray):
+        if subset.size == 0:
+            return
+        idx = np.searchsorted(vertices, subset)
+        best_labels[idx] = labels
+        best_scores[idx] = scores
+
+    # Bins whose strategy is "global" share one pooled kernel launch.
+    pooled = []
+    if config.high_strategy == "global":
+        pooled.append(bins.high)
+    elif bins.high.size:
+        merge(bins.high, *run_smem_cms_ht(ctx, bins.high))
+
+    if config.mid_strategy == "global":
+        pooled.append(bins.mid)
+    elif bins.mid.size:
+        merge(bins.mid, *run_warp_shared_ht(ctx, bins.mid))
+
+    if config.low_strategy == "warp_per_vertex":
+        pooled.append(bins.low)
+    elif config.low_strategy == "thread_per_vertex":
+        if bins.low.size:
+            merge(bins.low, *run_thread_per_vertex(ctx, bins.low))
+    else:  # warp_multi
+        if bins.low.size:
+            merge(bins.low, *run_warp_multi(ctx, bins.low))
+
+    if pooled:
+        pooled_vertices = np.sort(np.concatenate(pooled))
+        if pooled_vertices.size:
+            merge(pooled_vertices, *run_global_hash(ctx, pooled_vertices))
+
+    return PassResult(
+        vertices=vertices,
+        best_labels=best_labels,
+        best_scores=best_scores,
+        bins=bins,
+        stats=dict(ctx.stats),
+    )
+
+
+def segmented_sort_pass(
+    ctx: KernelContext, vertices: np.ndarray = None
+) -> PassResult:
+    """A full pass through the G-Sort strategy (all degree classes)."""
+    graph = ctx.graph
+    if vertices is None:
+        vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    else:
+        vertices = np.sort(np.asarray(vertices, dtype=np.int64))
+    bins = bin_vertices_by_degree(graph, vertices=vertices)
+    labels, scores = run_segmented_sort(ctx, vertices)
+    return PassResult(
+        vertices=vertices,
+        best_labels=labels,
+        best_scores=scores,
+        bins=bins,
+        stats=dict(ctx.stats),
+    )

@@ -1,0 +1,77 @@
+"""Degree-based vertex scheduling.
+
+GLP dispatches vertices to different kernels by degree (Section 5.3's
+experimental thresholds):
+
+* **low** — degree < 32: one-warp-multi-vertices (Section 4.2),
+* **mid** — 32 <= degree <= 128: one warp per vertex,
+* **high** — degree > 128: one block per vertex with CMS+HT (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class DegreeBins:
+    """Vertex id arrays per degree class (each sorted ascending)."""
+
+    low: np.ndarray
+    mid: np.ndarray
+    high: np.ndarray
+    low_threshold: int
+    high_threshold: int
+
+    @property
+    def total(self) -> int:
+        return int(self.low.size + self.mid.size + self.high.size)
+
+    def summary(self) -> dict:
+        """Bin sizes for reports."""
+        return {
+            "low": int(self.low.size),
+            "mid": int(self.mid.size),
+            "high": int(self.high.size),
+        }
+
+
+def bin_vertices_by_degree(
+    graph: CSRGraph,
+    *,
+    low_threshold: int = 32,
+    high_threshold: int = 128,
+    vertices: np.ndarray = None,
+) -> DegreeBins:
+    """Split vertices into low/mid/high degree classes.
+
+    ``vertices`` restricts binning to a subset (hybrid mode partitions);
+    defaults to all vertices.  Isolated vertices (degree 0) land in ``low``
+    — they are no-ops for every kernel.
+    """
+    if low_threshold <= 0 or high_threshold < low_threshold:
+        raise KernelError(
+            f"thresholds must satisfy 0 < low <= high; got "
+            f"{low_threshold}, {high_threshold}"
+        )
+    if vertices is None:
+        degrees = graph.degrees
+        ids = np.arange(graph.num_vertices, dtype=np.int64)
+    else:
+        ids = np.sort(np.asarray(vertices, dtype=np.int64))
+        degrees = graph.degrees[ids]
+    low_mask = degrees < low_threshold
+    high_mask = degrees > high_threshold
+    mid_mask = ~(low_mask | high_mask)
+    return DegreeBins(
+        low=ids[low_mask],
+        mid=ids[mid_mask],
+        high=ids[high_mask],
+        low_threshold=low_threshold,
+        high_threshold=high_threshold,
+    )

@@ -1,0 +1,129 @@
+"""The segmented-sort counting strategy (G-Sort baseline).
+
+The approach of Kozawa et al. [17]: gather every neighbor's label into a
+per-edge ``NL`` array, run a segmented sort (one segment per neighbor list),
+then scan each sorted segment to find the longest run — the MFL.
+
+Cost profile reproduced here (Section 2.2's critique):
+
+* the NL array costs a full extra graph-sized allocation plus one gather
+  and one store per edge,
+* small segments sort in shared memory (cheap — why G-Sort wins on small
+  graphs), but segments beyond the shared-memory tile degenerate to
+  multi-pass global radix sort,
+* the count scan re-reads every label.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels import mfl
+from repro.kernels.base import (
+    ELEM_BYTES,
+    KernelContext,
+    account_common_reads,
+    account_label_writeback,
+    warp_steps_one_warp_per_vertex,
+)
+
+#: Segments at most this long sort in shared memory (warp/block merge
+#: sort); longer segments fall back to device-wide radix passes, as in
+#: CUB's segmented radix sort.
+_SMEM_TILE = 128
+#: Radix-sort passes for oversized segments (8-bit digits over 32-bit keys).
+_RADIX_PASSES = 4
+#: Sorted payload bytes per edge: the label key plus the value CUB's
+#: key-value segmented sort carries (edge weight / source id for the
+#: LoadNeighbor generalization).
+_PAIR_BYTES = 16
+#: Warp instructions per element per bitonic stage.
+_BITONIC_INSTR = 2
+#: Warp instructions per 32-edge step of the final count scan.
+_SCAN_INSTRUCTIONS = 4
+
+
+def run_segmented_sort(
+    ctx: KernelContext, vertices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute MFLs for ``vertices`` via gather + segmented sort + scan."""
+    device = ctx.device
+    graph = ctx.graph
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+
+    batch = mfl.expand_edges(graph, vertices)
+    groups = mfl.aggregate_label_frequencies(
+        ctx.program, batch, ctx.current_labels
+    )
+
+    degrees = graph.degrees[vertices]
+    num_edges = batch.num_edges
+
+    # The NL array is a graph-sized device allocation (the paper's memory-
+    # overhead criticism); it lives for the duration of the pass.
+    nl_array = device.alloc((max(1, num_edges),), np.int64)
+    try:
+        with device.launch("gsort-gather"):
+            warp_steps = warp_steps_one_warp_per_vertex(graph, batch)
+            account_common_reads(ctx, batch, warp_steps)
+            # Key + value pair written per edge.
+            device.memory.store_sequential(num_edges, _PAIR_BYTES)
+
+        with device.launch("gsort-segsort"):
+            small = degrees[(degrees > 1) & (degrees <= _SMEM_TILE)]
+            large = degrees[degrees > _SMEM_TILE]
+            if small.size:
+                # Load tile, bitonic-sort pairs in shared memory, store tile.
+                device.memory.load_segments(
+                    np.zeros(small.size, dtype=np.int64), small, _PAIR_BYTES
+                )
+                stages = np.ceil(np.log2(small)) ** 2
+                lane_ops = (small * stages).sum()
+                device.counters.shared_load_ops += int(lane_ops)
+                device.counters.shared_store_ops += int(lane_ops)
+                device.counters.warp_instructions += int(
+                    lane_ops / device.spec.warp_size * _BITONIC_INSTR
+                )
+                device.counters.active_lane_sum += int(
+                    lane_ops * _BITONIC_INSTR
+                )
+                device.memory.store_sequential(int(small.sum()), _PAIR_BYTES)
+            if large.size:
+                # Plain radix sort of key-value pairs: per pass one
+                # histogram read, one scatter read and one (uncoalesced)
+                # scatter write — the "multiple scans on NL" the paper
+                # criticizes.
+                total_large = int(large.sum())
+                for _ in range(_RADIX_PASSES):
+                    device.memory.load_sequential(total_large, _PAIR_BYTES)
+                    device.memory.load_sequential(total_large, _PAIR_BYTES)
+                    device.memory.store_scatter(
+                        np.arange(total_large, dtype=np.int64)[::-1],
+                        _PAIR_BYTES,
+                    )
+                device.counters.warp_instructions += (
+                    total_large // device.spec.warp_size + 1
+                ) * _RADIX_PASSES * 3
+
+        with device.launch("gsort-count"):
+            device.memory.load_sequential(num_edges, ELEM_BYTES)
+            steps = -(-degrees // device.spec.warp_size)
+            device.counters.warp_instructions += (
+                int(steps.sum()) * _SCAN_INSTRUCTIONS
+            )
+            device.counters.active_lane_sum += (
+                int(degrees.sum()) * _SCAN_INSTRUCTIONS
+            )
+            device.counters.warps_launched += int(vertices.size)
+            best_labels, best_scores = mfl.select_best_labels(
+                ctx.program, groups, vertices, ctx.current_labels
+            )
+            account_label_writeback(ctx, vertices.size)
+    finally:
+        device.free(nl_array)
+
+    return best_labels, best_scores

@@ -1,0 +1,158 @@
+"""Incremental sliding-window maintenance and warm-started detection.
+
+Production pipelines do not rebuild a 100-day window from scratch every
+day: they *slide* it — add the newest day's transactions, retire the
+oldest — and they warm-start LP from the previous window's labels, which
+converges in a couple of iterations because most of the graph is unchanged.
+
+:class:`IncrementalWindowBuilder` maintains per-(user, product) interaction
+counts under ``add_day`` / ``retire_day`` and materializes the current
+:class:`~repro.pipeline.window.WindowGraph` on demand.
+
+:func:`warm_start_seeds` carries a previous detection's labels into the
+next window's seed set, so rings already found keep their identity across
+windows (and LP re-converges fast).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.graph.builder import from_edge_arrays
+from repro.pipeline.transactions import TransactionStream
+from repro.pipeline.window import WindowGraph
+from repro.types import NO_LABEL, VERTEX_DTYPE
+
+
+class IncrementalWindowBuilder:
+    """Maintain a sliding window's interaction counts day by day."""
+
+    def __init__(self, stream: TransactionStream) -> None:
+        self.stream = stream
+        self._counts: Dict[tuple, float] = {}
+        self._days: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def days(self) -> Set[int]:
+        """The set of days currently inside the window."""
+        return set(self._days)
+
+    @property
+    def num_pairs(self) -> int:
+        """Distinct (user, product) pairs with non-zero weight."""
+        return len(self._counts)
+
+    def add_day(self, day: int) -> None:
+        """Fold one day's transactions into the window."""
+        if day in self._days:
+            raise PipelineError(f"day {day} already in the window")
+        self._apply(day, +1.0)
+        self._days.add(day)
+
+    def retire_day(self, day: int) -> None:
+        """Remove one day's transactions from the window."""
+        if day not in self._days:
+            raise PipelineError(f"day {day} not in the window")
+        self._apply(day, -1.0)
+        self._days.remove(day)
+
+    def slide(self) -> None:
+        """Advance the window by one day (retire oldest, add next)."""
+        if not self._days:
+            raise PipelineError("cannot slide an empty window")
+        oldest = min(self._days)
+        newest = max(self._days)
+        if newest + 1 >= self.stream.config.num_days:
+            raise PipelineError("stream exhausted")
+        self.retire_day(oldest)
+        self.add_day(newest + 1)
+
+    def _apply(self, day: int, sign: float) -> None:
+        transactions = self.stream.window_transactions(day, 1)
+        for user, product in zip(
+            transactions["user"], transactions["product"]
+        ):
+            key = (int(user), int(product))
+            new_value = self._counts.get(key, 0.0) + sign
+            if new_value <= 0.0:
+                self._counts.pop(key, None)
+            else:
+                self._counts[key] = new_value
+
+    # ------------------------------------------------------------------
+    def build(self) -> WindowGraph:
+        """Materialize the current window as a :class:`WindowGraph`."""
+        if not self._days:
+            raise PipelineError("window is empty")
+        if self._counts:
+            pairs = np.array(list(self._counts.keys()), dtype=np.int64)
+            weights = np.fromiter(
+                self._counts.values(), dtype=np.float64, count=len(self._counts)
+            )
+            users, products = pairs[:, 0], pairs[:, 1]
+        else:
+            users = np.empty(0, dtype=np.int64)
+            products = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.float64)
+
+        window_users, user_index = np.unique(users, return_inverse=True)
+        window_products, product_index = np.unique(
+            products, return_inverse=True
+        )
+        num_users = window_users.size
+        start = min(self._days)
+        graph = from_edge_arrays(
+            user_index.astype(VERTEX_DTYPE),
+            (product_index + num_users).astype(VERTEX_DTYPE),
+            num_users + window_products.size,
+            weights=weights,
+            symmetrize=True,
+            name=f"window-inc-{len(self._days)}d@{start}",
+        )
+        return WindowGraph(
+            graph=graph,
+            users=window_users,
+            products=window_products,
+            start_day=start,
+            num_days=len(self._days),
+        )
+
+
+def warm_start_seeds(
+    previous: WindowGraph,
+    previous_labels: np.ndarray,
+    current: WindowGraph,
+    base_seeds: Dict[int, int],
+    *,
+    max_carryover: Optional[int] = None,
+) -> Dict[int, int]:
+    """Carry a previous detection into the next window's seed set.
+
+    Every user labeled in the previous window (and still present in the
+    current one) becomes a seed with its old cluster label; the black-list
+    ``base_seeds`` always win on conflict.  ``max_carryover`` caps the
+    number of carried users (strongest first = lowest previous vertex id).
+
+    Returns the merged ``{current_window_vertex: label}`` mapping.
+    """
+    labeled = np.flatnonzero(previous_labels != NO_LABEL)
+    users = previous.user_of_window_vertex(labeled)
+    keep = users >= 0
+    users = users[keep]
+    labels = previous_labels[labeled[keep]]
+    if max_carryover is not None:
+        users = users[:max_carryover]
+        labels = labels[:max_carryover]
+
+    current_vertices = current.window_vertex_of_user(users)
+    present = current_vertices >= 0
+    merged = {
+        int(v): int(l)
+        for v, l in zip(current_vertices[present], labels[present])
+    }
+    merged.update(base_seeds)
+    return merged

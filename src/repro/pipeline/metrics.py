@@ -1,0 +1,80 @@
+"""Detection-quality metrics against the planted ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.pipeline.detector import DetectedCluster
+from repro.pipeline.transactions import TransactionStream
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """User-level precision/recall of the flagged set."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def user_detection_metrics(
+    flagged_users: np.ndarray,
+    stream: TransactionStream,
+    *,
+    active_users: np.ndarray = None,
+) -> DetectionMetrics:
+    """Score a flagged-user set against the stream's ring membership.
+
+    ``active_users`` restricts ground truth to users present in the scored
+    window — rings dormant in the window can't be detected and shouldn't
+    count as misses.
+    """
+    membership = stream.ring_membership()
+    fraud_users = np.flatnonzero(membership >= 0)
+    if active_users is not None:
+        fraud_users = fraud_users[np.isin(fraud_users, active_users)]
+    flagged = np.unique(np.asarray(flagged_users, dtype=np.int64))
+    tp = int(np.isin(flagged, fraud_users).sum())
+    fp = int(flagged.size - tp)
+    fn = int(fraud_users.size - tp)
+    return DetectionMetrics(
+        true_positives=tp, false_positives=fp, false_negatives=fn
+    )
+
+
+def cluster_purity(
+    clusters: List[DetectedCluster], stream: TransactionStream
+) -> Dict[int, float]:
+    """Per-cluster fraction of user members belonging to one true ring."""
+    membership = stream.ring_membership()
+    purity: Dict[int, float] = {}
+    for cluster in clusters:
+        if cluster.users.size == 0:
+            purity[cluster.label] = 0.0
+            continue
+        rings = membership[cluster.users]
+        rings = rings[rings >= 0]
+        if rings.size == 0:
+            purity[cluster.label] = 0.0
+            continue
+        _, counts = np.unique(rings, return_counts=True)
+        purity[cluster.label] = float(counts.max() / cluster.users.size)
+    return purity

@@ -1,0 +1,20 @@
+"""Frequency-sketch data structures used by the MFL kernels.
+
+* :class:`~repro.sketch.countmin.CountMinSketch` — the CMS of Section 4.1.
+* :class:`~repro.sketch.hashtable.FixedCapacityHashTable` — the shared-memory
+  HT the CMS is paired with.
+* :class:`~repro.sketch.globalhash.GlobalHashTable` — the global-memory
+  fallback table (and the core of the ``global``/G-Hash baseline).
+* :mod:`~repro.sketch.theory` — Lemma 1 / Lemma 2 / Theorem 1 bound
+  calculators and Monte-Carlo validators.
+"""
+
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hashtable import FixedCapacityHashTable
+from repro.sketch.globalhash import GlobalHashTable
+
+__all__ = [
+    "CountMinSketch",
+    "FixedCapacityHashTable",
+    "GlobalHashTable",
+]

@@ -1,0 +1,127 @@
+"""Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+
+The CMS estimates label frequencies with ``d`` rows of ``w`` counters each.
+Every arriving ``(label, weight)`` increments one counter per row; the
+estimate is the minimum over rows.  Estimates only ever *over*-count
+(collisions add, never subtract), which is exactly the property the
+``SharedMemBigNodes`` procedure relies on: if the best HT score beats the
+best CMS estimate, no overflow label can possibly win and the global-memory
+fallback is skipped (paper, Section 4.1).
+
+Hashing is multiply-shift with per-row odd multipliers — cheap enough to be
+realistic for a GPU shared-memory kernel and good enough for the pairwise-
+independence arguments in the paper's analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GLPError
+
+# 64-bit odd constants for multiply-shift hashing (splitmix64 outputs).
+_ROW_MULTIPLIERS = np.array(
+    [
+        0x9E3779B97F4A7C15,
+        0xBF58476D1CE4E5B9,
+        0x94D049BB133111EB,
+        0xD6E8FEB86659FD93,
+        0xA5A5A5A5A5A5A5A5,
+        0xC2B2AE3D27D4EB4F,
+        0x165667B19E3779F9,
+        0x27D4EB2F165667C5,
+    ],
+    dtype=np.uint64,
+)
+
+
+def _row_hash(labels: np.ndarray, row: int, width: int) -> np.ndarray:
+    """Multiply-shift hash of ``labels`` into ``[0, width)`` for ``row``."""
+    mixed = labels.astype(np.uint64) * _ROW_MULTIPLIERS[row % len(_ROW_MULTIPLIERS)]
+    mixed ^= mixed >> np.uint64(31)
+    mixed *= _ROW_MULTIPLIERS[(row + 3) % len(_ROW_MULTIPLIERS)]
+    return (mixed % np.uint64(width)).astype(np.int64)
+
+
+class CountMinSketch:
+    """A ``d x w`` Count-Min Sketch over integer labels.
+
+    Parameters
+    ----------
+    depth:
+        Number of hash rows ``d``.  Lemma 2's failure probability is
+        ``2**-d`` per label.
+    width:
+        Buckets per row ``w``.  Lemma 2 assumes ``w = 2s`` for ``s``
+        insertions.
+    """
+
+    def __init__(self, depth: int, width: int) -> None:
+        if depth <= 0 or depth > len(_ROW_MULTIPLIERS):
+            raise GLPError(
+                f"depth must be in [1, {len(_ROW_MULTIPLIERS)}], got {depth}"
+            )
+        if width <= 0:
+            raise GLPError(f"width must be positive, got {width}")
+        self.depth = depth
+        self.width = width
+        self._table = np.zeros((depth, width), dtype=np.float64)
+        self._total_insertions = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Shared-memory footprint (4-byte counters on the device)."""
+        return self.depth * self.width * 4
+
+    @property
+    def total_insertions(self) -> int:
+        """Number of ``add`` item-occurrences so far."""
+        return self._total_insertions
+
+    def clear(self) -> None:
+        self._table.fill(0.0)
+        self._total_insertions = 0
+
+    def add(self, labels: np.ndarray, weights=None) -> np.ndarray:
+        """Insert a batch of labels; returns the post-insert estimates.
+
+        ``weights`` defaults to 1 per occurrence.  Duplicate labels in one
+        batch accumulate correctly (counter updates use unbuffered adds).
+        The return value matches the paper's ``atomicAdd``-then-read pattern:
+        each occurrence observes the estimate including itself.
+        """
+        labels = np.atleast_1d(np.asarray(labels, dtype=np.int64))
+        if weights is None:
+            weights = np.ones(labels.size, dtype=np.float64)
+        else:
+            weights = np.atleast_1d(np.asarray(weights, dtype=np.float64))
+            if weights.shape != labels.shape:
+                raise GLPError("weights must match labels length")
+        for row in range(self.depth):
+            buckets = _row_hash(labels, row, self.width)
+            np.add.at(self._table[row], buckets, weights)
+        self._total_insertions += labels.size
+        return self.estimate(labels)
+
+    def estimate(self, labels: np.ndarray) -> np.ndarray:
+        """Point-query estimates (min over rows); always >= true frequency."""
+        labels = np.atleast_1d(np.asarray(labels, dtype=np.int64))
+        estimates = np.full(labels.size, np.inf)
+        for row in range(self.depth):
+            buckets = _row_hash(labels, row, self.width)
+            np.minimum(estimates, self._table[row, buckets], out=estimates)
+        if labels.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        return estimates
+
+    def bucket_addresses(self, labels: np.ndarray) -> np.ndarray:
+        """Shared-memory word addresses touched by inserting ``labels``.
+
+        Shape ``(depth, len(labels))``; used by the kernel's bank-conflict
+        accounting.  Row ``r`` occupies words ``[r*width, (r+1)*width)``.
+        """
+        labels = np.atleast_1d(np.asarray(labels, dtype=np.int64))
+        addresses = np.empty((self.depth, labels.size), dtype=np.int64)
+        for row in range(self.depth):
+            addresses[row] = _row_hash(labels, row, self.width) + row * self.width
+        return addresses

@@ -1,0 +1,159 @@
+"""Global-memory hash table for label counting.
+
+Two consumers:
+
+* the ``global`` / G-Hash baseline strategy counts every ``(vertex, label)``
+  pair of the whole graph in one big device-memory table, and
+* the ``SharedMemBigNodes`` fallback path (Lines 16-24 of the paper's
+  procedure) inserts a vertex's overflow labels when the CMS cannot rule out
+  an overflow winner.
+
+The table is open-addressing with linear probing over combined
+``(vertex, label)`` keys.  Insertions are executed *for real* in vectorized
+rounds, so probe counts — which become uncoalesced global transactions in
+the accounting — reflect actual collision behaviour at the configured load
+factor.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GLPError
+
+_EMPTY = np.int64(-1)
+_MIX_A = np.uint64(0xFF51AFD7ED558CCD)
+_MIX_B = np.uint64(0xC4CEB9FE1A85EC53)
+
+
+def combine_keys(vertices: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Pack ``(vertex, label)`` pairs into single int64 keys.
+
+    Vertex ids and labels both fit in 31 bits for every simulated workload
+    (checked), so the packing is collision-free.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if vertices.size and (vertices.max(initial=0) >= (1 << 31) or labels.max(initial=0) >= (1 << 31)):
+        raise GLPError("vertex/label ids exceed 31-bit packing range")
+    return (vertices << np.int64(31)) | labels
+
+
+def _hash_keys(keys: np.ndarray, capacity: int) -> np.ndarray:
+    mixed = keys.astype(np.uint64)
+    mixed ^= mixed >> np.uint64(33)
+    mixed *= _MIX_A
+    mixed ^= mixed >> np.uint64(33)
+    mixed *= _MIX_B
+    return (mixed % np.uint64(capacity)).astype(np.int64)
+
+
+class GlobalHashTable:
+    """A device-global open-addressing count table over int64 keys."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise GLPError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._keys = np.full(capacity, _EMPTY, dtype=np.int64)
+        self._counts = np.zeros(capacity, dtype=np.float64)
+        self._size = 0
+
+    @classmethod
+    def for_expected_keys(cls, num_keys: int, load_factor: float = 0.5) -> "GlobalHashTable":
+        """Size a table for ``num_keys`` distinct keys at ``load_factor``."""
+        if not 0.0 < load_factor < 1.0:
+            raise GLPError("load_factor must be in (0, 1)")
+        capacity = max(8, int(num_keys / load_factor) + 1)
+        return cls(capacity)
+
+    @property
+    def nbytes(self) -> int:
+        """Device-memory footprint (8-byte key + 4-byte count per slot)."""
+        return self.capacity * 12
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def add_batch(
+        self, keys: np.ndarray, weights=None
+    ) -> Tuple[np.ndarray, int]:
+        """Insert-or-increment a batch of keys.
+
+        Returns ``(slots, total_probes)`` where ``slots[i]`` is the slot key
+        ``i`` landed in and ``total_probes`` the number of slot inspections
+        across the batch — each inspection is one (potentially uncoalesced)
+        global-memory access in the caller's accounting.
+
+        Raises :class:`GLPError` when distinct keys exceed capacity.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if weights is None:
+            weights = np.ones(keys.size, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != keys.shape:
+                raise GLPError("weights must match keys length")
+        slots = np.full(keys.size, -1, dtype=np.int64)
+        probe_offset = np.zeros(keys.size, dtype=np.int64)
+        pending = np.arange(keys.size, dtype=np.int64)
+        base = _hash_keys(keys, self.capacity)
+        total_probes = 0
+
+        while pending.size:
+            idx = pending
+            slot = (base[idx] + probe_offset[idx]) % self.capacity
+            total_probes += idx.size
+            resident = self._keys[slot]
+
+            hit = resident == keys[idx]
+            empty = resident == _EMPTY
+            # Claim empty slots; duplicate claims within the round resolve
+            # by first-wins, matching atomicCAS semantics.
+            claim_idx = idx[empty]
+            claim_slot = slot[empty]
+            if claim_idx.size:
+                first = np.full(self.capacity, -1, dtype=np.int64)
+                # Reverse order so lower batch index wins, like CAS arrival.
+                first[claim_slot[::-1]] = claim_idx[::-1]
+                winners = first[claim_slot] == claim_idx
+                won_idx = claim_idx[winners]
+                won_slot = claim_slot[winners]
+                self._keys[won_slot] = keys[won_idx]
+                self._size += won_idx.size
+                hit = hit | (self._keys[slot] == keys[idx])
+
+            resolved = hit
+            slots[idx[resolved]] = slot[resolved]
+            unresolved = idx[~resolved]
+            probe_offset[unresolved] += 1
+            if unresolved.size and probe_offset[unresolved].max() >= self.capacity:
+                raise GLPError("GlobalHashTable is full")
+            pending = unresolved
+
+        np.add.at(self._counts, slots, weights)
+        return slots, total_probes
+
+    def estimate(self, keys: np.ndarray) -> np.ndarray:
+        """Exact counts of ``keys`` (0.0 for absent keys)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        result = np.zeros(keys.size, dtype=np.float64)
+        base = _hash_keys(keys, self.capacity)
+        for i in range(keys.size):
+            for probe in range(self.capacity):
+                slot = int((base[i] + probe) % self.capacity)
+                resident = self._keys[slot]
+                if resident == keys[i]:
+                    result[i] = self._counts[slot]
+                    break
+                if resident == _EMPTY:
+                    break
+        return result
+
+    def items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All resident ``(keys, counts)`` pairs."""
+        mask = self._keys != _EMPTY
+        return self._keys[mask].copy(), self._counts[mask].copy()

@@ -1,0 +1,133 @@
+"""Fixed-capacity open-addressing hash table (the shared-memory HT).
+
+``SharedMemBigNodes`` pairs this table with a CMS: every arriving label is
+first offered to the HT (``atomicAdd(HT, l, weight)``); if the label is
+absent and no free slot remains on its probe path, the insertion fails and
+the label falls through to the CMS.
+
+The table uses linear probing with a full-table probe bound, so an insertion
+fails only when the table is genuinely full — this makes the set of resident
+labels exactly "the first ``capacity`` distinct labels in arrival order",
+matching the random-order analysis of Lemma 1.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GLPError
+
+_EMPTY = np.int64(-1)
+_HASH_MULT = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _slot_hash(label: int, capacity: int) -> int:
+    mixed = (int(label) * _HASH_MULT) & _MASK64
+    mixed ^= mixed >> 29
+    return mixed % capacity
+
+
+class FixedCapacityHashTable:
+    """Open-addressing label→count table with a hard capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Number of slots ``h``.  The shared-memory footprint is
+        ``capacity * 8`` bytes on the device (4-byte label + 4-byte count).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise GLPError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._labels = np.full(capacity, _EMPTY, dtype=np.int64)
+        self._counts = np.zeros(capacity, dtype=np.float64)
+        self._size = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Shared-memory footprint on the device."""
+        return self.capacity * 8
+
+    @property
+    def size(self) -> int:
+        """Number of distinct labels currently stored."""
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size >= self.capacity
+
+    def clear(self) -> None:
+        self._labels.fill(_EMPTY)
+        self._counts.fill(0.0)
+        self._size = 0
+
+    def insert(self, label: int, weight: float = 1.0) -> Tuple[bool, float, int]:
+        """Offer ``(label, weight)`` to the table.
+
+        Returns ``(success, count_after, probes)``.  ``success`` is ``False``
+        only when the label is absent and the table is full; ``probes`` is
+        the number of slots inspected (the shared-memory ops the kernel
+        accounts).
+        """
+        if label < 0:
+            raise GLPError("labels must be non-negative")
+        start = _slot_hash(label, self.capacity)
+        for probe in range(self.capacity):
+            slot = (start + probe) % self.capacity
+            resident = self._labels[slot]
+            if resident == label:
+                self._counts[slot] += weight
+                return True, float(self._counts[slot]), probe + 1
+            if resident == _EMPTY:
+                self._labels[slot] = label
+                self._counts[slot] = weight
+                self._size += 1
+                return True, float(weight), probe + 1
+        return False, 0.0, self.capacity
+
+    def get(self, label: int) -> float:
+        """Current count of ``label`` (0.0 when absent)."""
+        start = _slot_hash(label, self.capacity)
+        for probe in range(self.capacity):
+            slot = (start + probe) % self.capacity
+            resident = self._labels[slot]
+            if resident == label:
+                return float(self._counts[slot])
+            if resident == _EMPTY:
+                return 0.0
+        return 0.0
+
+    def __contains__(self, label: int) -> bool:
+        return self.get(int(label)) > 0.0
+
+    def items(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All resident ``(labels, counts)`` as parallel arrays."""
+        mask = self._labels != _EMPTY
+        return self._labels[mask].copy(), self._counts[mask].copy()
+
+    def max_count(self) -> float:
+        """Largest stored count (0.0 when empty)."""
+        if self._size == 0:
+            return 0.0
+        mask = self._labels != _EMPTY
+        return float(self._counts[mask].max())
+
+
+def resident_prefix(
+    distinct_labels_in_arrival_order: np.ndarray, capacity: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split distinct labels into (HT-resident, overflow) sets.
+
+    With full-table probing, the HT holds exactly the first ``capacity``
+    distinct labels by arrival order; the rest overflow to the CMS.  This is
+    the closed form the vectorized kernel uses; its equivalence to the real
+    :class:`FixedCapacityHashTable` is asserted by property tests.
+    """
+    distinct = np.asarray(distinct_labels_in_arrival_order)
+    return distinct[:capacity], distinct[capacity:]

@@ -1,0 +1,142 @@
+"""Analytical bounds of Section 4.1 and their Monte-Carlo validators.
+
+The paper bounds the probability that ``SharedMemBigNodes`` must fall back
+to global memory for a vertex ``v``:
+
+* **Lemma 1** — the MFL ``l*`` misses the HT with probability at most
+  ``(1 - h/(m+k))^(2k)`` with ``k = (f_max - 1)/2`` (``m`` distinct labels,
+  ``h`` HT slots), under random arrival order with all non-MFL labels
+  appearing once.
+* **Lemma 2** — the CMS (depth ``d``, width ``w = 2s``) overestimates some
+  label past ``f_max`` with probability at most ``m * 2^-d``.
+* **Theorem 1** — global access probability is bounded by
+  ``m * 2^-d + e^-h`` as ``f_max -> inf`` and ``m <= (f_max - 1)/2``.
+
+The validators replay the exact random process of the proofs so the
+benchmark harness can plot bound-vs-measured curves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GLPError
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.hashtable import FixedCapacityHashTable
+
+
+def lemma1_bound(m: int, h: int, f_max: int) -> float:
+    """Upper bound on ``P[l* not in HT]`` from Lemma 1.
+
+    Parameters
+    ----------
+    m:
+        Number of distinct labels in ``N(v)``.
+    h:
+        HT capacity (buckets).
+    f_max:
+        Frequency of the most frequent label.
+    """
+    if m <= 0 or h <= 0 or f_max <= 0:
+        raise GLPError("m, h and f_max must be positive")
+    if m <= h:
+        return 0.0  # every distinct label fits in the HT
+    k = (f_max - 1) / 2.0
+    if k <= 0:
+        # f_max == 1: the MFL occupies one random position among m labels.
+        return (m - h) / m if m > h else 0.0
+    return float((1.0 - h / (m + k)) ** (2.0 * k))
+
+
+def lemma1_exact(m: int, h: int, f_max: int) -> float:
+    """Exact ``P[l* not in HT]`` for the proof's random process.
+
+    The product form from the proof:
+    ``prod_{i=0}^{f_max-1} (m+i-h)/(m+i)`` (0 when ``m <= h``).
+    """
+    if m <= h:
+        return 0.0
+    i = np.arange(f_max, dtype=np.float64)
+    factors = (m + i - h) / (m + i)
+    return float(np.clip(factors, 0.0, 1.0).prod())
+
+
+def lemma2_bound(m: int, d: int) -> float:
+    """Upper bound on ``P[max_l g(l) > f_max]`` from Lemma 2 (``m * 2^-d``)."""
+    if m <= 0 or d <= 0:
+        raise GLPError("m and d must be positive")
+    return float(min(1.0, m * 2.0 ** (-d)))
+
+
+def theorem1_bound(m: int, h: int, d: int) -> float:
+    """Theorem 1: bound on the global-memory-access probability."""
+    if m <= 0 or h <= 0 or d <= 0:
+        raise GLPError("m, h and d must be positive")
+    return float(min(1.0, m * 2.0 ** (-d) + np.exp(-h)))
+
+
+def simulate_mfl_misses_ht(
+    m: int,
+    h: int,
+    f_max: int,
+    *,
+    trials: int = 1000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo estimate of ``P[l* not in HT]`` for Lemma 1's process.
+
+    Builds the arrival sequence of the proof — ``m - 1`` singleton labels
+    plus ``f_max`` copies of the MFL, randomly ordered — and feeds it to the
+    real :class:`FixedCapacityHashTable`.
+    """
+    if trials <= 0:
+        raise GLPError("trials must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    misses = 0
+    mfl = 0
+    singletons = np.arange(1, m, dtype=np.int64)
+    for _ in range(trials):
+        sequence = np.concatenate(
+            [np.full(f_max, mfl, dtype=np.int64), singletons]
+        )
+        rng.shuffle(sequence)
+        table = FixedCapacityHashTable(h)
+        for label in sequence:
+            table.insert(int(label))
+        if mfl not in table:
+            misses += 1
+    return misses / trials
+
+
+def simulate_cms_overestimates(
+    m: int,
+    d: int,
+    f_max: int,
+    *,
+    trials: int = 200,
+    width: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Monte-Carlo estimate of ``P[max_l g(l) > f_max]`` (Lemma 2's event).
+
+    ``m`` singleton labels are inserted into a CMS of depth ``d`` and width
+    ``w`` (defaulting to Lemma 2's ``w = 2s = 2m``); the event fires when
+    some label's estimate exceeds ``f_max``.  Labels are drawn fresh each
+    trial so hash randomness is exercised through input randomness.
+    """
+    if trials <= 0:
+        raise GLPError("trials must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    w = width if width is not None else max(1, 2 * m)
+    hits = 0
+    for _ in range(trials):
+        labels = rng.integers(0, 2**31, size=m, dtype=np.int64)
+        sketch = CountMinSketch(d, w)
+        estimates = sketch.add(labels)
+        # Each label's true frequency is 1; overestimation past f_max means
+        # collisions inflated some estimate beyond the HT's best count.
+        if estimates.max(initial=0.0) > f_max:
+            hits += 1
+    return hits / trials

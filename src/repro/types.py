@@ -1,0 +1,66 @@
+"""Shared scalar types and dtype conventions.
+
+The whole library standardizes on:
+
+* ``VERTEX_DTYPE`` (int64) for vertex identifiers and CSR offsets — the paper
+  targets graphs beyond 2^31 edges, so 32-bit offsets would overflow.
+* ``LABEL_DTYPE`` (int64) for label values.  Labels start out equal to vertex
+  ids (classic LP initialization) and must therefore share the vertex range.
+* ``WEIGHT_DTYPE`` (float64) for edge weights and label scores.
+
+Keeping these in one module means every kernel, engine and test agrees on
+array dtypes without re-deriving them.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: dtype used for vertex ids, degrees and CSR offsets.
+VERTEX_DTYPE = np.int64
+
+#: dtype used for label values.
+LABEL_DTYPE = np.int64
+
+#: dtype used for edge weights and label scores.
+WEIGHT_DTYPE = np.float64
+
+#: Sentinel meaning "no label assigned" (used by seeded LP and SLP slots).
+NO_LABEL: int = -1
+
+#: Scalar type accepted wherever a vertex id is expected.
+VertexId = Union[int, np.integer]
+
+#: Scalar type accepted wherever a label is expected.
+Label = Union[int, np.integer]
+
+
+def _coerce_1d(values, dtype, copy: bool, kind: str) -> np.ndarray:
+    # np.asarray copies only when needed (dtype conversion); an explicit
+    # np.array(..., copy=True) forces a fresh buffer.
+    arr = (
+        np.array(values, dtype=dtype)
+        if copy
+        else np.asarray(values, dtype=dtype)
+    )
+    arr = np.atleast_1d(arr)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-D {kind} array, got shape {arr.shape}")
+    return arr
+
+
+def as_vertex_array(values, *, copy: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a 1-D ``VERTEX_DTYPE`` array."""
+    return _coerce_1d(values, VERTEX_DTYPE, copy, "vertex")
+
+
+def as_label_array(values, *, copy: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a 1-D ``LABEL_DTYPE`` array."""
+    return _coerce_1d(values, LABEL_DTYPE, copy, "label")
+
+
+def as_weight_array(values, *, copy: bool = False) -> np.ndarray:
+    """Coerce ``values`` to a 1-D ``WEIGHT_DTYPE`` array."""
+    return _coerce_1d(values, WEIGHT_DTYPE, copy, "weight")

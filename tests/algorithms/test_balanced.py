@@ -1,0 +1,85 @@
+"""Tests for the balanced LP extension variant."""
+
+import numpy as np
+import pytest
+
+from repro import GLPEngine
+from repro.algorithms import BalancedLP
+from repro.errors import ProgramError
+
+
+class TestConstruction:
+    def test_round_robin_init(self, two_cliques_graph):
+        program = BalancedLP(num_partitions=2)
+        labels = program.init_labels(two_cliques_graph)
+        assert np.bincount(labels).tolist() == [5, 5]
+
+    def test_invalid_params(self):
+        with pytest.raises(ProgramError):
+            BalancedLP(0)
+        with pytest.raises(ProgramError):
+            BalancedLP(2, penalty=-1)
+        with pytest.raises(ProgramError):
+            BalancedLP(2, slack=-0.1)
+
+    def test_more_partitions_than_vertices(self, triangle_graph):
+        program = BalancedLP(10)
+        labels = program.init_labels(triangle_graph)
+        with pytest.raises(ProgramError):
+            program.init_state(triangle_graph, labels)
+
+
+class TestBalancing:
+    def test_overflow_penalized_in_score(self, two_cliques_graph):
+        program = BalancedLP(2, penalty=3.0, slack=0.0)
+        labels = np.zeros(10, dtype=np.int64)  # everything in partition 0
+        program.init_state(two_cliques_graph, labels)
+        scores = program.score(
+            np.array([0, 0]), np.array([0, 1]), np.array([2.0, 2.0])
+        )
+        # Partition 0 is overloaded -> lower score than empty partition 1.
+        assert scores[0] < scores[1]
+
+    def test_partitions_stay_balanced(self, community_graph):
+        graph, _ = community_graph
+        program = BalancedLP(num_partitions=4, penalty=6.0)
+        GLPEngine().run(
+            graph, program, max_iterations=15, stop_on_convergence=False
+        )
+        assert program.imbalance() < 1.6
+
+    def test_locality_better_than_random(self, community_graph):
+        """Balanced LP keeps neighbors together: the edge cut beats the
+        round-robin starting point."""
+        graph, _ = community_graph
+        program = BalancedLP(num_partitions=4, penalty=6.0)
+        initial = program.init_labels(graph)
+        program.init_state(graph, initial)
+        initial_cut = program.edge_cut_fraction(graph, initial)
+        result = GLPEngine().run(
+            graph, program, max_iterations=15, stop_on_convergence=False
+        )
+        final_cut = program.edge_cut_fraction(graph, result.labels)
+        assert final_cut < initial_cut
+
+    def test_higher_penalty_tighter_balance(self, community_graph):
+        graph, _ = community_graph
+        loose = BalancedLP(num_partitions=4, penalty=0.0)
+        tight = BalancedLP(num_partitions=4, penalty=10.0)
+        GLPEngine().run(graph, loose, max_iterations=12,
+                        stop_on_convergence=False)
+        GLPEngine().run(graph, tight, max_iterations=12,
+                        stop_on_convergence=False)
+        assert tight.imbalance() <= loose.imbalance() + 1e-9
+
+    def test_sizes_sum_to_vertices(self, community_graph):
+        graph, _ = community_graph
+        program = BalancedLP(num_partitions=3)
+        GLPEngine().run(graph, program, max_iterations=8,
+                        stop_on_convergence=False)
+        assert program.partition_sizes.sum() == graph.num_vertices
+
+    def test_empty_graph_edge_cut(self, empty_graph):
+        program = BalancedLP(2)
+        labels = program.init_labels(empty_graph)
+        assert program.edge_cut_fraction(empty_graph, labels) == 0.0

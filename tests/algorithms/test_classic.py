@@ -1,0 +1,57 @@
+"""Tests for classic LP semantics."""
+
+import numpy as np
+
+from repro import ClassicLP, GLPEngine
+from repro.baselines import SerialEngine
+
+
+class TestClassicLP:
+    def test_recovers_planted_communities(self, community_graph):
+        graph, truth = community_graph
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=20)
+        # Majority-purity of found communities vs ground truth.
+        correct = 0
+        for label in np.unique(result.labels):
+            members = truth[result.labels == label]
+            counts = np.bincount(members)
+            correct += counts.max()
+        assert correct / graph.num_vertices > 0.9
+
+    def test_clique_converges_to_smallest_id(self):
+        """Deterministic tie-breaking pulls a clique to its smallest label."""
+        from repro.graph.builder import GraphBuilder
+
+        builder = GraphBuilder(num_vertices=5)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                builder.add_edge(i, j)
+        graph = builder.build(symmetrize=True)
+        result = SerialEngine().run(graph, ClassicLP(), max_iterations=20)
+        assert np.unique(result.labels).size == 1
+
+    def test_star_adopts_center_dynamics(self, star_graph):
+        result = SerialEngine().run(
+            star_graph, ClassicLP(), max_iterations=1,
+            stop_on_convergence=False,
+        )
+        # After one synchronous round every leaf copies the hub's label (0)
+        # and the hub takes the smallest leaf label (1).
+        assert result.labels[1:].tolist() == [0] * 8
+        assert result.labels[0] == 1
+
+    def test_frontier_safe_flag(self):
+        assert ClassicLP().frontier_safe
+
+    def test_iteration_count_bounded(self, community_graph):
+        graph, _ = community_graph
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=30)
+        assert result.num_iterations <= 30
+
+    def test_labels_always_valid_vertex_ids(self, powerlaw_graph):
+        result = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=10,
+            stop_on_convergence=False,
+        )
+        assert result.labels.min() >= 0
+        assert result.labels.max() < powerlaw_graph.num_vertices

@@ -1,0 +1,81 @@
+"""Tests for the LabelRank extension variant."""
+
+import numpy as np
+import pytest
+
+from repro import GLPEngine, LabelRankLP
+from repro.errors import ProgramError
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ProgramError):
+            LabelRankLP(inflation=0.5)
+        with pytest.raises(ProgramError):
+            LabelRankLP(cutoff=1.0)
+        with pytest.raises(ProgramError):
+            LabelRankLP(max_labels=0)
+
+
+class TestDynamics:
+    def test_finds_cliques(self, two_cliques_graph):
+        result = GLPEngine().run(
+            two_cliques_graph,
+            LabelRankLP(inflation=1.5),
+            max_iterations=30,
+        )
+        # Each clique coheres around a dominant label (a couple of border
+        # stragglers are normal for soft-label dynamics), and the two
+        # cliques end up with different majorities.
+        left = np.bincount(result.labels[:5]).argmax()
+        right = np.bincount(result.labels[5:]).argmax()
+        assert left != right
+        assert (result.labels[:5] == left).sum() >= 4
+        assert (result.labels[5:] == right).sum() >= 4
+
+    def test_recovers_planted_communities(self, community_graph):
+        graph, truth = community_graph
+        result = GLPEngine().run(
+            graph, LabelRankLP(), max_iterations=25,
+            stop_on_convergence=False,
+        )
+        correct = 0
+        for label in np.unique(result.labels):
+            members = truth[result.labels == label]
+            correct += np.bincount(members).max()
+        assert correct / graph.num_vertices > 0.8
+
+    def test_distributions_stay_normalized(self, two_cliques_graph):
+        program = LabelRankLP(max_labels=4)
+        GLPEngine().run(
+            two_cliques_graph, program, max_iterations=10,
+            stop_on_convergence=False,
+        )
+        probs = program._dist_probs
+        totals = probs.sum(axis=1)
+        assert np.all((np.isclose(totals, 1.0)) | (totals == 0.0))
+
+    def test_deterministic(self, community_graph):
+        graph, _ = community_graph
+        a = GLPEngine().run(
+            graph, LabelRankLP(), max_iterations=10,
+            stop_on_convergence=False,
+        ).labels
+        b = GLPEngine().run(
+            graph, LabelRankLP(), max_iterations=10,
+            stop_on_convergence=False,
+        ).labels
+        assert np.array_equal(a, b)
+
+    def test_higher_inflation_sharpens(self, community_graph):
+        """Stronger inflation concentrates distribution mass faster."""
+        graph, _ = community_graph
+        soft = LabelRankLP(inflation=1.1)
+        sharp = LabelRankLP(inflation=2.5)
+        GLPEngine().run(graph, soft, max_iterations=8,
+                        stop_on_convergence=False)
+        GLPEngine().run(graph, sharp, max_iterations=8,
+                        stop_on_convergence=False)
+        soft_mass = soft._dist_probs.max(axis=1).mean()
+        sharp_mass = sharp._dist_probs.max(axis=1).mean()
+        assert sharp_mass >= soft_mass

@@ -1,0 +1,81 @@
+"""Tests for layered LP."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine, LayeredLP
+from repro.errors import ProgramError
+
+
+class TestLLPScore:
+    def test_formula(self, triangle_graph):
+        program = LayeredLP(gamma=2.0)
+        labels = np.array([0, 0, 1], dtype=np.int64)
+        program.init_state(triangle_graph, labels)
+        # Label 0 volume=2, label 1 volume=1.
+        scores = program.score(
+            np.array([2, 2]),
+            np.array([0, 1]),
+            np.array([2.0, 1.0]),
+        )
+        # val = k - gamma * (v - k): label 0 -> 2 - 2*(2-2)=2;
+        # label 1 -> 1 - 2*(1-1)=1.
+        assert scores.tolist() == [2.0, 1.0]
+
+    def test_popular_label_penalized(self, triangle_graph):
+        program = LayeredLP(gamma=1.0)
+        labels = np.array([0, 0, 0], dtype=np.int64)
+        program.init_state(triangle_graph, labels)
+        # k=1 occurrence of a label held by all 3 vertices: 1 - 1*(3-1) = -1.
+        score = program.score(
+            np.array([1]), np.array([0]), np.array([1.0])
+        )[0]
+        assert score == -1.0
+
+    def test_gamma_zero_equals_classic(self, community_graph):
+        graph, _ = community_graph
+        classic = GLPEngine().run(
+            graph, ClassicLP(), max_iterations=10, stop_on_convergence=False
+        )
+        llp = GLPEngine().run(
+            graph, LayeredLP(gamma=0.0), max_iterations=10,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(classic.labels, llp.labels)
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ProgramError):
+            LayeredLP(gamma=-1.0)
+
+    def test_volumes_track_iterations(self, community_graph):
+        graph, _ = community_graph
+        program = LayeredLP(gamma=1.0)
+        GLPEngine().run(graph, program, max_iterations=5,
+                        stop_on_convergence=False)
+        assert program.label_volumes.sum() == graph.num_vertices
+
+
+class TestLLPGranularity:
+    def test_larger_gamma_finer_communities(self, community_graph):
+        """The paper's motivation: LLP resists giant communities; a nonzero
+        gamma yields more, smaller communities than classic LP (gamma=0).
+        Beyond gamma ~1 the granularity saturates on small graphs."""
+        graph, _ = community_graph
+        result_classic = GLPEngine().run(
+            graph, LayeredLP(gamma=0.0), max_iterations=15,
+            stop_on_convergence=False,
+        )
+        result_fine = GLPEngine().run(
+            graph, LayeredLP(gamma=4.0), max_iterations=15,
+            stop_on_convergence=False,
+        )
+        n_classic = np.unique(result_classic.labels).size
+        n_fine = np.unique(result_fine.labels).size
+        assert n_fine > n_classic
+        # Largest community shrinks too.
+        largest_classic = np.bincount(result_classic.labels).max()
+        largest_fine = np.bincount(result_fine.labels).max()
+        assert largest_fine <= largest_classic
+
+    def test_name_includes_gamma(self):
+        assert "4" in LayeredLP(gamma=4).name

@@ -1,0 +1,137 @@
+"""Tests for speaker-listener LP (SLPA)."""
+
+import numpy as np
+import pytest
+
+from repro import GLPEngine, SpeakerListenerLP
+from repro.errors import ProgramError
+from repro.types import NO_LABEL
+
+
+class TestMemoryMechanics:
+    def test_init_memory_seeded_with_own_label(self, triangle_graph):
+        program = SpeakerListenerLP(max_labels=3)
+        labels = program.init_labels(triangle_graph)
+        program.init_state(triangle_graph, labels)
+        mem_labels, mem_counts = program.memory
+        assert mem_labels[:, 0].tolist() == [0, 1, 2]
+        assert np.all(mem_counts[:, 0] == 1.0)
+        assert np.all(mem_labels[:, 1:] == NO_LABEL)
+
+    def test_listen_increments_existing(self, triangle_graph):
+        program = SpeakerListenerLP(max_labels=3)
+        labels = program.init_labels(triangle_graph)
+        program.init_state(triangle_graph, labels)
+        program.update_vertices(
+            np.array([0]),
+            np.array([0], dtype=np.int64),
+            np.array([1.0]),
+            labels,
+        )
+        _, mem_counts = program.memory
+        assert mem_counts[0, 0] == 2.0
+
+    def test_listen_inserts_new_label(self, triangle_graph):
+        program = SpeakerListenerLP(max_labels=3)
+        labels = program.init_labels(triangle_graph)
+        program.init_state(triangle_graph, labels)
+        program.update_vertices(
+            np.array([0]),
+            np.array([7], dtype=np.int64),
+            np.array([1.0]),
+            labels,
+        )
+        mem_labels, _ = program.memory
+        assert 7 in mem_labels[0]
+
+    def test_eviction_when_memory_full(self, triangle_graph):
+        program = SpeakerListenerLP(max_labels=2)
+        labels = program.init_labels(triangle_graph)
+        program.init_state(triangle_graph, labels)
+        for new_label in (10, 11, 12):
+            program.update_vertices(
+                np.array([0]),
+                np.array([new_label], dtype=np.int64),
+                np.array([1.0]),
+                labels,
+            )
+        mem_labels, _ = program.memory
+        assert mem_labels[0].size == 2
+        assert 12 in mem_labels[0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ProgramError):
+            SpeakerListenerLP(max_labels=0)
+        with pytest.raises(ProgramError):
+            SpeakerListenerLP(prune_threshold=1.0)
+
+
+class TestSpeaking:
+    def test_spoken_labels_come_from_memory(self, two_cliques_graph):
+        program = SpeakerListenerLP(max_labels=5, seed=3)
+        labels = program.init_labels(two_cliques_graph)
+        program.init_state(two_cliques_graph, labels)
+        spoken = program.pick_labels(two_cliques_graph, labels, 1)
+        mem_labels, _ = program.memory
+        for v in range(two_cliques_graph.num_vertices):
+            assert spoken[v] in mem_labels[v]
+
+    def test_deterministic_given_seed(self, two_cliques_graph):
+        runs = []
+        for _ in range(2):
+            program = SpeakerListenerLP(seed=11)
+            result = GLPEngine().run(
+                two_cliques_graph, program, max_iterations=10,
+                stop_on_convergence=False,
+            )
+            runs.append(result.labels)
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_never_converges_flag(self):
+        program = SpeakerListenerLP()
+        labels = np.array([1, 2], dtype=np.int64)
+        assert not program.converged(labels, labels.copy(), 5)
+
+
+class TestCommunities:
+    def test_finds_two_cliques(self, two_cliques_graph):
+        program = SpeakerListenerLP(max_labels=5, seed=0)
+        result = GLPEngine().run(
+            two_cliques_graph, program, max_iterations=30,
+            stop_on_convergence=False,
+        )
+        # The two cliques end dominated by different labels.
+        left = np.unique(result.labels[:5])
+        right = np.unique(result.labels[5:])
+        assert left.size <= 2 and right.size <= 2
+
+    def test_overlapping_output_structure(self, two_cliques_graph):
+        program = SpeakerListenerLP(max_labels=5, seed=0)
+        GLPEngine().run(
+            two_cliques_graph, program, max_iterations=20,
+            stop_on_convergence=False,
+        )
+        communities = program.overlapping_communities()
+        assert communities  # non-empty
+        members = [v for vs in communities.values() for v in vs]
+        assert set(members) <= set(range(10))
+
+    def test_max_labels_respected(self, community_graph):
+        graph, _ = community_graph
+        program = SpeakerListenerLP(max_labels=4, seed=1)
+        GLPEngine().run(graph, program, max_iterations=10,
+                        stop_on_convergence=False)
+        mem_labels, _ = program.memory
+        assert mem_labels.shape == (graph.num_vertices, 4)
+
+    def test_pruning_drops_weak_labels(self, community_graph):
+        graph, _ = community_graph
+        strict = SpeakerListenerLP(max_labels=5, prune_threshold=0.4, seed=2)
+        loose = SpeakerListenerLP(max_labels=5, prune_threshold=0.0, seed=2)
+        GLPEngine().run(graph, strict, max_iterations=10,
+                        stop_on_convergence=False)
+        GLPEngine().run(graph, loose, max_iterations=10,
+                        stop_on_convergence=False)
+        strict_labels = (strict.memory[0] != NO_LABEL).sum()
+        loose_labels = (loose.memory[0] != NO_LABEL).sum()
+        assert strict_labels <= loose_labels

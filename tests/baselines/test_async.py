@@ -1,0 +1,76 @@
+"""Tests for the block-asynchronous reference engine."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP
+from repro.baselines.cpu_serial import BlockAsyncSerialEngine, SerialEngine
+from repro.errors import ConvergenceError
+from repro.graph.builder import GraphBuilder
+
+
+def bipartite_path():
+    """A 2-path: synchronous LP oscillates, asynchronous LP settles."""
+    builder = GraphBuilder(num_vertices=2)
+    builder.add_edge(0, 1)
+    return builder.build(symmetrize=True)
+
+
+class TestBlockAsync:
+    def test_single_block_equals_synchronous_first_sweep(self, two_cliques_graph):
+        """With one block the async engine's sweep reads only pre-sweep
+        labels for its first (and only) block start — but within the block
+        it is still one vectorized synchronous step, matching SerialEngine
+        exactly."""
+        sync = SerialEngine().run(
+            two_cliques_graph, ClassicLP(), max_iterations=1,
+            stop_on_convergence=False,
+        )
+        async_one = BlockAsyncSerialEngine(num_blocks=1).run(
+            two_cliques_graph, ClassicLP(), max_iterations=1,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(sync.labels, async_one.labels)
+
+    def test_async_resolves_bipartite_oscillation(self):
+        graph = bipartite_path()
+        sync = SerialEngine().run(
+            graph, ClassicLP(), max_iterations=9, stop_on_convergence=False
+        )
+        # Synchronous: the two vertices swap labels forever.
+        assert not sync.converged
+        async_engine = BlockAsyncSerialEngine(num_blocks=2)
+        result = async_engine.run(graph, ClassicLP(), max_iterations=9)
+        assert result.converged
+        assert np.unique(result.labels).size == 1
+
+    def test_converges_at_least_as_fast(self, community_graph):
+        graph, _ = community_graph
+        sync = SerialEngine().run(graph, ClassicLP(), max_iterations=40)
+        async_result = BlockAsyncSerialEngine(num_blocks=8).run(
+            graph, ClassicLP(), max_iterations=40
+        )
+        assert async_result.converged
+        assert async_result.num_iterations <= sync.num_iterations + 2
+
+    def test_same_community_quality(self, community_graph):
+        graph, truth = community_graph
+        result = BlockAsyncSerialEngine(num_blocks=8).run(
+            graph, ClassicLP(), max_iterations=30
+        )
+        correct = 0
+        for label in np.unique(result.labels):
+            members = truth[result.labels == label]
+            correct += np.bincount(members).max()
+        assert correct / graph.num_vertices > 0.9
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ConvergenceError):
+            BlockAsyncSerialEngine(num_blocks=0)
+
+    def test_history_recorded(self, two_cliques_graph):
+        result = BlockAsyncSerialEngine(num_blocks=4).run(
+            two_cliques_graph, ClassicLP(), max_iterations=3,
+            record_history=True, stop_on_convergence=False,
+        )
+        assert len(result.history) == 3

@@ -1,0 +1,81 @@
+"""Tests for the G-Sort and G-Hash GPU baselines."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine, LayeredLP, SpeakerListenerLP
+from repro.baselines import GHashEngine, GSortEngine
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("engine_cls", [GSortEngine, GHashEngine])
+    def test_classic_lp(self, powerlaw_graph, engine_cls):
+        reference = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=8,
+            stop_on_convergence=False,
+        )
+        result = engine_cls().run(
+            powerlaw_graph, ClassicLP(), max_iterations=8,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(result.labels, reference.labels)
+
+    @pytest.mark.parametrize("engine_cls", [GSortEngine, GHashEngine])
+    def test_extended_variants(self, community_graph, engine_cls):
+        """Like the paper, the baselines are extended to run LLP and SLP."""
+        graph, _ = community_graph
+        for program_factory in (
+            lambda: LayeredLP(gamma=2.0),
+            lambda: SpeakerListenerLP(seed=2),
+        ):
+            reference = GLPEngine().run(
+                graph, program_factory(), max_iterations=5,
+                stop_on_convergence=False,
+            )
+            result = engine_cls().run(
+                graph, program_factory(), max_iterations=5,
+                stop_on_convergence=False,
+            )
+            assert np.array_equal(result.labels, reference.labels)
+
+
+class TestPerformanceShape:
+    def test_glp_beats_both_baselines(self, powerlaw_graph):
+        times = {}
+        for engine_cls in (GLPEngine, GSortEngine, GHashEngine):
+            result = engine_cls().run(
+                powerlaw_graph, ClassicLP(), max_iterations=8,
+                stop_on_convergence=False,
+            )
+            times[engine_cls.__name__] = result.seconds_per_iteration
+        assert times["GLPEngine"] < times["GSortEngine"]
+        assert times["GLPEngine"] < times["GHashEngine"]
+
+    def test_engine_names_in_results(self, two_cliques_graph):
+        gsort = GSortEngine().run(
+            two_cliques_graph, ClassicLP(), max_iterations=2
+        )
+        ghash = GHashEngine().run(
+            two_cliques_graph, ClassicLP(), max_iterations=2
+        )
+        assert gsort.engine == "G-Sort"
+        assert ghash.engine == "G-Hash"
+
+    def test_gsort_uses_sort_kernels(self, powerlaw_graph):
+        engine = GSortEngine()
+        engine.run(powerlaw_graph, ClassicLP(), max_iterations=2,
+                   stop_on_convergence=False)
+        names = {record.name for record in engine.device.timeline}
+        assert "gsort-segsort" in names
+        assert "gsort-gather" in names
+
+    def test_ghash_uses_global_kernel_only(self, powerlaw_graph):
+        engine = GHashEngine()
+        engine.run(powerlaw_graph, ClassicLP(), max_iterations=2,
+                   stop_on_convergence=False)
+        kernel_names = {
+            record.name
+            for record in engine.device.timeline
+            if record.name not in ("pick-label", "update-vertex")
+        }
+        assert kernel_names == {"global-hash"}

@@ -1,0 +1,121 @@
+"""Tests for the report renderers."""
+
+from repro.bench.report import format_bar_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1), ("b", 22)],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows equally wide
+
+    def test_number_formatting(self):
+        text = format_table(["x"], [(1_234_567,), (0.00001,), (3.14159,)])
+        assert "1,234,567" in text
+        assert "1e-05" in text
+        assert "3.14" in text
+
+    def test_no_title(self):
+        text = format_table(["a"], [(1,)])
+        assert text.splitlines()[0].strip() == "a"
+
+
+class TestFormatBarSeries:
+    def test_bars_scale_with_values(self):
+        text = format_bar_series(
+            {"ds": {"fast": 10.0, "slow": 1.0}}, width=20
+        )
+        lines = {
+            line.strip().split()[0]: line.count("#")
+            for line in text.splitlines()
+            if "#" in line
+        }
+        assert lines["fast"] > lines["slow"]
+        assert lines["fast"] == 20
+
+    def test_groups_listed(self):
+        text = format_bar_series(
+            {"g1": {"a": 1.0}, "g2": {"a": 2.0}}, title="T"
+        )
+        assert "g1:" in text and "g2:" in text
+        assert text.splitlines()[0] == "T"
+
+    def test_empty_series(self):
+        assert format_bar_series({}) == ""
+
+
+class TestRunnerHelpers:
+    def test_speedups_over_baseline(self):
+        from repro.bench.runner import SweepResult
+
+        sweep = SweepResult(
+            seconds={"ds": {"OMP": 2.0, "GLP": 0.5}},
+            label_checksums={},
+        )
+        speedups = sweep.speedups_over("OMP")
+        assert speedups["ds"]["GLP"] == 4.0
+        assert speedups["ds"]["OMP"] == 1.0
+
+    def test_missing_baseline_raises(self):
+        import pytest
+
+        from repro.bench.runner import SweepResult
+        from repro.errors import BenchmarkError
+
+        sweep = SweepResult(seconds={"ds": {"GLP": 1.0}}, label_checksums={})
+        with pytest.raises(BenchmarkError):
+            sweep.speedups_over("OMP")
+
+    def test_unknown_approach_rejected(self, two_cliques_graph):
+        import pytest
+
+        from repro import ClassicLP
+        from repro.bench.runner import run_approach
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            run_approach(
+                "CUDA-9000", two_cliques_graph, ClassicLP, max_iterations=1
+            )
+
+    def test_sweep_detects_divergence(self, two_cliques_graph):
+        """A broken engine is caught, not silently timed."""
+        import numpy as np
+        import pytest
+
+        from repro import ClassicLP
+        from repro.bench import runner
+        from repro.errors import BenchmarkError
+
+        class BrokenEngine:
+            name = "Broken"
+
+            def run(self, graph, program, **kwargs):
+                from repro.core.results import LPResult
+
+                return LPResult(
+                    labels=np.full(graph.num_vertices, 7, dtype=np.int64),
+                    iterations=[],
+                    converged=True,
+                )
+
+        original = dict(runner.APPROACH_FACTORIES)
+        runner.APPROACH_FACTORIES["Broken"] = BrokenEngine
+        try:
+            with pytest.raises(BenchmarkError, match="diverged"):
+                runner.sweep(
+                    {"g": two_cliques_graph},
+                    ["OMP", "Broken"],
+                    ClassicLP,
+                    max_iterations=2,
+                )
+        finally:
+            runner.APPROACH_FACTORIES.clear()
+            runner.APPROACH_FACTORIES.update(original)

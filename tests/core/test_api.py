@@ -1,0 +1,179 @@
+"""Tests for the LPProgram hook API and its validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import (
+    ElementwiseProgram,
+    LPProgram,
+    elementwise_program,
+    validate_program,
+)
+from repro.errors import ProgramError
+from repro.types import LABEL_DTYPE, WEIGHT_DTYPE
+
+
+class TestDefaults:
+    def test_init_labels_unique(self, triangle_graph):
+        labels = LPProgram().init_labels(triangle_graph)
+        assert labels.tolist() == [0, 1, 2]
+        assert labels.dtype == LABEL_DTYPE
+
+    def test_pick_labels_identity(self, triangle_graph):
+        program = LPProgram()
+        labels = np.array([5, 6, 7], dtype=LABEL_DTYPE)
+        assert np.array_equal(
+            program.pick_labels(triangle_graph, labels, 1), labels
+        )
+
+    def test_load_neighbor_passthrough(self):
+        program = LPProgram()
+        labels = np.array([1, 2], dtype=LABEL_DTYPE)
+        weights = np.array([0.5, 2.0])
+        out_labels, out_freqs = program.load_neighbor(
+            np.array([0, 0]), np.array([1, 2]), labels, weights
+        )
+        assert np.array_equal(out_labels, labels)
+        assert np.array_equal(out_freqs, weights)
+
+    def test_score_is_frequency(self):
+        program = LPProgram()
+        freqs = np.array([1.0, 3.0])
+        scores = program.score(np.zeros(2), np.zeros(2), freqs)
+        assert np.array_equal(scores, freqs)
+
+    def test_update_adopts_finite_scores(self):
+        program = LPProgram()
+        current = np.array([10, 11, 12], dtype=LABEL_DTYPE)
+        new = program.update_vertices(
+            np.array([0, 2]),
+            np.array([77, 88], dtype=LABEL_DTYPE),
+            np.array([1.0, -np.inf]),
+            current,
+        )
+        assert new.tolist() == [77, 11, 12]  # vertex 2 kept (no evidence)
+
+    def test_converged_on_fixpoint(self):
+        program = LPProgram()
+        labels = np.array([1, 2, 3], dtype=LABEL_DTYPE)
+        assert program.converged(labels, labels.copy(), 3)
+        assert not program.converged(labels, labels + 1, 3)
+
+
+class TestValidation:
+    def test_accepts_default_program(self, triangle_graph):
+        validate_program(LPProgram(), triangle_graph)
+
+    def test_rejects_bad_shape(self, triangle_graph):
+        class Bad(LPProgram):
+            def init_labels(self, graph):
+                return np.zeros(graph.num_vertices + 1, dtype=LABEL_DTYPE)
+
+        with pytest.raises(ProgramError, match="shape"):
+            validate_program(Bad(), triangle_graph)
+
+    def test_rejects_bad_dtype(self, triangle_graph):
+        class Bad(LPProgram):
+            def init_labels(self, graph):
+                return np.zeros(graph.num_vertices, dtype=np.float64)
+
+        with pytest.raises(ProgramError, match="dtype"):
+            validate_program(Bad(), triangle_graph)
+
+    def test_rejects_non_monotone_score(self, triangle_graph):
+        class Bad(LPProgram):
+            def score(self, vertex_ids, labels, frequencies):
+                return -frequencies
+
+        with pytest.raises(ProgramError, match="monotone"):
+            validate_program(Bad(), triangle_graph)
+
+    def test_rejects_wrong_score_arity(self, triangle_graph):
+        class Bad(LPProgram):
+            def score(self, vertex_ids, labels, frequencies):
+                return np.array([1.0])
+
+        with pytest.raises(ProgramError, match="one value"):
+            validate_program(Bad(), triangle_graph)
+
+    def test_empty_graph_ok(self):
+        from repro.graph.csr import CSRGraph
+
+        graph = CSRGraph(
+            offsets=np.zeros(1, dtype=np.int64),
+            indices=np.empty(0, dtype=np.int64),
+        )
+        validate_program(LPProgram(), graph)
+
+
+class TestElementwiseAdapter:
+    def test_scalar_score_hook(self, triangle_graph):
+        program = elementwise_program(
+            label_score=lambda vid, label, freq: freq * 2.0
+        )
+        scores = program.score(
+            np.array([0, 1]),
+            np.array([3, 4], dtype=LABEL_DTYPE),
+            np.array([1.0, 2.0]),
+        )
+        assert scores.tolist() == [2.0, 4.0]
+        assert scores.dtype == WEIGHT_DTYPE
+
+    def test_scalar_load_neighbor_hook(self):
+        program = elementwise_program(
+            load_neighbor=lambda vid, nid, label, weight: (label + 1, weight)
+        )
+        labels, freqs = program.load_neighbor(
+            np.array([0]), np.array([1]),
+            np.array([5], dtype=LABEL_DTYPE), np.array([1.0]),
+        )
+        assert labels.tolist() == [6]
+
+    def test_scalar_pick_label_hook(self, triangle_graph):
+        program = elementwise_program(pick_label=lambda vid, label: vid * 10)
+        picked = program.pick_labels(
+            triangle_graph, np.zeros(3, dtype=LABEL_DTYPE), 1
+        )
+        assert picked.tolist() == [0, 10, 20]
+
+    def test_scalar_update_hook(self):
+        program = elementwise_program(
+            update_vertex=lambda vid, label, score, current: (
+                label if score > 1 else current
+            )
+        )
+        out = program.update_vertices(
+            np.array([0, 1]),
+            np.array([7, 8], dtype=LABEL_DTYPE),
+            np.array([2.0, 0.5]),
+            np.array([0, 1], dtype=LABEL_DTYPE),
+        )
+        assert out.tolist() == [7, 1]
+
+    def test_defaults_without_hooks(self, triangle_graph):
+        program = ElementwiseProgram()
+        labels = np.array([1, 2, 3], dtype=LABEL_DTYPE)
+        assert np.array_equal(
+            program.pick_labels(triangle_graph, labels, 1), labels
+        )
+        scores = program.score(
+            np.zeros(2), np.zeros(2), np.array([1.0, 2.0])
+        )
+        assert scores.tolist() == [1.0, 2.0]
+
+    def test_elementwise_matches_vectorized_in_engine(self, two_cliques_graph):
+        """Differential: the scalar API and the vectorized default compute
+        the same classic LP."""
+        from repro import ClassicLP, GLPEngine
+
+        vectorized = GLPEngine().run(
+            two_cliques_graph, ClassicLP(), max_iterations=10
+        )
+        scalar = GLPEngine().run(
+            two_cliques_graph,
+            elementwise_program(
+                label_score=lambda vid, label, freq: freq
+            ),
+            max_iterations=10,
+        )
+        assert np.array_equal(vectorized.labels, scalar.labels)

@@ -1,0 +1,144 @@
+"""Tests for the GLP engine."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine
+from repro.baselines import SerialEngine
+from repro.errors import ConvergenceError, OutOfDeviceMemoryError
+from repro.gpusim.config import TITAN_V
+from repro.gpusim.device import Device
+
+
+class TestRunBasics:
+    def test_two_cliques_two_communities(self, two_cliques_graph):
+        result = GLPEngine().run(
+            two_cliques_graph, ClassicLP(), max_iterations=20
+        )
+        labels = result.labels
+        # Each clique collapses to one label.
+        assert np.unique(labels[:5]).size == 1
+        assert np.unique(labels[5:]).size == 1
+
+    def test_convergence_detection(self, two_cliques_graph):
+        result = GLPEngine().run(
+            two_cliques_graph, ClassicLP(), max_iterations=50
+        )
+        assert result.converged
+        assert result.num_iterations < 50
+        # The final iteration changed nothing.
+        assert result.iterations[-1].changed_vertices == 0
+
+    def test_stop_on_convergence_false_runs_budget(self, two_cliques_graph):
+        result = GLPEngine().run(
+            two_cliques_graph,
+            ClassicLP(),
+            max_iterations=12,
+            stop_on_convergence=False,
+        )
+        assert result.num_iterations == 12
+        assert not result.converged
+
+    def test_invalid_iteration_budget(self, triangle_graph):
+        with pytest.raises(ConvergenceError):
+            GLPEngine().run(triangle_graph, ClassicLP(), max_iterations=0)
+
+    def test_record_history(self, two_cliques_graph):
+        result = GLPEngine().run(
+            two_cliques_graph,
+            ClassicLP(),
+            max_iterations=5,
+            record_history=True,
+            stop_on_convergence=False,
+        )
+        assert len(result.history) == 5
+        assert np.array_equal(result.history[-1], result.labels)
+
+    def test_empty_edge_graph_is_fixpoint(self, empty_graph):
+        result = GLPEngine().run(empty_graph, ClassicLP(), max_iterations=5)
+        assert result.converged
+        assert result.num_iterations == 1
+        assert np.array_equal(
+            result.labels, np.arange(empty_graph.num_vertices)
+        )
+
+    def test_matches_serial_reference(self, powerlaw_graph):
+        gpu = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=10,
+            stop_on_convergence=False,
+        )
+        cpu = SerialEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=10,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(gpu.labels, cpu.labels)
+
+
+class TestDeviceInteraction:
+    def test_timing_recorded_per_iteration(self, powerlaw_graph):
+        result = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=3,
+            stop_on_convergence=False,
+        )
+        assert len(result.iterations) == 3
+        for stats in result.iterations:
+            assert stats.seconds > 0
+            assert stats.kernel_seconds > 0
+            assert stats.counters.global_transactions > 0
+
+    def test_device_memory_released_after_run(self, powerlaw_graph):
+        engine = GLPEngine()
+        engine.run(powerlaw_graph, ClassicLP(), max_iterations=2)
+        assert engine.device.allocated_bytes == 0
+
+    def test_oversized_graph_raises(self, powerlaw_graph):
+        tiny = Device(TITAN_V.with_memory(1024))
+        with pytest.raises(OutOfDeviceMemoryError):
+            GLPEngine(device=tiny).run(
+                powerlaw_graph, ClassicLP(), max_iterations=2
+            )
+
+    def test_reuse_engine_resets_timing(self, two_cliques_graph):
+        engine = GLPEngine()
+        first = engine.run(two_cliques_graph, ClassicLP(), max_iterations=3)
+        second = engine.run(two_cliques_graph, ClassicLP(), max_iterations=3)
+        assert second.total_seconds == pytest.approx(
+            first.total_seconds, rel=1e-9
+        )
+
+    def test_weighted_graph_on_device(self):
+        from repro.graph.builder import from_edge_arrays
+
+        # v0 hears label of v2 with weight 5 vs two weight-1 votes for v1's.
+        src = np.array([1, 1, 2])
+        dst = np.array([0, 0, 0])
+        graph = from_edge_arrays(
+            src, dst, 3, weights=np.array([1.0, 1.0, 5.0]), symmetrize=False
+        )
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=1,
+                                 stop_on_convergence=False)
+        assert result.labels[0] == 2
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self, powerlaw_graph):
+        runs = [
+            GLPEngine().run(
+                powerlaw_graph, ClassicLP(), max_iterations=8,
+                stop_on_convergence=False,
+            ).labels
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_counters_deterministic(self, powerlaw_graph):
+        results = [
+            GLPEngine().run(
+                powerlaw_graph, ClassicLP(), max_iterations=4,
+                stop_on_convergence=False,
+            )
+            for _ in range(2)
+        ]
+        a = results[0].total_counters.as_dict()
+        b = results[1].total_counters.as_dict()
+        assert a == b

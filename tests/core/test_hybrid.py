@@ -1,0 +1,134 @@
+"""Tests for the CPU-GPU hybrid engine."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine, SeededFraudLP
+from repro.core.hybrid import HybridEngine, run_auto
+from repro.errors import ConvergenceError, OutOfDeviceMemoryError
+from repro.gpusim.config import TITAN_V
+
+
+def small_spec_for(graph, fraction):
+    """A device sized so only ``fraction`` of the edges can stay resident.
+
+    Accounts for the engine's label-array overhead and safety margin so the
+    residency split lands near ``fraction`` even for tiny test graphs.
+    """
+    label_bytes = (graph.num_vertices + 1) * 8
+    budget = 4 * label_bytes + int(graph.indices.nbytes * fraction)
+    return TITAN_V.with_memory(int(budget / 0.9) + 1024)
+
+
+class TestHybridCorrectness:
+    def test_matches_pure_gpu_engine(self, powerlaw_graph):
+        pure = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=8,
+            stop_on_convergence=False,
+        )
+        hybrid = HybridEngine(
+            spec=small_spec_for(powerlaw_graph, 0.5)
+        ).run(
+            powerlaw_graph, ClassicLP(), max_iterations=8,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(pure.labels, hybrid.labels)
+
+    def test_matches_with_seeded_program(self, community_graph):
+        graph, truth = community_graph
+        seeds = {0: 100, 50: 200, 99: 300}
+        pure = GLPEngine().run(
+            graph, SeededFraudLP(seeds), max_iterations=10,
+            stop_on_convergence=False,
+        )
+        hybrid = HybridEngine(spec=small_spec_for(graph, 0.4)).run(
+            graph, SeededFraudLP(seeds), max_iterations=10,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(pure.labels, hybrid.labels)
+
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.75])
+    def test_any_residency_split_is_exact(self, powerlaw_graph, fraction):
+        reference = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        hybrid = HybridEngine(
+            spec=small_spec_for(powerlaw_graph, fraction)
+        ).run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(reference.labels, hybrid.labels)
+
+    def test_too_small_device_raises(self, powerlaw_graph):
+        engine = HybridEngine(spec=TITAN_V.with_memory(1024))
+        with pytest.raises(OutOfDeviceMemoryError):
+            engine.run(powerlaw_graph, ClassicLP(), max_iterations=2)
+
+    def test_invalid_memory_safety(self):
+        with pytest.raises(ConvergenceError):
+            HybridEngine(memory_safety=0.0)
+
+
+class TestHybridStats:
+    def test_stats_populated(self, powerlaw_graph):
+        engine = HybridEngine(spec=small_spec_for(powerlaw_graph, 0.5))
+        engine.run(
+            powerlaw_graph, ClassicLP(), max_iterations=5,
+            stop_on_convergence=False,
+        )
+        stats = engine.last_stats
+        assert stats is not None
+        assert 0 < stats.num_resident_chunks <= stats.num_chunks
+        assert 0.0 < stats.resident_edge_fraction < 1.0
+        assert stats.kernel_seconds > 0
+        assert 0.0 <= stats.transfer_fraction < 1.0
+
+    def test_full_residency_when_graph_fits(self, two_cliques_graph):
+        engine = HybridEngine(spec=TITAN_V)
+        engine.run(two_cliques_graph, ClassicLP(), max_iterations=3)
+        assert engine.last_stats.resident_edge_fraction == 1.0
+        assert engine.last_stats.cpu_seconds == 0.0
+
+    def test_frontier_shrinks_cpu_share(self, community_graph):
+        """After convergence sets in, the CPU's overflow share collapses
+        for frontier-safe programs."""
+        graph, _ = community_graph
+        engine = HybridEngine(spec=small_spec_for(graph, 0.4))
+        result = engine.run(
+            graph, ClassicLP(), max_iterations=15,
+            stop_on_convergence=False,
+        )
+        # Changed-vertex counts decay; late iterations are cheap.
+        changes = [s.changed_vertices for s in result.iterations]
+        assert changes[-1] < changes[0]
+
+    def test_device_memory_released(self, powerlaw_graph):
+        engine = HybridEngine(spec=small_spec_for(powerlaw_graph, 0.5))
+        engine.run(powerlaw_graph, ClassicLP(), max_iterations=3)
+        assert engine.device.allocated_bytes == 0
+
+
+class TestRunAuto:
+    def test_small_graph_uses_pure_engine(self, two_cliques_graph):
+        result, engine = run_auto(
+            two_cliques_graph, ClassicLP(), max_iterations=5
+        )
+        assert isinstance(engine, GLPEngine)
+        assert result.num_iterations >= 1
+
+    def test_oversized_graph_uses_hybrid(self, powerlaw_graph):
+        result, engine = run_auto(
+            powerlaw_graph,
+            ClassicLP(),
+            spec=small_spec_for(powerlaw_graph, 0.5),
+            max_iterations=5,
+            stop_on_convergence=False,
+        )
+        assert isinstance(engine, HybridEngine)
+        reference = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=5,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(result.labels, reference.labels)

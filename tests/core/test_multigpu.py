@@ -1,0 +1,78 @@
+"""Tests for the multi-GPU engine."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine
+from repro.core.multigpu import MultiGPUEngine
+from repro.errors import ConvergenceError
+
+
+class TestMultiGPUCorrectness:
+    @pytest.mark.parametrize("num_gpus", [1, 2, 3, 4])
+    def test_matches_single_gpu(self, powerlaw_graph, num_gpus):
+        reference = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        multi = MultiGPUEngine(num_gpus).run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        assert np.array_equal(reference.labels, multi.labels)
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ConvergenceError):
+            MultiGPUEngine(0)
+
+    def test_engine_name(self):
+        assert MultiGPUEngine(2).name == "GLP-2GPU"
+
+    def test_convergence_stops_early(self, two_cliques_graph):
+        result = MultiGPUEngine(2).run(
+            two_cliques_graph, ClassicLP(), max_iterations=50
+        )
+        assert result.converged
+        assert result.num_iterations < 50
+
+
+class TestMultiGPUScaling:
+    def test_two_gpus_faster_on_big_graph(self, powerlaw_graph):
+        single = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        dual = MultiGPUEngine(2).run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        assert dual.seconds_per_iteration < single.seconds_per_iteration
+
+    def test_speedup_below_linear(self, powerlaw_graph):
+        """The label exchange bounds scaling below 2x (paper: 1.8x)."""
+        single = GLPEngine().run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        dual = MultiGPUEngine(2).run(
+            powerlaw_graph, ClassicLP(), max_iterations=6,
+            stop_on_convergence=False,
+        )
+        speedup = (
+            single.seconds_per_iteration / dual.seconds_per_iteration
+        )
+        assert speedup < 2.05
+
+    def test_exchange_time_recorded(self, powerlaw_graph):
+        result = MultiGPUEngine(2).run(
+            powerlaw_graph, ClassicLP(), max_iterations=3,
+            stop_on_convergence=False,
+        )
+        assert any(s.transfer_seconds > 0 for s in result.iterations)
+
+    def test_single_gpu_has_no_exchange(self, powerlaw_graph):
+        result = MultiGPUEngine(1).run(
+            powerlaw_graph, ClassicLP(), max_iterations=3,
+            stop_on_convergence=False,
+        )
+        assert all(s.transfer_seconds == 0 for s in result.iterations)

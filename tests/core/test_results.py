@@ -1,0 +1,60 @@
+"""Tests for LPResult containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import IterationStats, LPResult
+from repro.gpusim.counters import PerfCounters
+
+
+def make_result(labels, seconds_list):
+    iterations = [
+        IterationStats(
+            iteration=i + 1,
+            seconds=s,
+            kernel_seconds=s,
+            transfer_seconds=0.0,
+            changed_vertices=0,
+            counters=PerfCounters(global_load_transactions=10),
+        )
+        for i, s in enumerate(seconds_list)
+    ]
+    return LPResult(
+        labels=np.asarray(labels), iterations=iterations, converged=True
+    )
+
+
+class TestTimings:
+    def test_totals(self):
+        result = make_result([0, 0, 1], [0.5, 1.5])
+        assert result.total_seconds == 2.0
+        assert result.seconds_per_iteration == 1.0
+        assert result.num_iterations == 2
+
+    def test_empty_iterations(self):
+        result = LPResult(
+            labels=np.array([0]), iterations=[], converged=False
+        )
+        assert result.total_seconds == 0.0
+        assert result.seconds_per_iteration == 0.0
+
+    def test_total_counters_sum(self):
+        result = make_result([0], [1.0, 1.0, 1.0])
+        assert result.total_counters.global_load_transactions == 30
+
+
+class TestCommunities:
+    def test_grouping(self):
+        result = make_result([5, 5, 9, 5, 9], [1.0])
+        communities = result.communities()
+        assert sorted(communities) == [5, 9]
+        assert sorted(communities[5].tolist()) == [0, 1, 3]
+        assert sorted(communities[9].tolist()) == [2, 4]
+
+    def test_sizes_descending(self):
+        result = make_result([1, 1, 1, 2, 2, 3], [1.0])
+        assert result.community_sizes().tolist() == [3, 2, 1]
+
+    def test_singleton_labels(self):
+        result = make_result([0, 1, 2], [1.0])
+        assert len(result.communities()) == 3

@@ -1,0 +1,91 @@
+"""Tests for the atomic serialization model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.atomics import AtomicsModel, serialization_cost
+from repro.gpusim.config import DeviceSpec
+from repro.gpusim.counters import PerfCounters
+
+
+@pytest.fixture
+def atomics():
+    counters = PerfCounters()
+    return AtomicsModel(DeviceSpec(), counters), counters
+
+
+class TestSerializationCost:
+    def test_conflict_free_warp(self):
+        # 32 lanes, 32 distinct addresses: one issue, no retries.
+        addresses = np.arange(32)
+        warps = np.zeros(32, dtype=np.int64)
+        total, serialized = serialization_cost(addresses, warps)
+        assert total == 32
+        assert serialized == 1  # max multiplicity is 1
+
+    def test_full_conflict_warp(self):
+        # All 32 lanes hit the same counter: fully serialized.
+        addresses = np.zeros(32, dtype=np.int64)
+        warps = np.zeros(32, dtype=np.int64)
+        _, serialized = serialization_cost(addresses, warps)
+        assert serialized == 32
+
+    def test_partial_conflict(self):
+        addresses = np.array([0, 0, 0, 1, 1, 2])
+        warps = np.zeros(6, dtype=np.int64)
+        _, serialized = serialization_cost(addresses, warps)
+        assert serialized == 3  # max multiplicity
+
+    def test_per_warp_independence(self):
+        addresses = np.array([0, 0, 0, 0])
+        warps = np.array([0, 0, 1, 1])
+        _, serialized = serialization_cost(addresses, warps)
+        assert serialized == 4  # 2 per warp
+
+    def test_empty(self):
+        total, serialized = serialization_cost(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert (total, serialized) == (0, 0)
+
+    def test_large_warp_ids_no_overflow(self):
+        addresses = np.array([5, 5])
+        warps = np.array([1 << 50, 1 << 50], dtype=np.int64)
+        _, serialized = serialization_cost(addresses, warps)
+        assert serialized == 2
+
+
+class TestAtomicsModel:
+    def test_global_atomic_counts_transactions(self, atomics):
+        model, counters = atomics
+        model.global_atomic_add(np.arange(32) * 100, 8)
+        assert counters.global_atomic_ops > 0
+        assert counters.global_atomic_serialized_ops >= 1
+        assert counters.shared_atomic_serialized_ops == 0
+
+    def test_global_atomic_conflicts_serialize(self, atomics):
+        model, counters = atomics
+        model.global_atomic_add(np.zeros(32, dtype=np.int64), 8)
+        assert counters.global_atomic_serialized_ops == 32
+
+    def test_shared_atomic_counts_ops(self, atomics):
+        model, counters = atomics
+        model.shared_atomic_add(np.array([0, 0, 1, 2]))
+        assert counters.shared_store_ops == 4
+        assert counters.shared_atomic_serialized_ops == 2
+        assert counters.global_atomic_ops == 0
+
+    def test_label_concentration_raises_serialization(self, atomics):
+        """The mechanism behind Table 3: converged labels hammer the same
+        counter, serializing global atomics."""
+        model, counters = atomics
+        rng = np.random.default_rng(0)
+        diverse = rng.integers(0, 1000, 320)
+        model.global_atomic_add(diverse, 8)
+        diverse_cost = counters.global_atomic_serialized_ops
+
+        counters.reset()
+        concentrated = rng.integers(0, 3, 320)
+        model.global_atomic_add(concentrated, 8)
+        concentrated_cost = counters.global_atomic_serialized_ops
+        assert concentrated_cost > 2 * diverse_cost

@@ -1,0 +1,44 @@
+"""Tests for thread-block helpers (BlockReduce)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.gpusim.block import BlockConfig, block_reduce_max, block_reduce_max_cost
+from repro.gpusim.config import TITAN_V
+from repro.gpusim.counters import PerfCounters
+
+
+class TestBlockConfig:
+    def test_num_warps(self):
+        assert BlockConfig(256).num_warps(32) == 8
+        assert BlockConfig(33).num_warps(32) == 2
+        assert BlockConfig(1).num_warps(32) == 1
+
+    def test_invalid(self):
+        with pytest.raises(KernelError):
+            BlockConfig(0)
+
+
+class TestBlockReduce:
+    def test_functional_max(self):
+        assert block_reduce_max(np.array([3.0, 9.0, 1.0]), -np.inf) == 9.0
+        assert block_reduce_max(np.empty(0), -np.inf) == -np.inf
+
+    def test_cost_accounting(self):
+        counters = PerfCounters()
+        block_reduce_max_cost(10, BlockConfig(256), TITAN_V, counters)
+        assert counters.warp_instructions > 0
+        assert counters.shared_store_ops == 10 * 8  # one partial per warp
+        assert counters.shared_load_ops == 10 * 8
+
+    def test_cost_scales_with_blocks(self):
+        a, b = PerfCounters(), PerfCounters()
+        block_reduce_max_cost(5, BlockConfig(256), TITAN_V, a)
+        block_reduce_max_cost(10, BlockConfig(256), TITAN_V, b)
+        assert b.warp_instructions == 2 * a.warp_instructions
+
+    def test_zero_blocks_free(self):
+        counters = PerfCounters()
+        block_reduce_max_cost(0, BlockConfig(256), TITAN_V, counters)
+        assert counters.warp_instructions == 0

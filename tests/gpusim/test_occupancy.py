@@ -1,0 +1,61 @@
+"""Tests for the occupancy estimator."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.gpusim.config import TITAN_V
+from repro.gpusim.occupancy import (
+    MAX_WARPS_PER_SM,
+    estimate_occupancy,
+    strategy_occupancy,
+)
+from repro.kernels.base import GLP_DEFAULT, StrategyConfig
+
+
+class TestEstimate:
+    def test_warp_limited_without_shared(self):
+        report = estimate_occupancy(256, 0)
+        assert report.limiter == "warps"
+        assert report.warps_per_sm == MAX_WARPS_PER_SM
+        assert report.occupancy == 1.0
+
+    def test_block_limited_for_tiny_blocks(self):
+        report = estimate_occupancy(32, 0)
+        assert report.limiter == "blocks"
+        assert report.blocks_per_sm == 32
+        assert report.occupancy == 0.5  # 32 blocks x 1 warp / 64 slots
+
+    def test_shared_memory_limited(self):
+        # Half the SM's shared memory per block -> 2 blocks resident.
+        report = estimate_occupancy(256, TITAN_V.shared_mem_per_block // 2)
+        assert report.limiter == "shared-memory"
+        assert report.blocks_per_sm == 2
+
+    def test_occupancy_decreases_with_shared_usage(self):
+        small = estimate_occupancy(256, 8 * 1024)
+        big = estimate_occupancy(256, 40 * 1024)
+        assert big.occupancy <= small.occupancy
+
+    def test_invalid_inputs(self):
+        with pytest.raises(KernelError):
+            estimate_occupancy(100, 0)  # not a warp multiple
+        with pytest.raises(KernelError):
+            estimate_occupancy(256, -1)
+        with pytest.raises(KernelError):
+            estimate_occupancy(256, TITAN_V.shared_mem_per_block + 1)
+
+
+class TestStrategyOccupancy:
+    def test_default_config_keeps_healthy_occupancy(self):
+        """The paper's h=512/d=4/w=512 budget leaves several blocks per SM."""
+        report = strategy_occupancy(GLP_DEFAULT)
+        assert report.blocks_per_sm >= 4
+        assert report.occupancy >= 0.5
+
+    def test_oversized_sketches_tank_occupancy(self):
+        greedy = StrategyConfig(
+            ht_capacity=4096, cms_depth=8, cms_width=1024
+        )
+        report = strategy_occupancy(greedy)
+        assert report.limiter == "shared-memory"
+        assert report.occupancy < strategy_occupancy(GLP_DEFAULT).occupancy

@@ -1,0 +1,75 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SharedMemoryError
+from repro.gpusim.config import DeviceSpec
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.sharedmem import SharedMemoryModel, bank_conflict_replays
+
+
+@pytest.fixture
+def shared():
+    counters = PerfCounters()
+    return SharedMemoryModel(DeviceSpec(), counters), counters
+
+
+class TestBankConflicts:
+    def test_conflict_free_stride_one(self):
+        # 32 lanes, consecutive words: each bank touched once.
+        addresses = np.arange(32)
+        warps = np.zeros(32, dtype=np.int64)
+        assert bank_conflict_replays(addresses, warps, 32) == 0
+
+    def test_stride_two_halves_banks(self):
+        # Stride-2: words 0,2,...,62 -> banks 0,2,... each hit twice by
+        # distinct addresses -> one replay.
+        addresses = np.arange(32) * 2
+        warps = np.zeros(32, dtype=np.int64)
+        assert bank_conflict_replays(addresses, warps, 32) == 1
+
+    def test_stride_32_worst_case(self):
+        # All lanes in bank 0 with distinct addresses: 31 replays.
+        addresses = np.arange(32) * 32
+        warps = np.zeros(32, dtype=np.int64)
+        assert bank_conflict_replays(addresses, warps, 32) == 31
+
+    def test_same_address_broadcasts(self):
+        # Identical addresses broadcast: no conflict.
+        addresses = np.zeros(32, dtype=np.int64)
+        warps = np.zeros(32, dtype=np.int64)
+        assert bank_conflict_replays(addresses, warps, 32) == 0
+
+    def test_per_warp_isolation(self):
+        addresses = np.concatenate([np.arange(32) * 32, np.arange(32)])
+        warps = np.concatenate(
+            [np.zeros(32), np.ones(32)]
+        ).astype(np.int64)
+        assert bank_conflict_replays(addresses, warps, 32) == 31
+
+    def test_empty(self):
+        assert bank_conflict_replays(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        ) == 0
+
+
+class TestSharedMemoryModel:
+    def test_capacity_check(self, shared):
+        model, _ = shared
+        model.check_allocation(96 * 1024)  # exactly fits
+        with pytest.raises(SharedMemoryError):
+            model.check_allocation(96 * 1024 + 1)
+
+    def test_load_counts_ops_and_conflicts(self, shared):
+        model, counters = shared
+        model.load(np.arange(32) * 32)
+        assert counters.shared_load_ops == 32
+        assert counters.shared_bank_conflicts == 31
+
+    def test_store_counts_separately(self, shared):
+        model, counters = shared
+        model.store(np.arange(16))
+        assert counters.shared_store_ops == 16
+        assert counters.shared_load_ops == 0
+        assert counters.shared_bank_conflicts == 0

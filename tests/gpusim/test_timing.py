@@ -1,0 +1,113 @@
+"""Tests for the roofline timing model and counters."""
+
+import pytest
+
+from repro.gpusim.config import TITAN_V
+from repro.gpusim.counters import PerfCounters
+from repro.gpusim.timing import (
+    KernelTiming,
+    compute_cycles,
+    kernel_time,
+    transfer_time,
+)
+
+
+class TestCounters:
+    def test_add_and_copy(self):
+        a = PerfCounters(global_load_transactions=5, warp_instructions=2)
+        b = PerfCounters(global_load_transactions=3)
+        c = a + b
+        assert c.global_load_transactions == 8
+        assert c.warp_instructions == 2
+        assert a.global_load_transactions == 5  # inputs untouched
+
+    def test_delta_since(self):
+        base = PerfCounters(global_load_transactions=10)
+        later = PerfCounters(global_load_transactions=25, warps_launched=4)
+        delta = later.delta_since(base)
+        assert delta.global_load_transactions == 15
+        assert delta.warps_launched == 4
+
+    def test_reset(self):
+        counters = PerfCounters(h2d_bytes=100)
+        counters.reset()
+        assert counters.h2d_bytes == 0
+
+    def test_global_transactions_property(self):
+        counters = PerfCounters(
+            global_load_transactions=1,
+            global_store_transactions=2,
+            global_atomic_ops=3,
+        )
+        assert counters.global_transactions == 6
+
+    def test_lane_utilization(self):
+        counters = PerfCounters(warp_instructions=10, active_lane_sum=160)
+        assert counters.lane_utilization == 0.5
+        assert PerfCounters().lane_utilization == 0.0
+
+    def test_as_dict_roundtrip(self):
+        counters = PerfCounters(shared_load_ops=7)
+        assert counters.as_dict()["shared_load_ops"] == 7
+
+
+class TestRoofline:
+    def test_memory_bound_kernel(self):
+        delta = PerfCounters(global_load_transactions=1_000_000)
+        timing = kernel_time(delta, TITAN_V)
+        assert timing.memory_bound
+        expected = 1_000_000 * 32 / TITAN_V.mem_bandwidth
+        assert timing.memory_seconds == pytest.approx(expected)
+        assert timing.total_seconds >= timing.memory_seconds
+
+    def test_compute_bound_kernel(self):
+        delta = PerfCounters(warp_instructions=10_000_000)
+        timing = kernel_time(delta, TITAN_V)
+        assert not timing.memory_bound
+        expected = 10_000_000 / TITAN_V.warp_throughput
+        assert timing.compute_seconds == pytest.approx(expected)
+
+    def test_max_not_sum(self):
+        delta = PerfCounters(
+            global_load_transactions=1_000_000,
+            warp_instructions=10_000_000,
+        )
+        timing = kernel_time(delta, TITAN_V)
+        assert timing.total_seconds == pytest.approx(
+            max(timing.compute_seconds, timing.memory_seconds)
+            + TITAN_V.kernel_launch_overhead
+        )
+
+    def test_atomic_serialization_costs_differ(self):
+        shared = PerfCounters(shared_atomic_serialized_ops=1000)
+        glob = PerfCounters(global_atomic_serialized_ops=1000)
+        assert compute_cycles(glob, TITAN_V) > 5 * compute_cycles(
+            shared, TITAN_V
+        )
+
+    def test_bank_conflicts_add_cycles(self):
+        clean = PerfCounters(shared_load_ops=3200)
+        conflicted = PerfCounters(
+            shared_load_ops=3200, shared_bank_conflicts=3100
+        )
+        assert compute_cycles(conflicted, TITAN_V) > compute_cycles(
+            clean, TITAN_V
+        )
+
+    def test_empty_kernel_costs_launch_overhead(self):
+        timing = kernel_time(PerfCounters(), TITAN_V)
+        assert timing.total_seconds == TITAN_V.kernel_launch_overhead
+
+
+class TestTransferTime:
+    def test_zero_bytes_free(self):
+        assert transfer_time(0, TITAN_V) == 0.0
+
+    def test_latency_plus_bandwidth(self):
+        t = transfer_time(12_000_000, TITAN_V)
+        assert t == pytest.approx(
+            TITAN_V.pcie_latency + 12_000_000 / TITAN_V.pcie_bandwidth
+        )
+
+    def test_monotone_in_bytes(self):
+        assert transfer_time(2_000, TITAN_V) > transfer_time(1_000, TITAN_V)

@@ -1,0 +1,138 @@
+"""Tests for the bit-exact warp intrinsics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.gpusim import warp
+
+
+def full(shape):
+    return np.ones(shape, dtype=bool)
+
+
+class TestBallotSync:
+    def test_all_true(self):
+        mask = warp.ballot_sync(full((1, 8)), full((1, 8)))
+        assert mask[0] == 0xFF
+
+    def test_predicate_subset(self):
+        pred = np.array([[True, False, True, False]])
+        mask = warp.ballot_sync(full((1, 4)), pred)
+        assert mask[0] == 0b0101
+
+    def test_inactive_lanes_excluded(self):
+        active = np.array([[True, True, False, False]])
+        mask = warp.ballot_sync(active, full((1, 4)))
+        assert mask[0] == 0b0011
+
+    def test_multiple_warps_independent(self):
+        active = full((3, 4))
+        pred = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [1, 1, 1, 1]], dtype=bool
+        )
+        masks = warp.ballot_sync(active, pred)
+        assert masks.tolist() == [0b0001, 0b0010, 0b1111]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(KernelError):
+            warp.ballot_sync(full((1, 4)), full((1, 5)))
+
+    def test_requires_2d(self):
+        with pytest.raises(KernelError):
+            warp.ballot_sync(np.ones(4, dtype=bool), np.ones(4, dtype=bool))
+
+
+class TestMatchAnySync:
+    def test_paper_example(self):
+        """The Figure 3 walk-through: warp of 10 lanes, vertices 1,2,3."""
+        # Lanes 0-1: vertex 1; lanes 2-4: vertex 2; 5-8: vertex 3; 9 idle.
+        vertex = np.array([[1, 1, 2, 2, 2, 3, 3, 3, 3, 0]])
+        active = np.array([[True] * 9 + [False]])
+        vmask = warp.match_any_sync(active, vertex)
+        assert vmask[0, 0] == 0b0000000011
+        assert vmask[0, 2] == 0b0000011100
+        assert vmask[0, 5] == 0b0111100000
+        assert vmask[0, 9] == 0  # idle lane
+
+        # Labels: thread 2 holds label A of vertex 2; only thread 4 shares.
+        label = np.array([[7, 7, 10, 11, 10, 20, 21, 20, 20, 0]])
+        combined = vertex * 100 + label
+        lmask = warp.match_any_sync(active, combined)
+        assert lmask[0, 2] == 0b0000010100  # threads 2 and 4
+        assert warp.popc(lmask)[0, 2] == 2  # frequency of label A at v2
+
+    def test_all_distinct(self):
+        values = np.arange(8).reshape(1, 8)
+        masks = warp.match_any_sync(full((1, 8)), values)
+        expected = [1 << i for i in range(8)]
+        assert masks[0].tolist() == expected
+
+    def test_all_equal(self):
+        values = np.zeros((1, 8), dtype=np.int64)
+        masks = warp.match_any_sync(full((1, 8)), values)
+        assert all(m == 0xFF for m in masks[0])
+
+    def test_inactive_lane_not_matched(self):
+        values = np.zeros((1, 4), dtype=np.int64)
+        active = np.array([[True, True, True, False]])
+        masks = warp.match_any_sync(active, values)
+        assert masks[0, 0] == 0b0111
+        assert masks[0, 3] == 0
+
+
+class TestPopcAndFfs:
+    def test_popc_basic(self):
+        assert warp.popc(np.array([0b1011], dtype=np.uint64))[0] == 3
+        assert warp.popc(np.array([0], dtype=np.uint64))[0] == 0
+
+    def test_popc_matches_python_bitcount(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 2**63, size=50, dtype=np.uint64)
+        counts = warp.popc(values)
+        for value, count in zip(values, counts):
+            assert count == bin(int(value)).count("1")
+
+    def test_ffs(self):
+        assert warp.ffs(np.array([0b1000], dtype=np.uint64))[0] == 4
+        assert warp.ffs(np.array([1], dtype=np.uint64))[0] == 1
+        assert warp.ffs(np.array([0], dtype=np.uint64))[0] == 0
+
+    def test_lane_masks_lt(self):
+        masks = warp.lane_masks_lt(4)
+        assert masks.tolist() == [0b0000, 0b0001, 0b0011, 0b0111]
+
+
+class TestShuffles:
+    def test_shfl_broadcast(self):
+        values = np.array([[10, 20, 30, 40]])
+        out = warp.shfl_sync(full((1, 4)), values, 2)
+        assert out[0].tolist() == [30, 30, 30, 30]
+
+    def test_shfl_bad_lane(self):
+        with pytest.raises(KernelError):
+            warp.shfl_sync(full((1, 4)), np.zeros((1, 4)), 4)
+
+    def test_shfl_down(self):
+        values = np.array([[1, 2, 3, 4]])
+        out = warp.shfl_down_sync(full((1, 4)), values, 1)
+        # Lanes past the end keep their own value (CUDA semantics).
+        assert out[0].tolist() == [2, 3, 4, 4]
+
+    def test_shfl_down_zero_delta(self):
+        values = np.array([[1, 2, 3, 4]])
+        out = warp.shfl_down_sync(full((1, 4)), values, 0)
+        assert out[0].tolist() == [1, 2, 3, 4]
+
+    def test_warp_reduce_max(self):
+        values = np.array([[5.0, -1.0, 9.0, 2.0], [0.0, 0.0, 0.0, 0.0]])
+        active = np.array(
+            [[True, True, True, True], [False, False, False, False]]
+        )
+        out = warp.warp_reduce_max(active, values, -np.inf)
+        assert out[0] == 9.0
+        assert out[1] == -np.inf
+
+    def test_full_mask(self):
+        assert warp.full_mask(32) == 0xFFFFFFFF
+        assert warp.full_mask(8) == 0xFF

@@ -1,0 +1,131 @@
+"""Tests for GraphBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, from_edge_arrays
+
+
+class TestBasicBuilding:
+    def test_add_single_edges(self):
+        builder = GraphBuilder(num_vertices=3)
+        builder.add_edge(0, 1)
+        builder.add_edge(1, 2)
+        graph = builder.build()
+        # Incoming adjacency: 1's in-neighbor is 0, 2's is 1.
+        assert graph.neighbors(1).tolist() == [0]
+        assert graph.neighbors(2).tolist() == [1]
+        assert graph.neighbors(0).tolist() == []
+
+    def test_add_edges_batch(self):
+        graph = from_edge_arrays(
+            np.array([0, 1, 2]), np.array([1, 2, 0]), 3
+        )
+        assert graph.num_edges == 3
+
+    def test_symmetrize(self):
+        graph = from_edge_arrays(
+            np.array([0]), np.array([1]), 2, symmetrize=True
+        )
+        assert graph.neighbors(0).tolist() == [1]
+        assert graph.neighbors(1).tolist() == [0]
+
+    def test_dedup_keeps_one(self):
+        builder = GraphBuilder(num_vertices=2)
+        builder.add_edges(np.array([0, 0, 0]), np.array([1, 1, 1]))
+        graph = builder.build(dedup=True)
+        assert graph.num_edges == 1
+
+    def test_dedup_sums_weights(self):
+        builder = GraphBuilder(num_vertices=2)
+        builder.add_edges(
+            np.array([0, 0]), np.array([1, 1]), weights=np.array([1.5, 2.5])
+        )
+        graph = builder.build(dedup=True)
+        assert graph.weights.tolist() == [4.0]
+
+    def test_no_dedup(self):
+        builder = GraphBuilder(num_vertices=2)
+        builder.add_edges(np.array([0, 0]), np.array([1, 1]))
+        graph = builder.build(dedup=False)
+        assert graph.num_edges == 2
+
+    def test_self_loops_dropped_by_default(self):
+        builder = GraphBuilder(num_vertices=2)
+        builder.add_edge(0, 0)
+        builder.add_edge(0, 1)
+        graph = builder.build()
+        assert graph.num_edges == 1
+
+    def test_self_loops_kept_on_request(self):
+        builder = GraphBuilder(num_vertices=1)
+        builder.add_edge(0, 0)
+        graph = builder.build(drop_self_loops=False)
+        assert graph.num_edges == 1
+
+    def test_neighbors_sorted(self):
+        builder = GraphBuilder(num_vertices=4)
+        builder.add_edges(np.array([3, 1, 2]), np.array([0, 0, 0]))
+        graph = builder.build()
+        assert graph.neighbors(0).tolist() == [1, 2, 3]
+
+    def test_empty_build(self):
+        graph = GraphBuilder(num_vertices=4).build()
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 0
+
+    def test_zero_vertices(self):
+        graph = GraphBuilder(num_vertices=0).build()
+        assert graph.num_vertices == 0
+
+
+class TestIdInterning:
+    def test_hashable_ids_compacted(self):
+        builder = GraphBuilder()
+        builder.add_edge("alice", "bob")
+        builder.add_edge("bob", "carol")
+        graph = builder.build()
+        assert graph.num_vertices == 3
+        mapping = builder.id_mapping()
+        assert set(mapping) == {"alice", "bob", "carol"}
+
+    def test_fixed_mode_has_no_mapping(self):
+        builder = GraphBuilder(num_vertices=2)
+        assert builder.id_mapping() is None
+
+    def test_fixed_mode_range_check(self):
+        builder = GraphBuilder(num_vertices=2)
+        with pytest.raises(GraphError):
+            builder.add_edge(0, 5)
+        with pytest.raises(GraphError):
+            builder.add_edges(np.array([0]), np.array([9]))
+
+    def test_add_edge_iter(self):
+        builder = GraphBuilder(num_vertices=3)
+        builder.add_edge_iter([(0, 1), (1, 2)])
+        assert builder.num_pending_edges == 2
+
+    def test_mismatched_batch_shapes(self):
+        builder = GraphBuilder(num_vertices=3)
+        with pytest.raises(GraphError):
+            builder.add_edges(np.array([0, 1]), np.array([2]))
+
+    def test_weights_shape_mismatch(self):
+        builder = GraphBuilder(num_vertices=3)
+        with pytest.raises(GraphError):
+            builder.add_edges(
+                np.array([0]), np.array([1]), weights=np.array([1.0, 2.0])
+            )
+
+    def test_mixed_weighted_unweighted(self):
+        builder = GraphBuilder(num_vertices=3)
+        builder.add_edge(0, 1, weight=3.0)
+        builder.add_edge(1, 2)  # defaults to weight 1
+        graph = builder.build()
+        assert graph.weights is not None
+        assert sorted(graph.weights.tolist()) == [1.0, 3.0]
+
+    def test_negative_num_vertices(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(num_vertices=-1)

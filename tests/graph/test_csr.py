@@ -1,0 +1,165 @@
+"""Unit tests for CSR graph storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+def make_chain(n=4):
+    # 0 <- 1 <- 2 <- 3 (incoming adjacency: vertex v's neighbor is v+1)
+    offsets = np.concatenate((np.arange(n - 1), [n - 1, n - 1]))
+    indices = np.arange(1, n)
+    return CSRGraph(offsets=offsets.astype(np.int64), indices=indices)
+
+
+class TestConstruction:
+    def test_basic_properties(self, triangle_graph):
+        assert triangle_graph.num_vertices == 3
+        assert triangle_graph.num_edges == 6  # symmetrized cycle
+        assert triangle_graph.average_degree == 2.0
+        assert triangle_graph.max_degree == 2
+
+    def test_empty_graph(self, empty_graph):
+        assert empty_graph.num_vertices == 5
+        assert empty_graph.num_edges == 0
+        assert empty_graph.average_degree == 0.0
+        assert empty_graph.max_degree == 0
+
+    def test_single_vertex_no_edges(self):
+        g = CSRGraph(
+            offsets=np.array([0, 0]), indices=np.empty(0, dtype=np.int64)
+        )
+        assert g.num_vertices == 1
+        assert g.degree(0) == 0
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(GraphError, match="offsets\\[0\\]"):
+            CSRGraph(offsets=np.array([1, 2]), indices=np.array([0, 0]))
+
+    def test_offsets_must_match_indices(self):
+        with pytest.raises(GraphError, match="offsets\\[-1\\]"):
+            CSRGraph(offsets=np.array([0, 3]), indices=np.array([0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(GraphError, match="non-decreasing"):
+            CSRGraph(
+                offsets=np.array([0, 2, 1, 3]),
+                indices=np.array([0, 1, 2]),
+            )
+
+    def test_neighbor_ids_in_range(self):
+        with pytest.raises(GraphError, match="neighbor ids"):
+            CSRGraph(offsets=np.array([0, 1]), indices=np.array([5]))
+
+    def test_negative_neighbor_rejected(self):
+        with pytest.raises(GraphError, match="neighbor ids"):
+            CSRGraph(offsets=np.array([0, 1]), indices=np.array([-1]))
+
+    def test_weights_shape_must_match(self):
+        with pytest.raises(GraphError, match="weights shape"):
+            CSRGraph(
+                offsets=np.array([0, 1]),
+                indices=np.array([0]),
+                weights=np.array([1.0, 2.0]),
+            )
+
+    def test_arrays_are_read_only(self, triangle_graph):
+        with pytest.raises(ValueError):
+            triangle_graph.indices[0] = 0
+        with pytest.raises(ValueError):
+            triangle_graph.offsets[0] = 1
+
+    def test_nbytes_counts_weights(self):
+        g = CSRGraph(
+            offsets=np.array([0, 1]),
+            indices=np.array([0]),
+            weights=np.array([2.0]),
+        )
+        unweighted = CSRGraph(
+            offsets=np.array([0, 1]), indices=np.array([0])
+        )
+        assert g.nbytes == unweighted.nbytes + 8
+
+
+class TestNeighborhoods:
+    def test_neighbors_slices(self, star_graph):
+        hub = star_graph.neighbors(0)
+        assert sorted(hub.tolist()) == list(range(1, 9))
+        leaf = star_graph.neighbors(3)
+        assert leaf.tolist() == [0]
+
+    def test_degree(self, star_graph):
+        assert star_graph.degree(0) == 8
+        assert star_graph.degree(1) == 1
+        assert star_graph.degrees.sum() == star_graph.num_edges
+
+    def test_neighbor_weights_default_ones(self, triangle_graph):
+        w = triangle_graph.neighbor_weights(0)
+        assert np.all(w == 1.0)
+        assert w.size == triangle_graph.degree(0)
+
+    def test_vertex_out_of_range(self, triangle_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            triangle_graph.neighbors(3)
+        with pytest.raises(GraphError, match="out of range"):
+            triangle_graph.degree(-1)
+
+    def test_edge_sources_expansion(self, star_graph):
+        sources = star_graph.edge_sources()
+        assert sources.size == star_graph.num_edges
+        # The hub contributes its degree's worth of entries.
+        assert (sources == 0).sum() == 8
+
+    def test_iter_edges_matches_neighbors(self, triangle_graph):
+        edges = list(triangle_graph.iter_edges())
+        assert len(edges) == triangle_graph.num_edges
+        for v, u in edges:
+            assert u in triangle_graph.neighbors(v).tolist()
+
+
+class TestDerivedGraphs:
+    def test_reversed_swaps_directions(self):
+        g = make_chain(4)
+        r = g.reversed()
+        assert r.num_edges == g.num_edges
+        # g: v's in-neighbor is v+1; reversed: v's in-neighbor is v-1.
+        assert r.neighbors(1).tolist() == [0]
+        assert r.neighbors(0).tolist() == []
+
+    def test_reversed_involution(self, powerlaw_graph):
+        rr = powerlaw_graph.reversed().reversed()
+        assert np.array_equal(rr.offsets, powerlaw_graph.offsets)
+        assert np.array_equal(
+            np.sort(rr.indices), np.sort(powerlaw_graph.indices)
+        )
+
+    def test_reversed_preserves_weights(self):
+        g = CSRGraph(
+            offsets=np.array([0, 1, 2]),
+            indices=np.array([1, 0]),
+            weights=np.array([3.0, 5.0]),
+        )
+        r = g.reversed()
+        assert r.weights is not None
+        assert r.neighbor_weights(0).tolist() == [5.0]
+        assert r.neighbor_weights(1).tolist() == [3.0]
+
+    def test_subgraph_induced(self, two_cliques_graph):
+        sub, mapping = two_cliques_graph.subgraph(np.arange(5))
+        assert sub.num_vertices == 5
+        # Clique of 5: each vertex has 4 in-neighbors; the bridge endpoint
+        # (old vertex 4) loses its cross edge.
+        assert sub.num_edges == 20
+        assert mapping.tolist() == [0, 1, 2, 3, 4]
+
+    def test_subgraph_relabels(self, two_cliques_graph):
+        sub, mapping = two_cliques_graph.subgraph(np.array([5, 6, 7]))
+        assert sub.num_vertices == 3
+        assert mapping.tolist() == [5, 6, 7]
+        assert sub.indices.max() < 3
+
+    def test_subgraph_out_of_range(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.subgraph(np.array([0, 99]))

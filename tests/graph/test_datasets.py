@@ -1,0 +1,58 @@
+"""Tests for the Table 2 dataset registry."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import datasets
+
+
+class TestRegistry:
+    def test_all_eight_present_in_order(self):
+        assert datasets.dataset_names() == [
+            "dblp",
+            "roadNet",
+            "youtube",
+            "aligraph",
+            "ljournal",
+            "uk-2002",
+            "wiki-en",
+            "twitter",
+        ]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GraphError, match="unknown dataset"):
+            datasets.load_dataset("facebook")
+
+    def test_loading_is_cached(self):
+        a = datasets.load_dataset("dblp")
+        b = datasets.load_dataset("dblp")
+        assert a is b
+
+    def test_clear_cache(self):
+        a = datasets.load_dataset("roadNet")
+        datasets.clear_cache()
+        b = datasets.load_dataset("roadNet")
+        assert a is not b
+        datasets.clear_cache()
+
+    def test_structural_signatures(self):
+        """Each stand-in preserves the trait the paper's analysis keys on."""
+        road = datasets.load_dataset("roadNet")
+        assert road.max_degree <= 10  # constant tiny degree
+        ali = datasets.load_dataset("aligraph")
+        assert ali.average_degree > 100  # extreme density
+        twitter = datasets.load_dataset("twitter")
+        assert twitter.max_degree > 20 * twitter.average_degree  # heavy tail
+
+    def test_table2_rows_shape(self):
+        rows = datasets.table2_rows()
+        assert len(rows) == 8
+        for name, pv, pe, pavg, ov, oe, oavg in rows:
+            assert pv > ov  # stand-ins are scaled down
+            assert pe > oe
+            assert oavg > 0
+
+    def test_spec_metadata(self):
+        spec = datasets.DATASETS["twitter"]
+        assert spec.paper_edges == 1_468_365_182
+        assert "follower" in spec.description

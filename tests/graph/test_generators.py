@@ -1,0 +1,165 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators.bipartite import (
+    bipartite_interaction_graph,
+    dense_interaction_core,
+    zipf_popularity,
+)
+from repro.graph.generators.community import (
+    fraud_ring_graph,
+    planted_partition_graph,
+)
+from repro.graph.generators.rmat import rmat_edges, rmat_graph
+from repro.graph.generators.road import road_network_graph
+
+
+class TestRMAT:
+    def test_shape(self):
+        graph = rmat_graph(8, 4.0, seed=0)
+        assert graph.num_vertices == 256
+        assert graph.num_edges > 0
+
+    def test_determinism(self):
+        a = rmat_graph(8, 4.0, seed=3)
+        b = rmat_graph(8, 4.0, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_different_seeds_differ(self):
+        a = rmat_graph(8, 4.0, seed=1)
+        b = rmat_graph(8, 4.0, seed=2)
+        assert not np.array_equal(a.offsets, b.offsets)
+
+    def test_power_law_skew(self):
+        graph = rmat_graph(11, 8.0, seed=0)
+        degrees = graph.degrees
+        # Heavy skew: the max degree dwarfs the median.
+        assert degrees.max() > 10 * np.median(degrees[degrees > 0])
+
+    def test_edges_in_range(self):
+        src, dst = rmat_edges(6, 100, rng=np.random.default_rng(0))
+        assert src.max() < 64 and dst.max() < 64
+        assert src.min() >= 0 and dst.min() >= 0
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            rmat_edges(0, 10)
+        with pytest.raises(GraphError):
+            rmat_edges(5, -1)
+        with pytest.raises(GraphError):
+            rmat_edges(5, 10, a=0.9, b=0.9, c=0.9)  # d < 0
+
+
+class TestPlantedPartition:
+    def test_membership_shape(self):
+        graph, membership = planted_partition_graph(200, 4, 8.0, 0.9, seed=0)
+        assert membership.size == 200
+        assert np.unique(membership).size == 4
+
+    def test_strong_structure_is_assortative(self):
+        graph, membership = planted_partition_graph(
+            400, 4, 12.0, 0.95, seed=1
+        )
+        sources = graph.edge_sources()
+        same = membership[sources] == membership[graph.indices]
+        assert same.mean() > 0.85
+
+    def test_no_structure_when_uniform(self):
+        graph, membership = planted_partition_graph(
+            400, 4, 12.0, 0.0, seed=1
+        )
+        sources = graph.edge_sources()
+        same = membership[sources] == membership[graph.indices]
+        assert same.mean() < 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            planted_partition_graph(10, 0, 2.0, 0.5)
+        with pytest.raises(GraphError):
+            planted_partition_graph(10, 2, 2.0, 1.5)
+        with pytest.raises(GraphError):
+            planted_partition_graph(10, 2, -1.0, 0.5)
+
+
+class TestFraudRings:
+    def test_ring_ids(self):
+        graph, ring_id = fraud_ring_graph(500, 4, 8, seed=0)
+        assert graph.num_vertices == 500 + 32
+        assert (ring_id >= 0).sum() == 32
+        assert np.all(ring_id[:500] == -1)
+
+    def test_rings_are_dense(self):
+        graph, ring_id = fraud_ring_graph(
+            500, 3, 10, ring_density=0.9, seed=1
+        )
+        for ring in range(3):
+            members = np.flatnonzero(ring_id == ring)
+            internal = 0
+            member_set = set(members.tolist())
+            for v in members:
+                internal += sum(
+                    1 for u in graph.neighbors(int(v)) if int(u) in member_set
+                )
+            possible = members.size * (members.size - 1)
+            assert internal / possible > 0.6
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(GraphError):
+            fraud_ring_graph(10, 1, 1)
+
+
+class TestRoad:
+    def test_constant_small_degree(self):
+        graph = road_network_graph(40, 40, seed=0)
+        assert graph.num_vertices == 1600
+        assert 2.0 < graph.average_degree < 3.6
+        assert graph.max_degree <= 10
+
+    def test_invalid_dims(self):
+        with pytest.raises(GraphError):
+            road_network_graph(0, 5)
+        with pytest.raises(GraphError):
+            road_network_graph(5, 5, keep_prob=1.5)
+
+
+class TestBipartite:
+    def test_zipf_normalized(self):
+        pop = zipf_popularity(100)
+        assert pop.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(pop) <= 0)
+        with pytest.raises(GraphError):
+            zipf_popularity(0)
+
+    def test_bipartite_structure(self):
+        graph, num_users = bipartite_interaction_graph(100, 50, 5.0, seed=0)
+        assert graph.num_vertices == 150
+        for v in range(num_users):
+            assert np.all(graph.neighbors(v) >= num_users)
+
+    def test_popular_products_have_higher_degree(self):
+        graph, num_users = bipartite_interaction_graph(
+            2000, 200, 10.0, zipf_exponent=1.2, seed=1
+        )
+        product_degrees = graph.degrees[num_users:]
+        top = product_degrees[:20].mean()
+        tail = product_degrees[-100:].mean()
+        assert top > 3 * tail
+
+    def test_dense_core_degree(self):
+        graph = dense_interaction_core(128, 50.0, seed=0)
+        assert graph.num_vertices == 128
+        assert 35 < graph.average_degree <= 100
+
+    def test_dense_core_no_self_loops(self):
+        graph = dense_interaction_core(64, 20.0, seed=1)
+        sources = graph.edge_sources()
+        assert np.all(sources != graph.indices)
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            bipartite_interaction_graph(0, 5, 1.0)
+        with pytest.raises(GraphError):
+            dense_interaction_core(10, 50.0)

@@ -1,0 +1,104 @@
+"""Tests for graph IO (edge lists and npz snapshots)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, two_cliques_graph):
+        path = tmp_path / "graph.txt"
+        save_edge_list(two_cliques_graph, path)
+        loaded = load_edge_list(path, num_vertices=10)
+        assert loaded.num_vertices == two_cliques_graph.num_vertices
+        assert loaded.num_edges == two_cliques_graph.num_edges
+        for v in range(10):
+            assert np.array_equal(
+                loaded.neighbors(v), two_cliques_graph.neighbors(v)
+            )
+
+    def test_weighted_roundtrip(self, tmp_path):
+        from repro.graph.builder import from_edge_arrays
+
+        graph = from_edge_arrays(
+            np.array([0, 1]),
+            np.array([1, 2]),
+            3,
+            weights=np.array([2.5, 0.5]),
+        )
+        path = tmp_path / "weighted.txt"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path, num_vertices=3)
+        assert loaded.weights is not None
+        assert loaded.weights.sum() == pytest.approx(3.0)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# more\n1 2\n")
+        graph = load_edge_list(path, num_vertices=3)
+        assert graph.num_edges == 2
+
+    def test_id_compaction_without_num_vertices(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        graph = load_edge_list(path)
+        assert graph.num_vertices == 3
+
+    def test_malformed_field_count(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="fields"):
+            load_edge_list(path)
+
+    def test_non_integer_vertex(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            load_edge_list(path)
+
+    def test_non_numeric_weight(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphFormatError, match="non-numeric"):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        graph = load_edge_list(path, num_vertices=5)
+        assert graph.num_edges == 0
+
+    def test_symmetrize_on_load(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        graph = load_edge_list(path, num_vertices=2, symmetrize=True)
+        assert graph.num_edges == 2
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, powerlaw_graph):
+        path = tmp_path / "graph.npz"
+        save_npz(powerlaw_graph, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.offsets, powerlaw_graph.offsets)
+        assert np.array_equal(loaded.indices, powerlaw_graph.indices)
+        assert loaded.name == powerlaw_graph.name
+
+    def test_weighted_roundtrip(self, tmp_path):
+        from repro.graph.builder import from_edge_arrays
+
+        graph = from_edge_arrays(
+            np.array([0]), np.array([1]), 2, weights=np.array([7.0])
+        )
+        path = tmp_path / "w.npz"
+        save_npz(graph, path)
+        loaded = load_npz(path)
+        assert loaded.weights.tolist() == [7.0]
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(GraphFormatError, match="missing"):
+            load_npz(path)

@@ -1,0 +1,76 @@
+"""Tests for the LFR-style benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators.lfr import lfr_graph
+
+
+class TestStructure:
+    def test_shapes(self):
+        graph, membership = lfr_graph(500, mu=0.2, seed=0)
+        assert graph.num_vertices == 500
+        assert membership.size == 500
+        assert graph.num_edges > 0
+
+    def test_community_sizes_respect_minimum(self):
+        _, membership = lfr_graph(600, mu=0.3, min_community=15, seed=1)
+        _, counts = np.unique(membership, return_counts=True)
+        assert counts.min() >= 15
+
+    def test_mixing_parameter_controls_cut(self):
+        """Measured boundary-edge fraction tracks mu."""
+        fractions = {}
+        for mu in (0.1, 0.3, 0.5):
+            graph, membership = lfr_graph(800, mu=mu, seed=2)
+            sources = graph.edge_sources()
+            crossing = membership[sources] != membership[graph.indices]
+            fractions[mu] = crossing.mean()
+        assert fractions[0.1] < fractions[0.3] < fractions[0.5]
+        assert fractions[0.1] == pytest.approx(0.1, abs=0.08)
+        assert fractions[0.5] == pytest.approx(0.5, abs=0.12)
+
+    def test_degree_distribution_is_skewed(self):
+        graph, _ = lfr_graph(1000, mu=0.2, tau1=2.2, seed=3)
+        degrees = graph.degrees
+        assert degrees.max() > 4 * np.median(degrees[degrees > 0])
+
+    def test_deterministic(self):
+        a, ma = lfr_graph(300, mu=0.25, seed=9)
+        b, mb = lfr_graph(300, mu=0.25, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(ma, mb)
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            lfr_graph(1)
+        with pytest.raises(GraphError):
+            lfr_graph(100, mu=1.5)
+        with pytest.raises(GraphError):
+            lfr_graph(100, avg_degree=0.5)
+        with pytest.raises(GraphError):
+            lfr_graph(100, min_community=1)
+
+
+class TestLPRecovery:
+    def test_lp_recovers_low_mixing(self):
+        from repro import ClassicLP, GLPEngine
+        from repro.graph.quality import normalized_mutual_information
+
+        graph, truth = lfr_graph(800, mu=0.1, seed=5)
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=20)
+        assert normalized_mutual_information(result.labels, truth) > 0.7
+
+    def test_recovery_degrades_with_mixing(self):
+        from repro import ClassicLP, GLPEngine
+        from repro.graph.quality import normalized_mutual_information
+
+        scores = {}
+        for mu in (0.1, 0.6):
+            graph, truth = lfr_graph(800, mu=mu, seed=6)
+            result = GLPEngine().run(
+                graph, ClassicLP(), max_iterations=15
+            )
+            scores[mu] = normalized_mutual_information(result.labels, truth)
+        assert scores[0.1] > scores[0.6] + 0.2

@@ -1,0 +1,99 @@
+"""Tests for the partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.partition import (
+    balanced_edge_partition,
+    boundary_edge_counts,
+    partition_by_edge_count,
+    partition_by_vertex_count,
+)
+
+
+def check_cover(parts, graph):
+    """Partitions tile the vertex range exactly."""
+    assert parts[0].start == 0
+    assert parts[-1].stop == graph.num_vertices
+    for a, b in zip(parts, parts[1:]):
+        assert a.stop == b.start
+    assert sum(p.num_edges for p in parts) == graph.num_edges
+
+
+class TestVertexCount:
+    def test_near_equal_sizes(self, powerlaw_graph):
+        parts = partition_by_vertex_count(powerlaw_graph, 4)
+        check_cover(parts, powerlaw_graph)
+        sizes = [p.num_vertices for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_part(self, powerlaw_graph):
+        parts = partition_by_vertex_count(powerlaw_graph, 1)
+        assert len(parts) == 1
+        assert parts[0].num_edges == powerlaw_graph.num_edges
+
+    def test_invalid(self, powerlaw_graph):
+        with pytest.raises(GraphError):
+            partition_by_vertex_count(powerlaw_graph, 0)
+
+
+class TestEdgeCount:
+    def test_respects_budget(self, powerlaw_graph):
+        max_edges = powerlaw_graph.num_edges // 7
+        parts = partition_by_edge_count(powerlaw_graph, max_edges)
+        check_cover(parts, powerlaw_graph)
+        heavy = powerlaw_graph.degrees.max()
+        for part in parts:
+            # Only a single oversized vertex may exceed the budget.
+            assert part.num_edges <= max(max_edges, heavy)
+
+    def test_oversized_vertex_gets_own_chunk(self, star_graph):
+        parts = partition_by_edge_count(star_graph, 2)
+        hub_parts = [p for p in parts if p.start <= 0 < p.stop]
+        assert hub_parts[0].num_vertices == 1
+
+    def test_empty_graph(self, empty_graph):
+        parts = partition_by_edge_count(empty_graph, 10)
+        check_cover(parts, empty_graph)
+
+    def test_invalid(self, powerlaw_graph):
+        with pytest.raises(GraphError):
+            partition_by_edge_count(powerlaw_graph, 0)
+
+
+class TestBalancedEdges:
+    def test_balance(self, powerlaw_graph):
+        parts = balanced_edge_partition(powerlaw_graph, 4)
+        check_cover(parts, powerlaw_graph)
+        sizes = [p.num_edges for p in parts]
+        # Within 2x of ideal for a skewed graph.
+        ideal = powerlaw_graph.num_edges / 4
+        assert max(sizes) < 2.5 * ideal
+
+    def test_more_parts_than_vertices(self, triangle_graph):
+        parts = balanced_edge_partition(triangle_graph, 10)
+        check_cover(parts, triangle_graph)
+        assert len(parts) == 10  # some empty
+
+    def test_invalid(self, powerlaw_graph):
+        with pytest.raises(GraphError):
+            balanced_edge_partition(powerlaw_graph, -1)
+
+
+class TestBoundaryEdges:
+    def test_single_partition_no_boundary(self, powerlaw_graph):
+        parts = balanced_edge_partition(powerlaw_graph, 1)
+        counts = boundary_edge_counts(powerlaw_graph, parts)
+        assert counts.tolist() == [0]
+
+    def test_boundary_counts_manual(self, two_cliques_graph):
+        # Split exactly between the cliques: only the bridge edge crosses.
+        parts = partition_by_vertex_count(two_cliques_graph, 2)
+        counts = boundary_edge_counts(two_cliques_graph, parts)
+        assert counts.sum() == 2  # the bridge, both directions
+
+    def test_total_bounded_by_edges(self, powerlaw_graph):
+        parts = balanced_edge_partition(powerlaw_graph, 8)
+        counts = boundary_edge_counts(powerlaw_graph, parts)
+        assert counts.sum() <= powerlaw_graph.num_edges

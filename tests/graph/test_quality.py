@@ -1,0 +1,122 @@
+"""Tests for community-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.quality import (
+    conductance,
+    coverage,
+    modularity,
+    normalized_mutual_information,
+)
+
+
+class TestModularity:
+    def test_perfect_split_positive(self, two_cliques_graph):
+        labels = np.array([0] * 5 + [1] * 5)
+        q = modularity(two_cliques_graph, labels)
+        assert q > 0.4
+
+    def test_single_community_zero(self, two_cliques_graph):
+        labels = np.zeros(10, dtype=np.int64)
+        assert modularity(two_cliques_graph, labels) == pytest.approx(0.0)
+
+    def test_bad_split_worse(self, two_cliques_graph):
+        good = np.array([0] * 5 + [1] * 5)
+        bad = np.arange(10) % 2  # interleaved
+        assert modularity(two_cliques_graph, good) > modularity(
+            two_cliques_graph, bad
+        )
+
+    def test_empty_graph(self, empty_graph):
+        assert modularity(empty_graph, np.zeros(5, dtype=np.int64)) == 0.0
+
+    def test_shape_check(self, triangle_graph):
+        with pytest.raises(GraphError):
+            modularity(triangle_graph, np.zeros(5, dtype=np.int64))
+
+    def test_lp_result_beats_random(self, community_graph):
+        from repro import ClassicLP, GLPEngine
+
+        graph, truth = community_graph
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=20)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 8, graph.num_vertices)
+        assert modularity(graph, result.labels) > modularity(
+            graph, random_labels
+        ) + 0.2
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([7, 7, 3, 3])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 2000)
+        b = rng.integers(0, 4, 2000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_partial_agreement_between(self):
+        a = np.array([0] * 50 + [1] * 50)
+        b = a.copy()
+        b[:10] = 1  # corrupt 10%
+        nmi = normalized_mutual_information(a, b)
+        assert 0.3 < nmi < 1.0
+
+    def test_degenerate_cases(self):
+        ones = np.zeros(4, dtype=np.int64)
+        assert normalized_mutual_information(ones, ones) == 1.0
+        assert normalized_mutual_information(
+            ones, np.arange(4)
+        ) == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphError):
+            normalized_mutual_information(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert normalized_mutual_information(empty, empty) == 1.0
+
+    def test_lp_recovers_planted_truth(self, community_graph):
+        from repro import ClassicLP, GLPEngine
+
+        graph, truth = community_graph
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=20)
+        assert normalized_mutual_information(result.labels, truth) > 0.8
+
+
+class TestConductanceAndCoverage:
+    def test_clean_split_low_conductance(self, two_cliques_graph):
+        labels = np.array([0] * 5 + [1] * 5)
+        phi = conductance(two_cliques_graph, labels)
+        assert set(phi) == {0, 1}
+        for value in phi.values():
+            assert value < 0.1
+
+    def test_interleaved_high_conductance(self, two_cliques_graph):
+        labels = (np.arange(10) % 2).astype(np.int64)
+        phi = conductance(two_cliques_graph, labels)
+        assert min(phi.values()) > 0.5
+
+    def test_coverage_bounds(self, two_cliques_graph):
+        perfect = np.zeros(10, dtype=np.int64)
+        assert coverage(two_cliques_graph, perfect) == 1.0
+        split = np.array([0] * 5 + [1] * 5)
+        assert 0.9 < coverage(two_cliques_graph, split) < 1.0
+
+    def test_coverage_empty_graph(self, empty_graph):
+        assert coverage(empty_graph, np.zeros(5, dtype=np.int64)) == 1.0
+
+    def test_singleton_community_conductance_one(self, empty_graph):
+        labels = np.arange(5)
+        phi = conductance(empty_graph, labels)
+        assert all(v == 1.0 for v in phi.values())

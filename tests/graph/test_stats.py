@@ -1,0 +1,99 @@
+"""Tests for degree statistics and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.graph.stats import (
+    degree_histogram,
+    degree_summary,
+    label_distribution_stats,
+    neighborhood_label_concentration,
+    power_law_exponent,
+)
+
+
+class TestDegreeSummary:
+    def test_star(self, star_graph):
+        summary = degree_summary(star_graph)
+        assert summary.max_degree == 8
+        assert summary.min_degree == 1
+        assert summary.num_edges == 16
+        assert summary.low_degree_fraction == 1.0  # all below 32
+        assert summary.high_degree_fraction == 0.0
+
+    def test_empty(self, empty_graph):
+        summary = degree_summary(empty_graph)
+        assert summary.mean_degree == 0.0
+        assert summary.high_degree_edge_fraction == 0.0
+
+    def test_high_degree_edge_fraction(self, powerlaw_graph):
+        summary = degree_summary(
+            powerlaw_graph, low_threshold=4, high_threshold=16
+        )
+        degrees = powerlaw_graph.degrees
+        expected = degrees[degrees > 16].sum() / powerlaw_graph.num_edges
+        assert summary.high_degree_edge_fraction == pytest.approx(expected)
+
+    def test_histogram(self, star_graph):
+        hist = degree_histogram(star_graph)
+        assert hist[1] == 8
+        assert hist[8] == 1
+
+
+class TestPowerLaw:
+    def test_exponent_on_rmat(self, powerlaw_graph):
+        alpha = power_law_exponent(powerlaw_graph)
+        assert 1.2 < alpha < 4.0
+
+    def test_nan_when_too_few(self, empty_graph):
+        assert np.isnan(power_law_exponent(empty_graph))
+
+
+class TestLabelStats:
+    def test_distribution_stats(self):
+        labels = np.array([0, 0, 0, 1])
+        stats = label_distribution_stats(labels)
+        assert stats["num_labels"] == 2
+        assert stats["largest_fraction"] == 0.75
+        assert stats["entropy"] > 0
+
+    def test_uniform_entropy_max(self):
+        uniform = label_distribution_stats(np.arange(8))
+        skewed = label_distribution_stats(np.zeros(8, dtype=np.int64))
+        assert uniform["entropy"] > skewed["entropy"]
+        assert skewed["entropy"] == 0.0
+
+    def test_empty(self):
+        stats = label_distribution_stats(np.empty(0, dtype=np.int64))
+        assert stats["num_labels"] == 0
+
+
+class TestConcentration:
+    def test_converged_labels_concentrate(self, two_cliques_graph):
+        converged = np.array([0] * 5 + [9] * 5)
+        distinct_ratio, mfl_share = neighborhood_label_concentration(
+            two_cliques_graph, converged
+        )
+        assert distinct_ratio < 0.5
+        assert mfl_share > 0.8
+
+    def test_unique_labels_fully_dispersed(self, two_cliques_graph):
+        unique = np.arange(10)
+        distinct_ratio, mfl_share = neighborhood_label_concentration(
+            two_cliques_graph, unique
+        )
+        assert distinct_ratio == 1.0
+
+    def test_sampled_measurement(self, powerlaw_graph):
+        labels = np.arange(powerlaw_graph.num_vertices) % 5
+        full = neighborhood_label_concentration(powerlaw_graph, labels)
+        sampled = neighborhood_label_concentration(
+            powerlaw_graph, labels, sample=50, seed=1
+        )
+        assert abs(full[0] - sampled[0]) < 0.3
+
+    def test_empty_graph(self, empty_graph):
+        result = neighborhood_label_concentration(
+            empty_graph, np.zeros(5, dtype=np.int64)
+        )
+        assert result == (0.0, 0.0)

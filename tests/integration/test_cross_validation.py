@@ -1,0 +1,73 @@
+"""Cross-validation against networkx's label propagation.
+
+networkx ships an independent LPA implementation
+(`asyn_lpa_communities`).  Its randomized asynchronous schedule means exact
+label equality is not expected; instead we check that both implementations
+recover the same *planted structure* (high NMI against ground truth and
+against each other on strong communities).
+"""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro import ClassicLP, GLPEngine
+from repro.graph.generators.community import planted_partition_graph
+from repro.graph.quality import normalized_mutual_information
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    sources = graph.edge_sources()
+    g.add_edges_from(zip(sources.tolist(), graph.indices.tolist()))
+    return g
+
+
+@pytest.fixture(scope="module")
+def strong_communities():
+    return planted_partition_graph(600, 6, 14.0, 0.95, seed=31)
+
+
+class TestNetworkxCrossValidation:
+    def test_both_recover_planted_truth(self, strong_communities):
+        graph, truth = strong_communities
+
+        ours = GLPEngine().run(graph, ClassicLP(), max_iterations=25)
+        ours_nmi = normalized_mutual_information(ours.labels, truth)
+
+        nxg = to_networkx(graph)
+        communities = nx.community.asyn_lpa_communities(nxg, seed=7)
+        nx_labels = np.zeros(graph.num_vertices, dtype=np.int64)
+        for i, community in enumerate(communities):
+            for v in community:
+                nx_labels[v] = i
+        nx_nmi = normalized_mutual_information(nx_labels, truth)
+
+        assert ours_nmi > 0.9
+        assert nx_nmi > 0.9
+        # And the two implementations agree with each other.
+        assert normalized_mutual_information(ours.labels, nx_labels) > 0.85
+
+    def test_community_counts_same_order(self, strong_communities):
+        graph, _ = strong_communities
+        ours = GLPEngine().run(graph, ClassicLP(), max_iterations=25)
+        nxg = to_networkx(graph)
+        nx_count = sum(
+            1 for _ in nx.community.asyn_lpa_communities(nxg, seed=3)
+        )
+        our_count = np.unique(ours.labels).size
+        # Same order of magnitude around the planted 6.
+        assert 0.3 * nx_count <= our_count <= 3 * max(nx_count, 6) + 6
+
+    def test_modularity_comparable(self, strong_communities):
+        graph, _ = strong_communities
+        from repro.graph.quality import modularity
+
+        ours = GLPEngine().run(graph, ClassicLP(), max_iterations=25)
+        our_q = modularity(graph, ours.labels)
+
+        nxg = to_networkx(graph)
+        communities = list(nx.community.asyn_lpa_communities(nxg, seed=11))
+        nx_q = nx.community.modularity(nxg, communities)
+        assert our_q > nx_q - 0.1

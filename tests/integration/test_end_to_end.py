@@ -1,0 +1,144 @@
+"""Integration tests: full flows across multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine, LayeredLP, SeededFraudLP
+from repro.baselines import InHouseDistributedEngine, OMPEngine
+from repro.core.hybrid import run_auto
+from repro.graph.generators.datasets import load_dataset
+from repro.gpusim.config import TITAN_V
+from repro.pipeline import (
+    ClusterDetector,
+    FraudDetectionPipeline,
+    SeedStore,
+    TransactionStream,
+    TransactionStreamConfig,
+)
+from repro.pipeline.window import build_window_graph
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TransactionStream(
+        TransactionStreamConfig(
+            num_users=3000,
+            num_products=1500,
+            num_days=20,
+            transactions_per_day=1200,
+            num_rings=6,
+            ring_size=10,
+            seed=13,
+        )
+    )
+
+
+class TestDatasetToEngine:
+    def test_classic_lp_on_every_dataset(self):
+        """Every Table 2 stand-in runs through GLP without error and
+        produces sensible communities."""
+        for name in ("dblp", "roadNet", "aligraph"):
+            graph = load_dataset(name)
+            result = GLPEngine().run(
+                graph, ClassicLP(), max_iterations=5,
+                stop_on_convergence=False,
+            )
+            assert result.labels.size == graph.num_vertices
+            num_communities = np.unique(result.labels).size
+            assert 1 <= num_communities <= graph.num_vertices
+
+    def test_label_concentration_grows_over_iterations(self):
+        """The Section 4.1 observation: neighborhoods concentrate as
+        communities form, which is what makes CMS+HT effective."""
+        from repro.graph.stats import neighborhood_label_concentration
+
+        graph = load_dataset("dblp")
+        result = GLPEngine().run(
+            graph, ClassicLP(), max_iterations=8,
+            stop_on_convergence=False, record_history=True,
+        )
+        early_ratio, _ = neighborhood_label_concentration(
+            graph, result.history[0], sample=300, seed=0
+        )
+        late_ratio, late_share = neighborhood_label_concentration(
+            graph, result.history[-1], sample=300, seed=0
+        )
+        assert late_ratio < early_ratio
+        assert late_share > 0.5
+
+
+class TestWindowToDetection:
+    def test_stream_window_detect_score_cycle(self, stream):
+        window = build_window_graph(stream, 0, 20)
+        store = SeedStore(stream.blacklist())
+        detector = ClusterDetector(GLPEngine(), max_iterations=12, max_hops=5)
+        pipeline = FraudDetectionPipeline(stream, detector, seed_store=store)
+        report = pipeline.run_on_window(window)
+        assert report.metrics.f1 > 0.5
+        assert report.lp_fraction < 0.6  # GLP: LP no longer dominates
+
+    def test_engines_interchangeable_in_pipeline(self, stream):
+        """The detector takes any engine; results are identical for the
+        deterministic seeded program."""
+        reports = {}
+        for name, engine in (
+            ("glp", GLPEngine()),
+            ("omp", OMPEngine()),
+            ("dist", InHouseDistributedEngine()),
+        ):
+            detector = ClusterDetector(engine, max_iterations=12, max_hops=5)
+            pipeline = FraudDetectionPipeline(stream, detector)
+            reports[name] = pipeline.run_window(20)
+        assert (
+            reports["glp"].num_clusters
+            == reports["omp"].num_clusters
+            == reports["dist"].num_clusters
+        )
+        # And the GPU is the fastest of the three on the LP stage.
+        assert reports["glp"].lp_seconds < reports["omp"].lp_seconds
+        assert reports["glp"].lp_seconds < reports["dist"].lp_seconds
+
+
+class TestHybridAutoSwitch:
+    def test_run_auto_crosses_memory_boundary(self, stream):
+        """The same workload runs pure-GPU on a big device and hybrid on a
+        small one, with identical labels."""
+        window = build_window_graph(stream, 0, 20)
+        raw = stream.blacklist()
+        users = np.fromiter(raw.keys(), dtype=np.int64)
+        labels = np.fromiter(raw.values(), dtype=np.int64)
+        vertices = window.window_vertex_of_user(users)
+        seeds = {
+            int(v): int(l)
+            for v, l in zip(vertices[vertices >= 0], labels[vertices >= 0])
+        }
+
+        big = TITAN_V
+        small = TITAN_V.with_memory(int(window.graph.nbytes * 0.6))
+        result_big, engine_big = run_auto(
+            window.graph, SeededFraudLP(seeds), spec=big,
+            max_iterations=10, stop_on_convergence=False,
+        )
+        result_small, engine_small = run_auto(
+            window.graph, SeededFraudLP(seeds), spec=small,
+            max_iterations=10, stop_on_convergence=False,
+        )
+        assert engine_big.name == "GLP"
+        assert engine_small.name == "GLP-Hybrid"
+        assert np.array_equal(result_big.labels, result_small.labels)
+
+
+class TestVariantsOnRealWorkload:
+    def test_llp_gives_finer_clusters_than_classic(self, stream):
+        window = build_window_graph(stream, 0, 10)
+        classic = GLPEngine().run(
+            window.graph, ClassicLP(), max_iterations=8,
+            stop_on_convergence=False,
+        )
+        llp = GLPEngine().run(
+            window.graph, LayeredLP(gamma=2.0), max_iterations=8,
+            stop_on_convergence=False,
+        )
+        assert (
+            np.unique(llp.labels).size >= np.unique(classic.labels).size
+        )

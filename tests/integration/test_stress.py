@@ -1,0 +1,144 @@
+"""Stress and adversarial-input tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine, LPProgram
+from repro.baselines import SerialEngine
+from repro.errors import GLPError
+from repro.graph.builder import GraphBuilder, from_edge_arrays
+from repro.types import LABEL_DTYPE
+
+
+def mega_star(leaves=3000):
+    """A hub whose degree exceeds several thread blocks."""
+    src = np.zeros(leaves, dtype=np.int64)
+    dst = np.arange(1, leaves + 1, dtype=np.int64)
+    return from_edge_arrays(src, dst, leaves + 1, symmetrize=True)
+
+
+class TestExtremeDegrees:
+    def test_mega_hub_through_all_kernels(self):
+        graph = mega_star()
+        gpu = GLPEngine().run(
+            graph, ClassicLP(), max_iterations=4, stop_on_convergence=False
+        )
+        cpu = SerialEngine().run(
+            graph, ClassicLP(), max_iterations=4, stop_on_convergence=False
+        )
+        assert np.array_equal(gpu.labels, cpu.labels)
+
+    def test_hub_lands_in_high_bin(self):
+        from repro.kernels.scheduler import bin_vertices_by_degree
+
+        graph = mega_star()
+        bins = bin_vertices_by_degree(graph)
+        assert 0 in bins.high
+        assert bins.low.size == graph.num_vertices - 1
+
+    def test_complete_graph(self):
+        n = 64
+        iu, ju = np.triu_indices(n, k=1)
+        graph = from_edge_arrays(iu, ju, n, symmetrize=True)
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=5)
+        # A clique converges to one label immediately.
+        assert np.unique(result.labels).size == 1
+
+    def test_self_loops_only_graph(self):
+        builder = GraphBuilder(num_vertices=4)
+        for v in range(4):
+            builder.add_edge(v, v)
+        graph = builder.build()  # loops dropped
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=3)
+        assert np.array_equal(result.labels, np.arange(4))
+
+    def test_single_vertex(self):
+        graph = from_edge_arrays(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 1
+        )
+        result = GLPEngine().run(graph, ClassicLP(), max_iterations=3)
+        assert result.labels.tolist() == [0]
+        assert result.converged
+
+
+class TestAdversarialWeights:
+    def test_zero_weight_edges_ignored_in_mfl(self):
+        # v0 hears v1 (weight 0) and v2 (weight 1): v2's label must win.
+        graph = from_edge_arrays(
+            np.array([1, 2]),
+            np.array([0, 0]),
+            3,
+            weights=np.array([0.0, 1.0]),
+        )
+        result = SerialEngine().run(
+            graph, ClassicLP(), max_iterations=1, stop_on_convergence=False
+        )
+        assert result.labels[0] == 2
+
+    def test_fractional_weights(self):
+        graph = from_edge_arrays(
+            np.array([1, 2, 2]),
+            np.array([0, 0, 0]),
+            3,
+            weights=np.array([0.6, 0.25, 0.25]),
+        )
+        result = SerialEngine().run(
+            graph, ClassicLP(), max_iterations=1, stop_on_convergence=False
+        )
+        # 0.6 for label 1 beats 0.5 for label 2.
+        assert result.labels[0] == 1
+
+    def test_gpu_matches_cpu_on_weighted(self):
+        rng = np.random.default_rng(5)
+        m = 400
+        graph = from_edge_arrays(
+            rng.integers(0, 50, m),
+            rng.integers(0, 50, m),
+            50,
+            weights=rng.random(m) * 10,
+            symmetrize=True,
+        )
+        gpu = GLPEngine().run(
+            graph, ClassicLP(), max_iterations=6, stop_on_convergence=False
+        )
+        cpu = SerialEngine().run(
+            graph, ClassicLP(), max_iterations=6, stop_on_convergence=False
+        )
+        assert np.array_equal(gpu.labels, cpu.labels)
+
+
+class TestLabelSpaceLimits:
+    def test_combine_keys_rejects_oversized_labels(self):
+        from repro.sketch.globalhash import combine_keys
+
+        with pytest.raises(GLPError):
+            combine_keys(np.array([0]), np.array([1 << 31]))
+
+    def test_custom_program_with_large_but_valid_labels(self):
+        class BigLabels(LPProgram):
+            def init_labels(self, graph):
+                return (
+                    np.arange(graph.num_vertices, dtype=LABEL_DTYPE)
+                    + (1 << 30)
+                )
+
+        graph = from_edge_arrays(
+            np.array([0, 1]), np.array([1, 2]), 3, symmetrize=True
+        )
+        result = GLPEngine().run(graph, BigLabels(), max_iterations=3)
+        assert result.labels.min() >= 1 << 30
+
+
+class TestOscillation:
+    def test_bipartite_sync_oscillation_is_bounded(self):
+        """Synchronous LP on an even cycle can oscillate; the engine must
+        terminate at the budget without error."""
+        n = 8
+        src = np.arange(n)
+        dst = (src + 1) % n
+        graph = from_edge_arrays(src, dst, n, symmetrize=True)
+        result = GLPEngine().run(
+            graph, ClassicLP(), max_iterations=15
+        )
+        assert result.num_iterations <= 15
+        assert result.labels.size == n

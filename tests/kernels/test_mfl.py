@@ -1,0 +1,140 @@
+"""Tests for the shared MFL building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ClassicLP
+from repro.kernels import mfl
+from repro.types import LABEL_DTYPE
+
+
+class TestExpandEdges:
+    def test_full_graph(self, star_graph):
+        batch = mfl.expand_edges(star_graph)
+        assert batch.num_edges == star_graph.num_edges
+        assert np.array_equal(batch.neighbor_ids, star_graph.indices)
+        assert np.array_equal(
+            batch.edge_positions, np.arange(star_graph.num_edges)
+        )
+
+    def test_subset_contiguous_positions(self, star_graph):
+        batch = mfl.expand_edges(star_graph, np.array([0, 3]))
+        assert batch.num_edges == star_graph.degree(0) + star_graph.degree(3)
+        # Positions must point at the right CSR slots.
+        for vid, nbr, pos in zip(
+            batch.vertex_ids, batch.neighbor_ids, batch.edge_positions
+        ):
+            assert star_graph.indices[pos] == nbr
+            lo, hi = star_graph.offsets[vid], star_graph.offsets[vid + 1]
+            assert lo <= pos < hi
+
+    def test_subset_with_isolated_vertex(self, empty_graph):
+        batch = mfl.expand_edges(empty_graph, np.array([1, 2]))
+        assert batch.num_edges == 0
+        assert batch.vertices.tolist() == [1, 2]
+
+    def test_weights_default_to_ones(self, triangle_graph):
+        batch = mfl.expand_edges(triangle_graph)
+        assert np.all(batch.edge_weights == 1.0)
+
+
+class TestAggregation:
+    def test_counts_simple(self, two_cliques_graph):
+        labels = np.zeros(10, dtype=LABEL_DTYPE)
+        labels[5:] = 1
+        batch = mfl.expand_edges(two_cliques_graph)
+        groups = mfl.aggregate_label_frequencies(
+            ClassicLP(), batch, labels
+        )
+        # Vertex 0 (clique A, away from bridge): all 4 neighbors label 0.
+        mask = groups.vertex_ids == 0
+        assert groups.labels[mask].tolist() == [0]
+        assert groups.frequencies[mask].tolist() == [4.0]
+        # Vertex 4 (bridge endpoint): 4 label-0 + 1 label-1.
+        mask = groups.vertex_ids == 4
+        assert dict(
+            zip(groups.labels[mask].tolist(), groups.frequencies[mask])
+        ) == {0: 4.0, 1: 1.0}
+
+    def test_groups_sorted_by_vertex_then_label(self, powerlaw_graph):
+        labels = np.arange(powerlaw_graph.num_vertices, dtype=LABEL_DTYPE) % 7
+        batch = mfl.expand_edges(powerlaw_graph)
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        keys = groups.vertex_ids * 1000 + groups.labels
+        assert np.all(np.diff(keys) > 0)
+
+    def test_group_of_edge_mapping(self, triangle_graph):
+        labels = np.array([5, 5, 9], dtype=LABEL_DTYPE)
+        batch = mfl.expand_edges(triangle_graph)
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        # Every edge maps to the group holding its (vertex, label).
+        sorted_vertices = batch.vertex_ids[groups.edge_order]
+        for i, group in enumerate(groups.group_of_edge):
+            assert groups.vertex_ids[group] == sorted_vertices[i]
+
+    def test_frequencies_sum_to_edge_weights(self, powerlaw_graph):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(
+            0, 20, powerlaw_graph.num_vertices
+        ).astype(LABEL_DTYPE)
+        batch = mfl.expand_edges(powerlaw_graph)
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        assert groups.frequencies.sum() == pytest.approx(
+            batch.edge_weights.sum()
+        )
+
+    def test_empty_batch(self, empty_graph):
+        batch = mfl.expand_edges(empty_graph)
+        groups = mfl.aggregate_label_frequencies(
+            ClassicLP(), batch, np.zeros(5, dtype=LABEL_DTYPE)
+        )
+        assert groups.num_groups == 0
+
+    def test_distinct_counts(self, two_cliques_graph):
+        labels = np.arange(10, dtype=LABEL_DTYPE)
+        batch = mfl.expand_edges(two_cliques_graph)
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        vertices, counts = groups.distinct_counts()
+        # All neighbor labels unique -> m equals degree.
+        for v, m in zip(vertices, counts):
+            assert m == two_cliques_graph.degree(int(v))
+
+
+class TestSelectBest:
+    def test_most_frequent_wins(self, star_graph):
+        labels = np.array([9, 3, 3, 3, 4, 4, 5, 6, 7], dtype=LABEL_DTYPE)
+        batch = mfl.expand_edges(star_graph, np.array([0]))
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        best_labels, best_scores = mfl.select_best_labels(
+            ClassicLP(), groups, np.array([0]), labels
+        )
+        assert best_labels[0] == 3
+        assert best_scores[0] == 3.0
+
+    def test_tie_breaks_to_smaller_label(self, star_graph):
+        labels = np.array([9, 8, 8, 2, 2, 5, 6, 7, 1], dtype=LABEL_DTYPE)
+        batch = mfl.expand_edges(star_graph, np.array([0]))
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        best_labels, _ = mfl.select_best_labels(
+            ClassicLP(), groups, np.array([0]), labels
+        )
+        assert best_labels[0] == 2  # 2 and 8 both appear twice
+
+    def test_isolated_vertex_keeps_label(self, empty_graph):
+        labels = np.array([4, 5, 6, 7, 8], dtype=LABEL_DTYPE)
+        batch = mfl.expand_edges(empty_graph, np.array([2]))
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        best_labels, best_scores = mfl.select_best_labels(
+            ClassicLP(), groups, np.array([2]), labels
+        )
+        assert best_labels[0] == 6
+        assert best_scores[0] == mfl.NO_SCORE
+
+    def test_per_vertex_extremes(self, star_graph):
+        labels = np.array([9, 3, 3, 3, 4, 4, 5, 6, 7], dtype=LABEL_DTYPE)
+        batch = mfl.expand_edges(star_graph)
+        groups = mfl.aggregate_label_frequencies(ClassicLP(), batch, labels)
+        vertices, m, f_max = mfl.per_vertex_extremes(groups)
+        hub = np.flatnonzero(vertices == 0)[0]
+        assert m[hub] == 5  # labels {3,4,5,6,7}
+        assert f_max[hub] == 3.0

@@ -1,0 +1,110 @@
+"""Tests for the composed LabelPropagation pass."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ClassicLP
+from repro.errors import KernelError
+from repro.gpusim.device import Device
+from repro.kernels.base import (
+    GLOBAL_BASELINE,
+    GLP_DEFAULT,
+    SMEM_ONLY,
+    SMEM_WARP,
+    KernelContext,
+    StrategyConfig,
+)
+from repro.kernels.propagate import propagate_pass, segmented_sort_pass
+from repro.types import LABEL_DTYPE
+
+
+def make_ctx(graph, labels, config=GLP_DEFAULT):
+    return KernelContext(
+        device=Device(),
+        graph=graph,
+        current_labels=labels,
+        program=ClassicLP(),
+        config=config,
+    )
+
+
+ALL_CONFIGS = [GLP_DEFAULT, GLOBAL_BASELINE, SMEM_ONLY, SMEM_WARP]
+
+
+class TestComposition:
+    @pytest.mark.parametrize("config", ALL_CONFIGS)
+    def test_all_configs_agree(self, powerlaw_graph, config):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(
+            0, 40, powerlaw_graph.num_vertices
+        ).astype(LABEL_DTYPE)
+        reference = propagate_pass(make_ctx(powerlaw_graph, labels))
+        result = propagate_pass(make_ctx(powerlaw_graph, labels, config))
+        assert np.array_equal(result.best_labels, reference.best_labels)
+
+    def test_gsort_pass_agrees(self, powerlaw_graph):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(
+            0, 40, powerlaw_graph.num_vertices
+        ).astype(LABEL_DTYPE)
+        reference = propagate_pass(make_ctx(powerlaw_graph, labels))
+        result = segmented_sort_pass(make_ctx(powerlaw_graph, labels))
+        assert np.array_equal(result.best_labels, reference.best_labels)
+
+    def test_vertex_subset(self, powerlaw_graph):
+        labels = np.arange(powerlaw_graph.num_vertices, dtype=LABEL_DTYPE)
+        subset = np.arange(0, powerlaw_graph.num_vertices, 3)
+        result = propagate_pass(
+            make_ctx(powerlaw_graph, labels), vertices=subset
+        )
+        assert np.array_equal(result.vertices, subset)
+        assert result.best_labels.size == subset.size
+
+    def test_bins_reported(self, powerlaw_graph):
+        labels = np.arange(powerlaw_graph.num_vertices, dtype=LABEL_DTYPE)
+        result = propagate_pass(make_ctx(powerlaw_graph, labels))
+        assert result.bins.total == powerlaw_graph.num_vertices
+
+    def test_full_glp_uses_all_three_kernels(self, powerlaw_graph):
+        labels = np.arange(powerlaw_graph.num_vertices, dtype=LABEL_DTYPE)
+        ctx = make_ctx(
+            powerlaw_graph,
+            labels,
+            StrategyConfig(low_threshold=4, high_threshold=16),
+        )
+        propagate_pass(ctx)
+        names = {record.name for record in ctx.device.timeline}
+        assert {"smem-cms-ht", "warp-shared-ht", "warp-multi"} <= names
+
+    def test_global_baseline_single_kernel(self, powerlaw_graph):
+        labels = np.arange(powerlaw_graph.num_vertices, dtype=LABEL_DTYPE)
+        ctx = make_ctx(powerlaw_graph, labels, GLOBAL_BASELINE)
+        propagate_pass(ctx)
+        names = {record.name for record in ctx.device.timeline}
+        assert names == {"global-hash"}
+
+
+class TestStrategyConfig:
+    def test_invalid_strategies_rejected(self):
+        with pytest.raises(KernelError):
+            StrategyConfig(high_strategy="bogus")
+        with pytest.raises(KernelError):
+            StrategyConfig(mid_strategy="bogus")
+        with pytest.raises(KernelError):
+            StrategyConfig(low_strategy="bogus")
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(KernelError):
+            StrategyConfig(ht_capacity=0)
+        with pytest.raises(KernelError):
+            StrategyConfig(block_size=100)  # not a multiple of 32
+
+    def test_presets_match_paper_rows(self):
+        assert GLOBAL_BASELINE.high_strategy == "global"
+        assert GLOBAL_BASELINE.low_strategy == "warp_per_vertex"
+        assert SMEM_ONLY.high_strategy == "smem"
+        assert SMEM_ONLY.low_strategy == "warp_per_vertex"
+        assert SMEM_WARP.high_strategy == "smem"
+        assert SMEM_WARP.low_strategy == "warp_multi"
+        assert GLP_DEFAULT.low_threshold == 32
+        assert GLP_DEFAULT.high_threshold == 128

@@ -1,0 +1,64 @@
+"""Tests for degree-based vertex binning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.scheduler import bin_vertices_by_degree
+
+
+class TestBinning:
+    def test_partition_is_complete_and_disjoint(self, powerlaw_graph):
+        bins = bin_vertices_by_degree(powerlaw_graph)
+        combined = np.concatenate([bins.low, bins.mid, bins.high])
+        assert bins.total == powerlaw_graph.num_vertices
+        assert np.array_equal(
+            np.sort(combined), np.arange(powerlaw_graph.num_vertices)
+        )
+
+    def test_thresholds_respected(self, powerlaw_graph):
+        bins = bin_vertices_by_degree(
+            powerlaw_graph, low_threshold=32, high_threshold=128
+        )
+        degrees = powerlaw_graph.degrees
+        assert np.all(degrees[bins.low] < 32)
+        assert np.all((degrees[bins.mid] >= 32) & (degrees[bins.mid] <= 128))
+        assert np.all(degrees[bins.high] > 128)
+
+    def test_isolated_vertices_are_low(self, empty_graph):
+        bins = bin_vertices_by_degree(empty_graph)
+        assert bins.low.size == empty_graph.num_vertices
+        assert bins.mid.size == 0 and bins.high.size == 0
+
+    def test_subset_binning(self, powerlaw_graph):
+        subset = np.arange(0, powerlaw_graph.num_vertices, 2)
+        bins = bin_vertices_by_degree(powerlaw_graph, vertices=subset)
+        assert bins.total == subset.size
+        combined = np.concatenate([bins.low, bins.mid, bins.high])
+        assert set(combined.tolist()) <= set(subset.tolist())
+
+    def test_bins_are_sorted(self, powerlaw_graph):
+        bins = bin_vertices_by_degree(powerlaw_graph)
+        for arr in (bins.low, bins.mid, bins.high):
+            assert np.all(np.diff(arr) > 0) or arr.size <= 1
+
+    def test_invalid_thresholds(self, powerlaw_graph):
+        with pytest.raises(KernelError):
+            bin_vertices_by_degree(powerlaw_graph, low_threshold=0)
+        with pytest.raises(KernelError):
+            bin_vertices_by_degree(
+                powerlaw_graph, low_threshold=64, high_threshold=32
+            )
+
+    def test_summary(self, powerlaw_graph):
+        bins = bin_vertices_by_degree(powerlaw_graph)
+        summary = bins.summary()
+        assert summary["low"] == bins.low.size
+        assert sum(summary.values()) == bins.total
+
+    def test_powerlaw_mass_in_low_bin(self, powerlaw_graph):
+        """The power-law principle the paper leans on: low-degree vertices
+        are the overwhelming majority."""
+        bins = bin_vertices_by_degree(powerlaw_graph)
+        assert bins.low.size > 0.8 * powerlaw_graph.num_vertices
+        assert bins.high.size < 0.05 * powerlaw_graph.num_vertices

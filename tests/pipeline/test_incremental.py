@@ -1,0 +1,143 @@
+"""Tests for incremental window maintenance and warm-started detection."""
+
+import numpy as np
+import pytest
+
+from repro import GLPEngine, SeededFraudLP
+from repro.errors import PipelineError
+from repro.pipeline.incremental import IncrementalWindowBuilder, warm_start_seeds
+from repro.pipeline.transactions import (
+    TransactionStream,
+    TransactionStreamConfig,
+)
+from repro.pipeline.window import build_window_graph
+from repro.pipeline.seeds import SeedStore
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TransactionStream(
+        TransactionStreamConfig(
+            num_users=1500,
+            num_products=800,
+            num_days=15,
+            transactions_per_day=600,
+            num_rings=4,
+            ring_size=8,
+            seed=21,
+        )
+    )
+
+
+class TestIncrementalBuilder:
+    def test_matches_batch_construction(self, stream):
+        builder = IncrementalWindowBuilder(stream)
+        for day in range(5):
+            builder.add_day(day)
+        incremental = builder.build()
+        batch = build_window_graph(stream, 0, 5)
+        assert incremental.graph.num_vertices == batch.graph.num_vertices
+        assert incremental.graph.num_edges == batch.graph.num_edges
+        assert np.array_equal(incremental.users, batch.users)
+        # Same adjacency and weights after compaction.
+        assert np.array_equal(
+            incremental.graph.offsets, batch.graph.offsets
+        )
+        assert np.array_equal(
+            incremental.graph.indices, batch.graph.indices
+        )
+        np.testing.assert_allclose(
+            incremental.graph.weights, batch.graph.weights
+        )
+
+    def test_slide_matches_rebuilt_window(self, stream):
+        builder = IncrementalWindowBuilder(stream)
+        for day in range(5):
+            builder.add_day(day)
+        builder.slide()  # now days 1..5
+        slid = builder.build()
+        rebuilt = build_window_graph(stream, 1, 5)
+        assert slid.graph.num_edges == rebuilt.graph.num_edges
+        assert np.array_equal(slid.users, rebuilt.users)
+        np.testing.assert_allclose(
+            slid.graph.weights.sum(), rebuilt.graph.weights.sum()
+        )
+
+    def test_retire_then_add_roundtrip(self, stream):
+        builder = IncrementalWindowBuilder(stream)
+        builder.add_day(0)
+        builder.add_day(1)
+        pairs_before = builder.num_pairs
+        builder.retire_day(1)
+        builder.add_day(1)
+        assert builder.num_pairs == pairs_before
+
+    def test_double_add_rejected(self, stream):
+        builder = IncrementalWindowBuilder(stream)
+        builder.add_day(0)
+        with pytest.raises(PipelineError):
+            builder.add_day(0)
+
+    def test_retire_missing_rejected(self, stream):
+        builder = IncrementalWindowBuilder(stream)
+        with pytest.raises(PipelineError):
+            builder.retire_day(3)
+
+    def test_empty_build_rejected(self, stream):
+        with pytest.raises(PipelineError):
+            IncrementalWindowBuilder(stream).build()
+
+    def test_slide_past_stream_end(self, stream):
+        builder = IncrementalWindowBuilder(stream)
+        builder.add_day(stream.config.num_days - 1)
+        with pytest.raises(PipelineError):
+            builder.slide()
+
+
+class TestWarmStart:
+    def _detect(self, window, seeds):
+        program = SeededFraudLP(seeds)
+        result = GLPEngine().run(
+            window.graph, program, max_iterations=20
+        )
+        return result
+
+    def test_warm_start_converges_faster(self, stream):
+        store = SeedStore(stream.blacklist())
+        previous = build_window_graph(stream, 0, 10)
+        prev_result = self._detect(previous, store.window_seeds(previous))
+
+        current = build_window_graph(stream, 1, 10)
+        cold_seeds = store.window_seeds(current)
+        cold = self._detect(current, cold_seeds)
+
+        warm_seeds = warm_start_seeds(
+            previous, prev_result.labels, current, cold_seeds
+        )
+        warm = self._detect(current, warm_seeds)
+        assert warm.num_iterations <= cold.num_iterations
+        # Warm start begins with far more labeled vertices.
+        assert len(warm_seeds) > 5 * len(cold_seeds)
+
+    def test_blacklist_wins_conflicts(self, stream):
+        store = SeedStore(stream.blacklist())
+        previous = build_window_graph(stream, 0, 10)
+        prev_result = self._detect(previous, store.window_seeds(previous))
+        current = build_window_graph(stream, 1, 10)
+        base = store.window_seeds(current)
+        merged = warm_start_seeds(
+            previous, prev_result.labels, current, base
+        )
+        for vertex, label in base.items():
+            assert merged[vertex] == label
+
+    def test_max_carryover_cap(self, stream):
+        store = SeedStore(stream.blacklist())
+        previous = build_window_graph(stream, 0, 10)
+        prev_result = self._detect(previous, store.window_seeds(previous))
+        current = build_window_graph(stream, 1, 10)
+        base = store.window_seeds(current)
+        capped = warm_start_seeds(
+            previous, prev_result.labels, current, base, max_carryover=5
+        )
+        assert len(capped) <= 5 + len(base)

@@ -1,0 +1,93 @@
+"""Tests for the end-to-end fraud-detection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import GLPEngine
+from repro.baselines import InHouseDistributedEngine
+from repro.errors import PipelineError
+from repro.pipeline.detector import ClusterDetector
+from repro.pipeline.pipeline import FraudDetectionPipeline
+from repro.pipeline.transactions import (
+    TransactionStream,
+    TransactionStreamConfig,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TransactionStream(
+        TransactionStreamConfig(
+            num_users=4000,
+            num_products=2000,
+            num_days=30,
+            transactions_per_day=2000,
+            num_rings=10,
+            ring_size=10,
+            seed=6,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def glp_pipeline(stream):
+    detector = ClusterDetector(GLPEngine(), max_iterations=15, max_hops=5)
+    return FraudDetectionPipeline(stream, detector)
+
+
+class TestEndToEnd:
+    def test_report_structure(self, glp_pipeline):
+        report = glp_pipeline.run_window(10)
+        assert report.window_days == 10
+        assert report.num_vertices > 0
+        assert report.num_edges > 0
+        assert report.construction_seconds > 0
+        assert report.lp_seconds > 0
+        assert report.total_seconds == pytest.approx(
+            report.construction_seconds
+            + report.lp_seconds
+            + report.downstream_seconds
+        )
+        assert 0.0 <= report.lp_fraction <= 1.0
+
+    def test_detection_quality(self, glp_pipeline):
+        report = glp_pipeline.run_window(20)
+        assert report.num_fraud_clusters > 0
+        assert report.metrics.precision > 0.6
+        assert report.metrics.recall > 0.4
+
+    def test_window_sweep(self, glp_pipeline):
+        reports = glp_pipeline.run_windows([10, 20, 30])
+        assert [r.window_days for r in reports] == [10, 20, 30]
+        edges = [r.num_edges for r in reports]
+        assert edges == sorted(edges)
+
+    def test_lp_share_depends_on_engine(self, stream):
+        slow = FraudDetectionPipeline(
+            stream,
+            ClusterDetector(
+                InHouseDistributedEngine(), max_iterations=15, max_hops=5
+            ),
+        )
+        fast = FraudDetectionPipeline(
+            stream,
+            ClusterDetector(GLPEngine(), max_iterations=15, max_hops=5),
+        )
+        slow_report = slow.run_window(20)
+        fast_report = fast.run_window(20)
+        assert slow_report.lp_fraction > fast_report.lp_fraction
+        # Same detections either way.
+        assert slow_report.num_clusters == fast_report.num_clusters
+        assert (
+            slow_report.metrics.true_positives
+            == fast_report.metrics.true_positives
+        )
+
+    def test_invalid_construction_rate(self, stream):
+        detector = ClusterDetector(GLPEngine())
+        with pytest.raises(PipelineError):
+            FraudDetectionPipeline(stream, detector, construction_rate=0)
+
+    def test_explicit_start_day(self, glp_pipeline):
+        report = glp_pipeline.run_window(5, start_day=0)
+        assert report.window_days == 5

@@ -1,0 +1,105 @@
+"""Tests for sliding-window graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.transactions import (
+    TransactionStream,
+    TransactionStreamConfig,
+)
+from repro.pipeline.window import SlidingWindow, build_window_graph
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TransactionStream(
+        TransactionStreamConfig(
+            num_users=1000,
+            num_products=500,
+            num_days=30,
+            transactions_per_day=400,
+            num_rings=3,
+            ring_size=6,
+            seed=2,
+        )
+    )
+
+
+class TestWindowGraph:
+    def test_bipartite_structure(self, stream):
+        window = build_window_graph(stream, 0, 10)
+        graph = window.graph
+        n_users = window.num_users
+        # Users only connect to products and vice versa.
+        for v in range(0, min(50, n_users)):
+            nbrs = graph.neighbors(v)
+            assert np.all(nbrs >= n_users)
+        for v in range(n_users, min(n_users + 50, graph.num_vertices)):
+            nbrs = graph.neighbors(v)
+            assert np.all(nbrs < n_users)
+
+    def test_vertices_are_touched_entities(self, stream):
+        window = build_window_graph(stream, 5, 5)
+        tx = stream.window_transactions(5, 5)
+        assert window.users.size == np.unique(tx["user"]).size
+        assert window.products.size == np.unique(tx["product"]).size
+
+    def test_edge_weights_are_transaction_counts(self, stream):
+        window = build_window_graph(stream, 0, 30)
+        tx = stream.window_transactions(0, 30)
+        graph = window.graph
+        assert graph.weights is not None
+        # Total weight = 2x transactions (symmetrized).
+        assert graph.weights.sum() == pytest.approx(2 * tx.size)
+
+    def test_user_vertex_roundtrip(self, stream):
+        window = build_window_graph(stream, 0, 10)
+        some_users = window.users[:20]
+        vertices = window.window_vertex_of_user(some_users)
+        assert np.array_equal(
+            window.user_of_window_vertex(vertices), some_users
+        )
+
+    def test_absent_user_maps_to_minus_one(self, stream):
+        window = build_window_graph(stream, 0, 1)
+        # Guaranteed-absent id (beyond the universe used in the window).
+        missing = np.array([stream.num_users - 1 + 10**6])
+        assert window.window_vertex_of_user(missing)[0] == -1
+
+    def test_product_vertices_map_to_minus_one_user(self, stream):
+        window = build_window_graph(stream, 0, 10)
+        product_vertex = np.array([window.num_users])
+        assert window.user_of_window_vertex(product_vertex)[0] == -1
+
+    def test_longer_window_superset_shape(self, stream):
+        short = build_window_graph(stream, 20, 5)
+        long = build_window_graph(stream, 10, 15)
+        assert long.graph.num_vertices >= short.graph.num_vertices
+        assert long.graph.num_edges >= short.graph.num_edges
+
+
+class TestSlidingWindow:
+    def test_tumbling_iteration(self, stream):
+        windows = list(SlidingWindow(stream, 10))
+        assert len(windows) == 3
+        assert [w.start_day for w in windows] == [0, 10, 20]
+
+    def test_sliding_step(self, stream):
+        windows = list(SlidingWindow(stream, 10, step_days=5))
+        assert [w.start_day for w in windows] == [0, 5, 10, 15, 20]
+
+    def test_latest(self, stream):
+        latest = SlidingWindow(stream, 10).latest()
+        assert latest.start_day == 20
+        assert latest.num_days == 10
+
+    def test_window_longer_than_stream_rejected(self, stream):
+        with pytest.raises(PipelineError):
+            SlidingWindow(stream, 31)
+
+    def test_invalid_params(self, stream):
+        with pytest.raises(PipelineError):
+            SlidingWindow(stream, 0)
+        with pytest.raises(PipelineError):
+            SlidingWindow(stream, 5, step_days=0)

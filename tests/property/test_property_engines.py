@@ -1,0 +1,111 @@
+"""Property-based differential tests across engines.
+
+For random graphs and random iteration budgets, every engine — CPU serial,
+the GPU strategies, hybrid and multi-GPU — must produce identical labels
+for the deterministic programs.  This is the strongest correctness
+statement the reproduction makes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ClassicLP, GLPEngine, LayeredLP
+from repro.baselines import GHashEngine, GSortEngine, SerialEngine
+from repro.core.hybrid import HybridEngine
+from repro.core.multigpu import MultiGPUEngine
+from repro.graph.builder import from_edge_arrays
+from repro.gpusim.config import TITAN_V
+from repro.kernels.base import StrategyConfig
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=0, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    symmetrize = draw(st.booleans())
+    return from_edge_arrays(src, dst, n, symmetrize=symmetrize)
+
+
+@given(random_graphs(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_all_engines_agree_on_classic_lp(graph, iterations):
+    reference = SerialEngine().run(
+        graph, ClassicLP(), max_iterations=iterations,
+        stop_on_convergence=False,
+    ).labels
+    engines = [
+        GLPEngine(),
+        GSortEngine(),
+        GHashEngine(),
+        MultiGPUEngine(2),
+        HybridEngine(
+            spec=TITAN_V.with_memory(
+                max(8192, graph.nbytes // 2 + (graph.num_vertices + 1) * 48)
+            )
+        ),
+    ]
+    for engine in engines:
+        labels = engine.run(
+            graph, ClassicLP(), max_iterations=iterations,
+            stop_on_convergence=False,
+        ).labels
+        assert np.array_equal(labels, reference), type(engine).__name__
+
+
+@given(
+    random_graphs(),
+    st.floats(min_value=0.0, max_value=8.0),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=15, deadline=None)
+def test_engines_agree_on_llp(graph, gamma, iterations):
+    reference = SerialEngine().run(
+        graph, LayeredLP(gamma=gamma), max_iterations=iterations,
+        stop_on_convergence=False,
+    ).labels
+    for engine in (GLPEngine(), GSortEngine()):
+        labels = engine.run(
+            graph, LayeredLP(gamma=gamma), max_iterations=iterations,
+            stop_on_convergence=False,
+        ).labels
+        assert np.array_equal(labels, reference)
+
+
+@given(
+    random_graphs(),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=2, max_value=64),
+)
+@settings(max_examples=15, deadline=None)
+def test_glp_result_invariant_to_tuning_knobs(graph, cms_depth, ht_capacity):
+    """The sketch dimensions are performance knobs; labels never change."""
+    reference = GLPEngine().run(
+        graph, ClassicLP(), max_iterations=4, stop_on_convergence=False
+    ).labels
+    tuned = GLPEngine(
+        config=StrategyConfig(
+            ht_capacity=ht_capacity,
+            cms_depth=min(cms_depth, 8),
+            cms_width=16,
+            low_threshold=4,
+            high_threshold=8,
+        )
+    ).run(
+        graph, ClassicLP(), max_iterations=4, stop_on_convergence=False
+    ).labels
+    assert np.array_equal(tuned, reference)
+
+
+@given(random_graphs())
+@settings(max_examples=20, deadline=None)
+def test_labels_remain_valid_vertex_ids(graph):
+    result = GLPEngine().run(
+        graph, ClassicLP(), max_iterations=5, stop_on_convergence=False
+    )
+    assert result.labels.min() >= 0
+    assert result.labels.max() < graph.num_vertices

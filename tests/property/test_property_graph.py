@@ -1,0 +1,123 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder, from_edge_arrays
+
+
+@st.composite
+def edge_lists(draw, max_vertices=24, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m, max_size=m,
+        )
+    )
+    dst = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m, max_size=m,
+        )
+    )
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+class TestBuilderInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_structurally_valid(self, data):
+        n, src, dst = data
+        graph = from_edge_arrays(src, dst, n)
+        assert graph.offsets[0] == 0
+        assert graph.offsets[-1] == graph.num_edges
+        assert np.all(np.diff(graph.offsets) >= 0)
+        if graph.num_edges:
+            assert graph.indices.min() >= 0
+            assert graph.indices.max() < n
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_removes_duplicates_and_self_loops(self, data):
+        n, src, dst = data
+        graph = from_edge_arrays(src, dst, n)
+        for v in range(n):
+            nbrs = graph.neighbors(v)
+            assert np.unique(nbrs).size == nbrs.size  # no duplicates
+            assert v not in nbrs  # no self loops
+            assert np.all(np.diff(nbrs) > 0)  # sorted
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_preserved_modulo_dedup(self, data):
+        n, src, dst = data
+        graph = from_edge_arrays(src, dst, n)
+        expected = {
+            (int(d), int(s)) for s, d in zip(src, dst) if s != d
+        }
+        actual = set(graph.iter_edges())
+        assert actual == expected
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetrize_makes_undirected(self, data):
+        n, src, dst = data
+        graph = from_edge_arrays(src, dst, n, symmetrize=True)
+        edges = set(graph.iter_edges())
+        for v, u in edges:
+            assert (u, v) in edges
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_is_involution(self, data):
+        n, src, dst = data
+        graph = from_edge_arrays(src, dst, n)
+        double = graph.reversed().reversed()
+        assert set(graph.iter_edges()) == set(double.iter_edges())
+
+    @given(
+        edge_lists(),
+        st.lists(st.floats(min_value=0.1, max_value=10.0), max_size=80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_mass_preserved(self, data, raw_weights):
+        """Dedup sums duplicate weights, so total mass (minus dropped
+        self-loops) is invariant."""
+        n, src, dst = data
+        weights = np.ones(src.size)
+        take = min(len(raw_weights), src.size)
+        weights[:take] = raw_weights[:take]
+        graph = from_edge_arrays(src, dst, n, weights=weights)
+        keep = src != dst
+        if graph.weights is not None:
+            np.testing.assert_allclose(
+                graph.weights.sum(), weights[keep].sum()
+            )
+
+
+class TestPartitionInvariants:
+    @given(edge_lists(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_partition_tiles(self, data, k):
+        from repro.graph.partition import balanced_edge_partition
+
+        n, src, dst = data
+        graph = from_edge_arrays(src, dst, n)
+        parts = balanced_edge_partition(graph, k)
+        assert parts[0].start == 0
+        assert parts[-1].stop == n
+        assert sum(p.num_edges for p in parts) == graph.num_edges
+
+    @given(edge_lists(), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_budget_partition_tiles(self, data, budget):
+        from repro.graph.partition import partition_by_edge_count
+
+        n, src, dst = data
+        graph = from_edge_arrays(src, dst, n)
+        parts = partition_by_edge_count(graph, budget)
+        covered = sum(p.num_vertices for p in parts)
+        assert covered == n

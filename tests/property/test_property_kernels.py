@@ -1,0 +1,149 @@
+"""Property-based tests for kernel internals (packing, strategy equality)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import ClassicLP
+from repro.graph.builder import from_edge_arrays
+from repro.gpusim.device import Device
+from repro.kernels.base import KernelContext, StrategyConfig
+from repro.kernels.global_hash import run_global_hash
+from repro.kernels.smem_cms_ht import run_smem_cms_ht
+from repro.kernels.warp_centric import _pack_lanes, run_warp_multi
+from repro.types import LABEL_DTYPE
+
+
+@st.composite
+def degree_arrays(draw):
+    return np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=80),
+                min_size=1,
+                max_size=40,
+            )
+        ),
+        dtype=np.int64,
+    )
+
+
+class TestPackingInvariants:
+    @given(degree_arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_every_edge_gets_a_slot(self, degrees):
+        vertices = np.arange(degrees.size, dtype=np.int64)
+        order = np.lexsort((vertices, degrees))
+        edge_warp, edge_lane, num_warps = _pack_lanes(
+            degrees[order], vertices[order], 32
+        )
+        assert edge_warp.size == int(degrees.sum())
+        if edge_warp.size:
+            assert edge_warp.max() < num_warps
+            assert edge_lane.min() >= 0
+            assert edge_lane.max() < 32
+
+    @given(degree_arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_no_two_edges_share_a_lane_slot(self, degrees):
+        vertices = np.arange(degrees.size, dtype=np.int64)
+        order = np.lexsort((vertices, degrees))
+        edge_warp, edge_lane, _ = _pack_lanes(
+            degrees[order], vertices[order], 32
+        )
+        slots = edge_warp * 32 + edge_lane
+        assert np.unique(slots).size == slots.size
+
+    @given(degree_arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_small_vertices_never_split_across_warps(self, degrees):
+        """Whole-vertex placement: match_any can only count frequencies of
+        values sitting in one warp."""
+        vertices = np.arange(degrees.size, dtype=np.int64)
+        order = np.lexsort((vertices, degrees))
+        sorted_degrees = degrees[order]
+        edge_warp, _, _ = _pack_lanes(sorted_degrees, vertices[order], 32)
+        position = 0
+        for d in sorted_degrees:
+            d = int(d)
+            if d == 0:
+                continue
+            warps = set(edge_warp[position : position + d].tolist())
+            if d <= 32:
+                assert len(warps) == 1
+            else:
+                assert len(warps) == -(-d // 32)
+            position += d
+
+    @given(degree_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_packing_efficiency_bound(self, degrees):
+        """Degree-binned packing wastes less than half the lanes overall
+        for nonzero-degree work (floor(32/d)*d >= 17 lanes busy)."""
+        nonzero = degrees[(degrees > 0) & (degrees < 32)]
+        if nonzero.sum() < 32:
+            return
+        vertices = np.arange(degrees.size, dtype=np.int64)
+        order = np.lexsort((vertices, degrees))
+        _, _, num_warps = _pack_lanes(degrees[order], vertices[order], 32)
+        total_edges = int(degrees.sum())
+        # Lane slots provisioned vs edges placed.
+        assert num_warps * 32 < 4 * total_edges + 64
+
+
+@st.composite
+def random_graph_and_labels(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    num_labels = draw(st.integers(min_value=1, max_value=8))
+    rng = np.random.default_rng(seed)
+    graph = from_edge_arrays(
+        rng.integers(0, n, m), rng.integers(0, n, m), n, symmetrize=True
+    )
+    labels = rng.integers(0, num_labels, n).astype(LABEL_DTYPE)
+    return graph, labels
+
+
+class TestStrategyEquality:
+    @given(
+        random_graph_and_labels(),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_smem_exact_for_any_ht_size(self, data, ht_capacity, cms_depth):
+        """The CMS+HT procedure is exact no matter how undersized the
+        shared structures are — it is a pruning strategy, never an
+        approximation (paper Section 4.1, 'Special Note')."""
+        graph, labels = data
+        vertices = np.flatnonzero(graph.degrees > 0).astype(np.int64)
+        if vertices.size == 0:
+            return
+        config = StrategyConfig(
+            ht_capacity=ht_capacity, cms_depth=cms_depth, cms_width=8
+        )
+        ref = run_global_hash(
+            KernelContext(Device(), graph, labels, ClassicLP()), vertices
+        )
+        got = run_smem_cms_ht(
+            KernelContext(Device(), graph, labels, ClassicLP(), config),
+            vertices,
+        )
+        assert np.array_equal(got[0], ref[0])
+        assert np.allclose(got[1], ref[1])
+
+    @given(random_graph_and_labels())
+    @settings(max_examples=50, deadline=None)
+    def test_warp_multi_exact(self, data):
+        graph, labels = data
+        vertices = np.flatnonzero(graph.degrees < 32).astype(np.int64)
+        if vertices.size == 0:
+            return
+        ref = run_global_hash(
+            KernelContext(Device(), graph, labels, ClassicLP()), vertices
+        )
+        got = run_warp_multi(
+            KernelContext(Device(), graph, labels, ClassicLP()), vertices
+        )
+        assert np.array_equal(got[0], ref[0])

@@ -1,0 +1,114 @@
+"""Property-based tests for the sketch data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.globalhash import GlobalHashTable
+from repro.sketch.hashtable import FixedCapacityHashTable, resident_prefix
+
+label_sequences = st.lists(
+    st.integers(min_value=0, max_value=30), min_size=0, max_size=120
+)
+
+
+class TestCMSProperties:
+    @given(
+        label_sequences,
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_never_underestimates(self, labels, depth, width):
+        """The one-sided error guarantee the MFL pruning depends on."""
+        sketch = CountMinSketch(depth, width)
+        if labels:
+            sketch.add(np.array(labels, dtype=np.int64))
+        true_counts = {}
+        for label in labels:
+            true_counts[label] = true_counts.get(label, 0) + 1
+        for label, count in true_counts.items():
+            assert sketch.estimate(np.array([label]))[0] >= count
+
+    @given(label_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_linearity(self, labels):
+        """Adding in one batch equals adding one by one."""
+        if not labels:
+            return
+        arr = np.array(labels, dtype=np.int64)
+        batch = CountMinSketch(3, 32)
+        batch.add(arr)
+        single = CountMinSketch(3, 32)
+        for label in labels:
+            single.add(np.array([label], dtype=np.int64))
+        probe = np.unique(arr)
+        assert np.array_equal(batch.estimate(probe), single.estimate(probe))
+
+
+class TestHashTableProperties:
+    @given(label_sequences, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=80, deadline=None)
+    def test_resident_set_is_first_distinct_prefix(self, labels, capacity):
+        table = FixedCapacityHashTable(capacity)
+        for label in labels:
+            table.insert(int(label))
+        seen = []
+        for label in labels:
+            if label not in seen:
+                seen.append(label)
+        expected_resident, _ = resident_prefix(
+            np.array(seen, dtype=np.int64), capacity
+        )
+        resident, _ = table.items()
+        assert set(resident.tolist()) == set(expected_resident.tolist())
+
+    @given(label_sequences, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=80, deadline=None)
+    def test_resident_counts_exact(self, labels, capacity):
+        table = FixedCapacityHashTable(capacity)
+        for label in labels:
+            table.insert(int(label))
+        resident, counts = table.items()
+        for label, count in zip(resident, counts):
+            assert count == labels.count(int(label))
+
+    @given(label_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_size_never_exceeds_capacity(self, labels):
+        table = FixedCapacityHashTable(5)
+        for label in labels:
+            table.insert(int(label))
+        assert table.size <= 5
+
+
+class TestGlobalHashProperties:
+    @given(label_sequences)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_match_ground_truth(self, labels):
+        if not labels:
+            return
+        arr = np.array(labels, dtype=np.int64)
+        table = GlobalHashTable.for_expected_keys(max(1, arr.size))
+        table.add_batch(arr)
+        unique, expected = np.unique(arr, return_counts=True)
+        assert np.array_equal(table.estimate(unique), expected)
+
+    @given(label_sequences, label_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_equals_batch(self, first, second):
+        combined = np.array(first + second, dtype=np.int64)
+        if combined.size == 0:
+            return
+        incremental = GlobalHashTable.for_expected_keys(combined.size)
+        if first:
+            incremental.add_batch(np.array(first, dtype=np.int64))
+        if second:
+            incremental.add_batch(np.array(second, dtype=np.int64))
+        oneshot = GlobalHashTable.for_expected_keys(combined.size)
+        oneshot.add_batch(combined)
+        probe = np.unique(combined)
+        assert np.array_equal(
+            incremental.estimate(probe), oneshot.estimate(probe)
+        )

@@ -1,0 +1,106 @@
+"""Property-based tests for the warp intrinsics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import warp
+
+
+@st.composite
+def warp_states(draw, warp_size=16):
+    """(active, values) for a single warp."""
+    active = draw(
+        st.lists(st.booleans(), min_size=warp_size, max_size=warp_size)
+    )
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=5),
+            min_size=warp_size,
+            max_size=warp_size,
+        )
+    )
+    return (
+        np.array([active], dtype=bool),
+        np.array([values], dtype=np.int64),
+    )
+
+
+class TestMatchAnyProperties:
+    @given(warp_states())
+    @settings(max_examples=100, deadline=None)
+    def test_reflexive_on_active_lanes(self, state):
+        active, values = state
+        masks = warp.match_any_sync(active, values)
+        for lane in range(active.shape[1]):
+            if active[0, lane]:
+                assert masks[0, lane] & (1 << lane)
+            else:
+                assert masks[0, lane] == 0
+
+    @given(warp_states())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric(self, state):
+        active, values = state
+        masks = warp.match_any_sync(active, values)
+        n = active.shape[1]
+        for i in range(n):
+            for j in range(n):
+                if active[0, i] and active[0, j]:
+                    assert bool(masks[0, i] & (1 << j)) == bool(
+                        masks[0, j] & (1 << i)
+                    )
+
+    @given(warp_states())
+    @settings(max_examples=100, deadline=None)
+    def test_popc_equals_group_size(self, state):
+        """popc(lmask) = the true frequency of the lane's value — the basis
+        of the Section 4.2 counting trick."""
+        active, values = state
+        masks = warp.match_any_sync(active, values)
+        counts = warp.popc(masks)
+        for lane in range(active.shape[1]):
+            if active[0, lane]:
+                expected = sum(
+                    1
+                    for other in range(active.shape[1])
+                    if active[0, other]
+                    and values[0, other] == values[0, lane]
+                )
+                assert counts[0, lane] == expected
+
+    @given(warp_states())
+    @settings(max_examples=60, deadline=None)
+    def test_groups_partition_active_lanes(self, state):
+        active, values = state
+        masks = warp.match_any_sync(active, values)
+        distinct_masks = {int(m) for m in masks[0] if m}
+        union = 0
+        for mask in distinct_masks:
+            assert (union & mask) == 0 or any(
+                (mask == other) for other in distinct_masks
+            )
+        union = 0
+        for mask in distinct_masks:
+            union |= mask
+        expected_union = int(warp.ballot_sync(active, active)[0])
+        assert union == expected_union
+
+
+class TestBallotProperties:
+    @given(warp_states())
+    @settings(max_examples=100, deadline=None)
+    def test_ballot_popcount_counts_true_lanes(self, state):
+        active, values = state
+        predicate = values % 2 == 0
+        mask = warp.ballot_sync(active, predicate)
+        expected = int((active[0] & predicate[0]).sum())
+        assert warp.popc(mask)[0] == expected
+
+    @given(warp_states())
+    @settings(max_examples=60, deadline=None)
+    def test_ballot_subset_of_activemask(self, state):
+        active, values = state
+        full = warp.ballot_sync(active, np.ones_like(active))
+        partial = warp.ballot_sync(active, values > 2)
+        assert (int(partial[0]) & ~int(full[0])) == 0

@@ -1,0 +1,93 @@
+"""Tests for the Count-Min Sketch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GLPError
+from repro.sketch.countmin import CountMinSketch
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        sketch = CountMinSketch(4, 64)
+        assert sketch.depth == 4
+        assert sketch.width == 64
+        assert sketch.nbytes == 4 * 64 * 4
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GLPError):
+            CountMinSketch(0, 10)
+        with pytest.raises(GLPError):
+            CountMinSketch(2, 0)
+        with pytest.raises(GLPError):
+            CountMinSketch(99, 10)  # more rows than hash constants
+
+
+class TestEstimates:
+    def test_never_underestimates(self):
+        """The core CMS property the pruning proof relies on."""
+        rng = np.random.default_rng(1)
+        sketch = CountMinSketch(4, 32)
+        labels = rng.integers(0, 50, size=500)
+        sketch.add(labels)
+        true_counts = np.bincount(labels, minlength=50)
+        for label in range(50):
+            estimate = sketch.estimate(np.array([label]))[0]
+            assert estimate >= true_counts[label]
+
+    def test_exact_without_collisions(self):
+        sketch = CountMinSketch(4, 4096)
+        sketch.add(np.array([7, 7, 7, 9]))
+        assert sketch.estimate(np.array([7]))[0] == 3
+        assert sketch.estimate(np.array([9]))[0] == 1
+
+    def test_weighted_adds(self):
+        sketch = CountMinSketch(4, 4096)
+        sketch.add(np.array([5, 5]), np.array([2.5, 0.5]))
+        assert sketch.estimate(np.array([5]))[0] == pytest.approx(3.0)
+
+    def test_add_returns_post_insert_estimates(self):
+        sketch = CountMinSketch(4, 4096)
+        estimates = sketch.add(np.array([3, 3, 3]))
+        # Linear structure: after the batch, all occurrences see >= total.
+        assert estimates.max() >= 3
+
+    def test_weights_length_mismatch(self):
+        sketch = CountMinSketch(2, 16)
+        with pytest.raises(GLPError):
+            sketch.add(np.array([1, 2]), np.array([1.0]))
+
+    def test_clear(self):
+        sketch = CountMinSketch(2, 16)
+        sketch.add(np.array([1, 2, 3]))
+        sketch.clear()
+        assert sketch.total_insertions == 0
+        assert sketch.estimate(np.array([1]))[0] == 0.0
+
+    def test_empty_queries(self):
+        sketch = CountMinSketch(2, 16)
+        assert sketch.estimate(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_deeper_sketch_tightens_estimates(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 3000, size=3000)
+        shallow = CountMinSketch(1, 64)
+        deep = CountMinSketch(8, 64)
+        shallow.add(labels)
+        deep.add(labels)
+        probe = np.unique(labels)[:200]
+        assert deep.estimate(probe).sum() <= shallow.estimate(probe).sum()
+
+    def test_bucket_addresses_shape_and_range(self):
+        sketch = CountMinSketch(3, 32)
+        addresses = sketch.bucket_addresses(np.array([1, 2, 3, 4]))
+        assert addresses.shape == (3, 4)
+        for row in range(3):
+            assert np.all(addresses[row] >= row * 32)
+            assert np.all(addresses[row] < (row + 1) * 32)
+
+    def test_total_insertions(self):
+        sketch = CountMinSketch(2, 16)
+        sketch.add(np.array([1, 2]))
+        sketch.add(np.array([3]))
+        assert sketch.total_insertions == 3

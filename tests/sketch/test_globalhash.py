@@ -1,0 +1,86 @@
+"""Tests for the global-memory hash table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GLPError
+from repro.sketch.globalhash import GlobalHashTable, combine_keys
+
+
+class TestCombineKeys:
+    def test_unique_packing(self):
+        vertices = np.array([0, 0, 1, 1])
+        labels = np.array([0, 1, 0, 1])
+        keys = combine_keys(vertices, labels)
+        assert np.unique(keys).size == 4
+
+    def test_range_check(self):
+        with pytest.raises(GLPError):
+            combine_keys(np.array([1 << 32]), np.array([0]))
+
+
+class TestAddBatch:
+    def test_counts_are_exact(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 100, size=2000)
+        table = GlobalHashTable.for_expected_keys(100)
+        slots, probes = table.add_batch(keys)
+        true_counts = np.bincount(keys, minlength=100)
+        stored_keys, stored_counts = table.items()
+        assert stored_keys.size == np.unique(keys).size
+        for key, count in zip(stored_keys, stored_counts):
+            assert count == true_counts[key]
+
+    def test_probes_at_least_one_per_insert(self):
+        table = GlobalHashTable.for_expected_keys(10)
+        _, probes = table.add_batch(np.arange(10))
+        assert probes >= 10
+
+    def test_probes_grow_with_load_factor(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 500, size=500)
+        loose = GlobalHashTable(4096)
+        tight = GlobalHashTable(512)
+        _, probes_loose = loose.add_batch(keys)
+        _, probes_tight = tight.add_batch(keys)
+        assert probes_tight > probes_loose
+
+    def test_weighted(self):
+        table = GlobalHashTable(64)
+        table.add_batch(np.array([5, 5]), np.array([1.5, 2.5]))
+        assert table.estimate(np.array([5]))[0] == 4.0
+
+    def test_estimate_absent_key(self):
+        table = GlobalHashTable(64)
+        table.add_batch(np.array([1]))
+        assert table.estimate(np.array([999]))[0] == 0.0
+
+    def test_full_table_raises(self):
+        table = GlobalHashTable(4)
+        with pytest.raises(GLPError, match="full"):
+            table.add_batch(np.arange(10))
+
+    def test_incremental_batches_accumulate(self):
+        table = GlobalHashTable(128)
+        table.add_batch(np.array([1, 2, 3]))
+        table.add_batch(np.array([1, 1]))
+        assert table.estimate(np.array([1]))[0] == 3.0
+        assert table.size == 3
+
+    def test_slots_are_stable(self):
+        table = GlobalHashTable(128)
+        slots1, _ = table.add_batch(np.array([9, 9, 42]))
+        slots2, _ = table.add_batch(np.array([9, 42]))
+        assert slots1[0] == slots1[1] == slots2[0]
+        assert slots1[2] == slots2[1]
+
+    def test_weights_length_mismatch(self):
+        table = GlobalHashTable(16)
+        with pytest.raises(GLPError):
+            table.add_batch(np.array([1, 2]), np.array([1.0]))
+
+    def test_sizing_helper(self):
+        table = GlobalHashTable.for_expected_keys(100, load_factor=0.5)
+        assert table.capacity >= 200
+        with pytest.raises(GLPError):
+            GlobalHashTable.for_expected_keys(10, load_factor=1.5)

@@ -1,0 +1,120 @@
+"""Tests for the fixed-capacity shared-memory hash table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GLPError
+from repro.sketch.hashtable import FixedCapacityHashTable, resident_prefix
+
+
+class TestInsertion:
+    def test_insert_and_count(self):
+        table = FixedCapacityHashTable(8)
+        ok, count, _ = table.insert(5, 1.0)
+        assert ok and count == 1.0
+        ok, count, _ = table.insert(5, 2.0)
+        assert ok and count == 3.0
+        assert table.get(5) == 3.0
+        assert table.size == 1
+
+    def test_fills_to_capacity(self):
+        table = FixedCapacityHashTable(4)
+        for label in range(4):
+            ok, _, _ = table.insert(label)
+            assert ok
+        assert table.full
+
+    def test_insert_into_full_table_fails(self):
+        table = FixedCapacityHashTable(4)
+        for label in range(4):
+            table.insert(label)
+        ok, count, probes = table.insert(99)
+        assert not ok
+        assert count == 0.0
+        assert probes == 4  # scanned the whole table
+
+    def test_resident_labels_still_increment_when_full(self):
+        table = FixedCapacityHashTable(2)
+        table.insert(1)
+        table.insert(2)
+        ok, count, _ = table.insert(1)
+        assert ok and count == 2.0
+
+    def test_negative_label_rejected(self):
+        table = FixedCapacityHashTable(4)
+        with pytest.raises(GLPError):
+            table.insert(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(GLPError):
+            FixedCapacityHashTable(0)
+
+    def test_contains(self):
+        table = FixedCapacityHashTable(4)
+        table.insert(7)
+        assert 7 in table
+        assert 8 not in table
+
+    def test_get_absent(self):
+        table = FixedCapacityHashTable(4)
+        assert table.get(3) == 0.0
+
+    def test_items_and_max_count(self):
+        table = FixedCapacityHashTable(8)
+        table.insert(1, 2.0)
+        table.insert(2, 5.0)
+        table.insert(1, 1.0)
+        labels, counts = table.items()
+        assert sorted(labels.tolist()) == [1, 2]
+        assert table.max_count() == 5.0
+
+    def test_max_count_empty(self):
+        assert FixedCapacityHashTable(4).max_count() == 0.0
+
+    def test_clear(self):
+        table = FixedCapacityHashTable(4)
+        table.insert(1)
+        table.clear()
+        assert table.size == 0
+        assert 1 not in table
+
+    def test_nbytes(self):
+        assert FixedCapacityHashTable(512).nbytes == 4096
+
+
+class TestResidentPrefixEquivalence:
+    """The vectorized kernel uses the first-h-distinct closed form; it must
+    match the real table's behaviour for any arrival sequence."""
+
+    @pytest.mark.parametrize("capacity", [1, 3, 8, 32])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_real_table(self, capacity, seed):
+        rng = np.random.default_rng(seed)
+        sequence = rng.integers(0, 40, size=200)
+
+        table = FixedCapacityHashTable(capacity)
+        for label in sequence:
+            table.insert(int(label))
+        real_resident = set(table.items()[0].tolist())
+
+        _, first_positions = np.unique(sequence, return_index=True)
+        distinct_in_arrival = sequence[np.sort(first_positions)]
+        predicted, overflow = resident_prefix(distinct_in_arrival, capacity)
+        assert set(predicted.tolist()) == real_resident
+        assert set(overflow.tolist()) == (
+            set(distinct_in_arrival.tolist()) - real_resident
+        )
+
+    def test_counts_match_real_table(self):
+        rng = np.random.default_rng(5)
+        sequence = rng.integers(0, 20, size=300)
+        capacity = 8
+        table = FixedCapacityHashTable(capacity)
+        for label in sequence:
+            table.insert(int(label))
+        _, first_positions = np.unique(sequence, return_index=True)
+        arrival = sequence[np.sort(first_positions)]
+        resident, _ = resident_prefix(arrival, capacity)
+        true_counts = np.bincount(sequence)
+        for label in resident:
+            assert table.get(int(label)) == true_counts[label]

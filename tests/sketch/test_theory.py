@@ -1,0 +1,91 @@
+"""Tests for the Section 4.1 analytical bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GLPError
+from repro.sketch import theory
+
+
+class TestLemma1:
+    def test_zero_when_ht_fits_everything(self):
+        assert theory.lemma1_bound(10, 16, 5) == 0.0
+        assert theory.lemma1_exact(10, 16, 5) == 0.0
+
+    def test_exact_below_bound(self):
+        for m, h, f_max in [(64, 16, 9), (256, 32, 33), (100, 8, 5)]:
+            assert (
+                theory.lemma1_exact(m, h, f_max)
+                <= theory.lemma1_bound(m, h, f_max) + 1e-12
+            )
+
+    def test_bound_decreases_with_capacity(self):
+        bounds = [theory.lemma1_bound(256, h, 17) for h in (8, 16, 32, 64)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_bound_decreases_with_fmax(self):
+        """More MFL copies -> more chances to land in the HT early."""
+        bounds = [theory.lemma1_bound(256, 16, f) for f in (3, 9, 33, 129)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_monte_carlo_within_bound(self):
+        m, h, f_max = 128, 16, 17
+        measured = theory.simulate_mfl_misses_ht(
+            m, h, f_max, trials=400, rng=np.random.default_rng(0)
+        )
+        assert measured <= theory.lemma1_bound(m, h, f_max) + 0.05
+
+    def test_monte_carlo_tracks_exact(self):
+        m, h, f_max = 64, 8, 9
+        exact = theory.lemma1_exact(m, h, f_max)
+        measured = theory.simulate_mfl_misses_ht(
+            m, h, f_max, trials=800, rng=np.random.default_rng(1)
+        )
+        assert measured == pytest.approx(exact, abs=0.06)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GLPError):
+            theory.lemma1_bound(0, 4, 4)
+        with pytest.raises(GLPError):
+            theory.simulate_mfl_misses_ht(4, 4, 4, trials=0)
+
+
+class TestLemma2:
+    def test_bound_formula(self):
+        assert theory.lemma2_bound(8, 3) == pytest.approx(1.0)
+        assert theory.lemma2_bound(8, 10) == pytest.approx(8 / 1024)
+
+    def test_bound_capped_at_one(self):
+        assert theory.lemma2_bound(10_000, 1) == 1.0
+
+    def test_monte_carlo_within_bound(self):
+        for m, d in [(64, 4), (128, 5)]:
+            measured = theory.simulate_cms_overestimates(
+                m, d, f_max=1, trials=200, rng=np.random.default_rng(2)
+            )
+            assert measured <= theory.lemma2_bound(m, d) + 0.05
+
+    def test_deeper_cms_overestimates_less(self):
+        shallow = theory.simulate_cms_overestimates(
+            256, 1, f_max=1, trials=200, rng=np.random.default_rng(3)
+        )
+        deep = theory.simulate_cms_overestimates(
+            256, 6, f_max=1, trials=200, rng=np.random.default_rng(3)
+        )
+        assert deep <= shallow
+
+
+class TestTheorem1:
+    def test_combines_both_lemmas(self):
+        bound = theory.theorem1_bound(64, 16, 4)
+        assert bound == pytest.approx(
+            min(1.0, 64 * 2.0**-4 + np.exp(-16))
+        )
+
+    def test_small_in_practical_regime(self):
+        # Converged high-degree vertex: few labels, deep CMS, big HT.
+        assert theory.theorem1_bound(m=16, h=512, d=12) < 0.01
+
+    def test_invalid(self):
+        with pytest.raises(GLPError):
+            theory.theorem1_bound(1, 1, 0)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "dblp"])
+        assert args.engine == "glp"
+        assert args.algorithm == "classic"
+        assert args.iterations == 20
+
+    def test_bench_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_on_dataset(self, capsys):
+        code = main(["run", "dblp", "--iterations", "3",
+                     "--no-early-stop"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "communities" in out
+        assert "modeled time" in out
+        assert "dblp" in out
+
+    def test_run_llp(self, capsys):
+        code = main([
+            "run", "roadNet", "--algorithm", "llp", "--gamma", "2",
+            "--iterations", "3", "--engine", "serial",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "llp(gamma=2)" in out
+
+    def test_run_on_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        code = main(["run", str(path), "--iterations", "2"])
+        assert code == 0
+        assert "V=3" in capsys.readouterr().out
+
+    def test_run_cpu_engine_has_no_counters_line(self, capsys):
+        main(["run", "dblp", "--engine", "omp", "--iterations", "2",
+              "--no-early-stop"])
+        out = capsys.readouterr().out
+        assert "global traffic" not in out
+
+
+class TestOtherCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "aligraph" in out and "twitter" in out
+
+    def test_bench_table2(self, capsys):
+        assert main(["bench", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_bench_theory(self, capsys):
+        assert main(["bench", "theory"]) == 0
+        assert "Lemma1" in capsys.readouterr().out
+
+    def test_pipeline(self, capsys):
+        code = main([
+            "pipeline", "--days", "10", "--window", "5", "--seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LP share" in out
+        assert "fraud clusters" in out

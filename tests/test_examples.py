@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs end to end.
+
+The heavier examples are parameter-shrunk via monkeypatching where needed;
+the goal is exercising the exact code paths users copy from, not their
+full-scale output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str):
+    return runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "purity" in out
+        assert "per-kernel time breakdown" in out
+
+    def test_custom_lp_variant(self, capsys):
+        run_example("custom_lp_variant.py")
+        out = capsys.readouterr().out
+        assert "identical labels" in out
+
+    def test_overlapping_communities(self, capsys):
+        run_example("overlapping_communities.py")
+        out = capsys.readouterr().out
+        assert "bridge vertices" in out
+
+    @pytest.mark.slow
+    def test_fraud_detection_pipeline(self, capsys):
+        run_example("fraud_detection_pipeline.py")
+        out = capsys.readouterr().out
+        assert "LP share of pipeline" in out
+        assert "GLP (one simulated Titan V)" in out
+
+    @pytest.mark.slow
+    def test_billion_scale_hybrid(self, capsys):
+        run_example("billion_scale_hybrid.py")
+        out = capsys.readouterr().out
+        assert "GLP-Hybrid" in out
+        assert "visible transfer share" in out
+
+
+class TestPartitioningExample:
+    def test_graph_partitioning(self, capsys):
+        run_example("graph_partitioning.py")
+        out = capsys.readouterr().out
+        assert "balanced LP:" in out
+        assert "imbalance" in out

@@ -1,0 +1,84 @@
+"""Package-level tests: exports, errors, types and scaling conventions."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import errors, scaling, types
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_classes_importable(self):
+        from repro import (
+            ClassicLP,
+            CSRGraph,
+            Device,
+            GLPEngine,
+            GraphBuilder,
+            LayeredLP,
+            LPProgram,
+            SeededFraudLP,
+            SpeakerListenerLP,
+        )
+
+        assert issubclass(ClassicLP, LPProgram)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_glperror(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.GLPError) or obj is errors.GLPError
+
+    def test_device_errors_specialized(self):
+        assert issubclass(errors.OutOfDeviceMemoryError, errors.DeviceError)
+        assert issubclass(errors.SharedMemoryError, errors.KernelError)
+        assert issubclass(errors.KernelError, errors.DeviceError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.GLPError):
+            raise errors.GraphFormatError("bad file")
+
+
+class TestTypes:
+    def test_coercion_helpers(self):
+        arr = types.as_vertex_array([1, 2, 3])
+        assert arr.dtype == types.VERTEX_DTYPE
+        arr = types.as_label_array(np.array([1.0, 2.0]))
+        assert arr.dtype == types.LABEL_DTYPE
+        arr = types.as_weight_array([1, 2])
+        assert arr.dtype == types.WEIGHT_DTYPE
+
+    def test_scalar_promoted_to_1d(self):
+        assert types.as_vertex_array(5).shape == (1,)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            types.as_vertex_array(np.zeros((2, 2)))
+
+    def test_no_label_sentinel(self):
+        assert types.NO_LABEL == -1
+
+
+class TestScaling:
+    def test_scaled_latency(self):
+        assert scaling.scaled_latency(1.0) == scaling.TIME_SCALE
+        assert scaling.scaled_latency(2.0, scale=0.5) == 1.0
+
+    def test_specs_use_the_scale(self):
+        from repro.gpusim.config import TITAN_V
+
+        assert TITAN_V.kernel_launch_overhead == pytest.approx(
+            5e-6 * scaling.TIME_SCALE
+        )
+        assert TITAN_V.pcie_latency == pytest.approx(
+            10e-6 * scaling.TIME_SCALE
+        )
