@@ -1,0 +1,176 @@
+"""Dense vs frontier vs auto execution on cold and warm-started runs.
+
+The frontier engine's value proposition is the production serving loop:
+consecutive sliding windows share ~99 % of their edges, the previous
+detection's labels warm-start the next run, and after iteration 1 only the
+delta neighborhoods stay on the frontier.  This bench drives the
+:class:`~repro.pipeline.incremental.SlidingWindowDetector` once per mode
+and emits the acceptance numbers as JSON:
+
+* ``warm.edge_ratio_iter2plus`` — dense/frontier processed-edge ratio from
+  iteration 2 onward (must be >= 5 on the warm-started run),
+* ``warm.kernel_seconds`` per mode (frontier must be cheaper than dense),
+* ``labels_identical`` — bitwise identity of final labels across modes.
+
+Runs both under pytest (full-size, report saved) and standalone for CI::
+
+    PYTHONPATH=src python benchmarks/bench_frontier.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro import GLPEngine
+from repro.pipeline.detector import ClusterDetector
+from repro.pipeline.incremental import SlidingWindowDetector
+from repro.pipeline.transactions import (
+    TransactionStream,
+    TransactionStreamConfig,
+)
+
+MODES = ("dense", "frontier", "auto")
+
+
+def _run_stats(lp_result):
+    return {
+        "num_iterations": lp_result.num_iterations,
+        "kernel_seconds": sum(
+            s.kernel_seconds for s in lp_result.iterations
+        ),
+        "pass_modes": [
+            s.kernel_stats.get("pass_mode", "dense")
+            for s in lp_result.iterations
+        ],
+        "frontier_sizes": [s.frontier_size for s in lp_result.iterations],
+        "processed_edges": [
+            s.processed_edges for s in lp_result.iterations
+        ],
+        "edges_iter2plus": int(
+            sum(s.processed_edges for s in lp_result.iterations[1:])
+        ),
+    }
+
+
+def run_frontier_comparison(
+    *,
+    num_users: int,
+    num_products: int,
+    num_days: int,
+    transactions_per_day: int,
+    window_days: int,
+    seed: int = 7,
+) -> dict:
+    """Run cold + one warm-started slide per mode; return the comparison."""
+    config = TransactionStreamConfig(
+        num_users=num_users,
+        num_products=num_products,
+        num_days=num_days,
+        transactions_per_day=transactions_per_day,
+        num_rings=4,
+        ring_size=8,
+        seed=seed,
+    )
+    report: dict = {"modes": {}}
+    labels: dict = {}
+    for mode in MODES:
+        detector = SlidingWindowDetector(
+            TransactionStream(config),
+            ClusterDetector(GLPEngine(frontier=mode)),
+        )
+        _, cold = detector.start(0, window_days)
+        _, warm = detector.slide()
+        report["modes"][mode] = {
+            "cold": _run_stats(cold.lp_result),
+            "warm": _run_stats(warm.lp_result),
+        }
+        labels[mode] = (cold.lp_result.labels, warm.lp_result.labels)
+
+    report["labels_identical"] = all(
+        np.array_equal(labels["dense"][phase], labels[mode][phase])
+        for mode in ("frontier", "auto")
+        for phase in (0, 1)
+    )
+    dense_tail = report["modes"]["dense"]["warm"]["edges_iter2plus"]
+    frontier_tail = report["modes"]["frontier"]["warm"]["edges_iter2plus"]
+    report["warm"] = {
+        "edge_ratio_iter2plus": (
+            dense_tail / frontier_tail if frontier_tail else float("inf")
+        ),
+        "kernel_seconds": {
+            mode: report["modes"][mode]["warm"]["kernel_seconds"]
+            for mode in MODES
+        },
+    }
+    return report
+
+
+def check_acceptance(report: dict) -> None:
+    """The ISSUE's acceptance criteria, shared by pytest and smoke runs."""
+    assert report["labels_identical"], "frontier labels diverged from dense"
+    assert report["warm"]["edge_ratio_iter2plus"] >= 5.0, (
+        "warm frontier run must process >=5x fewer edges from iteration 2"
+    )
+    ks = report["warm"]["kernel_seconds"]
+    assert ks["frontier"] < ks["dense"], (
+        "warm frontier run must have lower simulated kernel time"
+    )
+    warm_modes = report["modes"]["frontier"]["warm"]["pass_modes"]
+    assert warm_modes[0] == "dense" and "sparse" in warm_modes
+
+
+def test_frontier_vs_dense(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: run_frontier_comparison(
+            num_users=4000,
+            num_products=2000,
+            num_days=16,
+            transactions_per_day=2500,
+            window_days=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    check_acceptance(report)
+    save_report("frontier", json.dumps(report, indent=2))
+
+
+def main(argv) -> int:
+    unknown = [a for a in argv if a != "--smoke"]
+    if unknown:
+        print(f"unknown arguments: {unknown}; usage: "
+              f"bench_frontier.py [--smoke]", file=sys.stderr)
+        return 2
+    smoke = "--smoke" in argv
+    if smoke:
+        report = run_frontier_comparison(
+            num_users=600,
+            num_products=300,
+            num_days=8,
+            transactions_per_day=400,
+            window_days=5,
+        )
+    else:
+        report = run_frontier_comparison(
+            num_users=4000,
+            num_products=2000,
+            num_days=16,
+            transactions_per_day=2500,
+            window_days=10,
+        )
+    check_acceptance(report)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

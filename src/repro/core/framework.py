@@ -12,6 +12,18 @@ The engine owns the device residency of the CSR arrays and both label
 arrays; construction fails with
 :class:`~repro.errors.OutOfDeviceMemoryError` when they do not fit — that is
 the signal to use :class:`~repro.core.hybrid.HybridEngine` instead.
+
+**Frontier execution.**  With ``frontier="frontier"`` or ``"auto"`` and a
+``frontier_safe`` program, the engine tracks the set of vertices whose label
+changed, advances the active frontier through the reversed CSR (uploaded
+next to the forward CSR, together with the frontier bitmap), and runs the
+LabelPropagation pass over only that subset.  ``"auto"`` adds the
+Beamer-style direction-optimizing fallback: once the frontier fraction
+exceeds ``FrontierConfig.dense_threshold`` the degree-binned dense pass is
+already the better schedule, so the engine switches back to it for that
+iteration.  Iteration 1 is always dense (every vertex must see its
+neighborhood once).  Programs that are not ``frontier_safe`` silently run
+dense — label trajectories are bitwise identical across all three modes.
 """
 
 from __future__ import annotations
@@ -27,7 +39,14 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.config import TITAN_V, DeviceSpec
 from repro.gpusim.device import Device
 from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
+from repro.kernels.frontier import (
+    FrontierConfig,
+    next_frontier,
+    resolve_frontier,
+    use_sparse_pass,
+)
 from repro.kernels.propagate import propagate_pass, segmented_sort_pass
+from repro.kernels.scheduler import bin_vertices_by_degree
 
 
 class GLPEngine:
@@ -43,6 +62,10 @@ class GLPEngine:
     pass_kind:
         "binned" for GLP's degree-dispatched kernels, "gsort" to force the
         segmented-sort strategy over all vertices (the G-Sort baseline).
+    frontier:
+        Frontier execution policy: a mode string (``"dense"``,
+        ``"frontier"``, ``"auto"``) or a full
+        :class:`~repro.kernels.frontier.FrontierConfig`.
     """
 
     name = "GLP"
@@ -54,12 +77,14 @@ class GLPEngine:
         config: StrategyConfig = GLP_DEFAULT,
         pass_kind: str = "binned",
         spec: DeviceSpec = TITAN_V,
+        frontier: "FrontierConfig | str" = "dense",
     ) -> None:
         if pass_kind not in ("binned", "gsort"):
             raise ConvergenceError(f"unknown pass_kind {pass_kind!r}")
         self.device = device if device is not None else Device(spec)
         self.config = config
         self.pass_kind = pass_kind
+        self.frontier = resolve_frontier(frontier)
 
     # ------------------------------------------------------------------
     def run(
@@ -81,7 +106,11 @@ class GLPEngine:
         program.init_state(graph, labels)
         validate_program(program, graph, labels)
 
-        # Device residency: CSR arrays + the double-buffered label arrays.
+        track_frontier = self.frontier.enabled and program.frontier_safe
+        reversed_graph = graph.reversed() if track_frontier else None
+
+        # Device residency: CSR arrays + the double-buffered label arrays,
+        # plus — in frontier mode — the reversed CSR and the frontier bitmap.
         resident = [
             device.h2d(graph.offsets),
             device.h2d(graph.indices),
@@ -90,6 +119,15 @@ class GLPEngine:
         ]
         if graph.weights is not None:
             resident.append(device.h2d(graph.weights))
+        if track_frontier:
+            resident.append(device.h2d(reversed_graph.offsets))
+            resident.append(device.h2d(reversed_graph.indices))
+            resident.append(device.alloc((graph.num_vertices,), np.uint8))
+
+        # Degrees are static, so the dense pass's degree bins are memoized
+        # across iterations (frontier passes bin their subset per round).
+        full_bins = None
+        frontier_vertices: Optional[np.ndarray] = None
 
         iterations = []
         history = [] if record_history else None
@@ -105,6 +143,16 @@ class GLPEngine:
                     picked = program.pick_labels(graph, labels, iteration)
                     self._account_map_kernel(graph.num_vertices)
 
+                sparse = (
+                    track_frontier
+                    and frontier_vertices is not None
+                    and use_sparse_pass(
+                        self.frontier,
+                        frontier_vertices.size,
+                        graph.num_vertices,
+                    )
+                )
+
                 ctx = KernelContext(
                     device=device,
                     graph=graph,
@@ -112,12 +160,26 @@ class GLPEngine:
                     program=program,
                     config=self.config,
                 )
-                if self.pass_kind == "gsort":
-                    result = segmented_sort_pass(ctx)
+                if sparse:
+                    processed = frontier_vertices
+                    if self.pass_kind == "gsort":
+                        result = segmented_sort_pass(ctx, processed)
+                    else:
+                        result = propagate_pass(ctx, processed)
                 else:
-                    result = propagate_pass(ctx)
+                    processed = None
+                    if full_bins is None:
+                        full_bins = bin_vertices_by_degree(
+                            graph,
+                            low_threshold=self.config.low_threshold,
+                            high_threshold=self.config.high_threshold,
+                        )
+                    if self.pass_kind == "gsort":
+                        result = segmented_sort_pass(ctx, bins=full_bins)
+                    else:
+                        result = propagate_pass(ctx, bins=full_bins)
 
-                # UpdateVertex: another map kernel.
+                # UpdateVertex: another map kernel over the processed set.
                 with device.launch("update-vertex"):
                     new_labels = program.update_vertices(
                         result.vertices,
@@ -125,16 +187,33 @@ class GLPEngine:
                         result.best_scores,
                         labels,
                     )
-                    self._account_map_kernel(graph.num_vertices)
+                    self._account_map_kernel(result.vertices.size)
 
                 program.on_iteration_end(graph, labels, new_labels, iteration)
-                changed = int(np.count_nonzero(new_labels != labels))
+                changed_mask = new_labels != labels
+                changed = int(np.count_nonzero(changed_mask))
                 iteration_converged = program.converged(
                     labels, new_labels, iteration
                 )
                 labels = new_labels
                 if history is not None:
                     history.append(labels.copy())
+
+                kernel_stats = dict(result.stats)
+                kernel_stats["pass_mode"] = "sparse" if sparse else "dense"
+                if track_frontier:
+                    kernel_stats["frontier_fraction"] = (
+                        result.vertices.size / graph.num_vertices
+                        if graph.num_vertices
+                        else 0.0
+                    )
+                    # Advance the frontier for the next round (the expand +
+                    # compact kernels are timed on the device).
+                    frontier_vertices = next_frontier(
+                        device,
+                        reversed_graph,
+                        np.flatnonzero(changed_mask),
+                    )
 
                 iterations.append(
                     IterationStats(
@@ -151,7 +230,13 @@ class GLPEngine:
                         ),
                         changed_vertices=changed,
                         counters=device.counters.delta_since(counters_before),
-                        kernel_stats=result.stats,
+                        kernel_stats=kernel_stats,
+                        frontier_size=int(result.vertices.size),
+                        processed_edges=int(
+                            graph.degrees[result.vertices].sum()
+                            if result.vertices.size
+                            else 0
+                        ),
                     )
                 )
                 if iteration_converged and stop_on_convergence:

@@ -41,8 +41,14 @@ from repro.gpusim.config import TITAN_V, DeviceSpec
 from repro.gpusim.device import Device
 from repro.kernels import mfl
 from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
+from repro.kernels.frontier import (
+    FrontierConfig,
+    resolve_frontier,
+    use_sparse_pass,
+)
 from repro.kernels.mfl import NO_SCORE
 from repro.kernels.propagate import propagate_pass
+from repro.kernels.scheduler import bin_vertices_by_degree
 from repro.types import LABEL_DTYPE, WEIGHT_DTYPE
 
 
@@ -84,6 +90,12 @@ class HybridEngine:
         The host CPU that co-processes overflow vertices.
     memory_safety:
         Fraction of device memory the residency planner may use.
+    frontier:
+        Frontier execution policy for the *GPU resident range* (the CPU
+        overflow share is always frontier-sparsified for safe programs).
+        The reversed CSR stays host-side — the CPU coordinates hybrid mode,
+        so it computes the frontier and ships the resident slice's ids over
+        PCIe each iteration (counted as transfer time).
     """
 
     name = "GLP-Hybrid"
@@ -96,6 +108,7 @@ class HybridEngine:
         spec: DeviceSpec = TITAN_V,
         cpu_spec: CPUSpec = XEON_W2133,
         memory_safety: float = 0.9,
+        frontier: "FrontierConfig | str" = "dense",
     ) -> None:
         if not 0.0 < memory_safety <= 1.0:
             raise ConvergenceError("memory_safety must be in (0, 1]")
@@ -103,6 +116,7 @@ class HybridEngine:
         self.config = config
         self.cpu_spec = cpu_spec
         self.memory_safety = memory_safety
+        self.frontier = resolve_frontier(frontier)
         self.last_stats: Optional[HybridStats] = None
 
     # ------------------------------------------------------------------
@@ -172,6 +186,24 @@ class HybridEngine:
         resident_edges = sum(c.num_edges for c in resident)
         overflow_start = overflow[0].start if overflow else graph.num_vertices
 
+        track_frontier = self.frontier.enabled and program.frontier_safe
+        resident_vertices = (
+            np.arange(resident[0].start, resident[-1].stop, dtype=np.int64)
+            if resident
+            else np.empty(0, dtype=np.int64)
+        )
+        # Degrees are static: bin the resident range once for dense rounds.
+        resident_bins = (
+            bin_vertices_by_degree(
+                graph,
+                low_threshold=self.config.low_threshold,
+                high_threshold=self.config.high_threshold,
+                vertices=resident_vertices,
+            )
+            if resident_vertices.size
+            else None
+        )
+
         # One-time residency uploads (window setup, not per-iteration time).
         persistent = [
             device.h2d(graph.offsets),
@@ -219,21 +251,60 @@ class HybridEngine:
                     graph.num_vertices, NO_SCORE, dtype=WEIGHT_DTYPE
                 )
 
-                # GPU: resident vertex ranges through the normal kernels.
+                # The active frontier (sorted unique out-neighbors of last
+                # round's changed vertices), computed once per iteration on
+                # the host and sliced by both execution shares.
+                frontier_candidates = None
+                if program.frontier_safe and iteration > 1:
+                    frontier_candidates = self._changed_out_neighbors(
+                        graph, prev_changed
+                    )
+
+                # GPU: resident vertex ranges through the normal kernels —
+                # sparsified to the active frontier when tracking is on.
+                processed_vertices = 0
+                processed_edges = 0
+                sparse = False
                 if resident:
-                    ctx = KernelContext(
-                        device=device,
-                        graph=graph,
-                        current_labels=picked,
-                        program=program,
-                        config=self.config,
-                    )
-                    vertices = np.arange(
-                        resident[0].start, resident[-1].stop, dtype=np.int64
-                    )
-                    result = propagate_pass(ctx, vertices=vertices)
-                    best_labels[result.vertices] = result.best_labels
-                    best_scores[result.vertices] = result.best_scores
+                    vertices = resident_vertices
+                    if track_frontier and iteration > 1:
+                        frontier_slice = self._resident_frontier(
+                            frontier_candidates, resident_vertices
+                        )
+                        sparse = use_sparse_pass(
+                            self.frontier,
+                            frontier_slice.size,
+                            resident_vertices.size,
+                        )
+                        if sparse:
+                            vertices = frontier_slice
+                            # The host computed the frontier; ship the ids
+                            # of the resident slice to the device.
+                            if vertices.size:
+                                ids = device.h2d(
+                                    np.empty(vertices.size, dtype=np.int64)
+                                )
+                                device.free(ids)
+                    if vertices.size:
+                        ctx = KernelContext(
+                            device=device,
+                            graph=graph,
+                            current_labels=picked,
+                            program=program,
+                            config=self.config,
+                        )
+                        if sparse:
+                            result = propagate_pass(ctx, vertices)
+                        else:
+                            result = propagate_pass(
+                                ctx, vertices, bins=resident_bins
+                            )
+                        best_labels[result.vertices] = result.best_labels
+                        best_scores[result.vertices] = result.best_scores
+                        processed_vertices += int(result.vertices.size)
+                        processed_edges += int(
+                            graph.degrees[result.vertices].sum()
+                        )
 
                 # CPU: overflow ranges, frontier-sparsified when safe.
                 cpu_seconds = 0.0
@@ -241,7 +312,7 @@ class HybridEngine:
                     active = self._overflow_active(
                         graph,
                         program,
-                        prev_changed,
+                        frontier_candidates,
                         overflow_start,
                         iteration,
                     )
@@ -259,6 +330,8 @@ class HybridEngine:
                             batch.num_edges / self._cpu_rate()
                             + self.cpu_spec.sync_seconds
                         )
+                        processed_vertices += int(active.size)
+                        processed_edges += int(batch.num_edges)
                 total_cpu_seconds += cpu_seconds
 
                 all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
@@ -295,6 +368,11 @@ class HybridEngine:
                         transfer_seconds=transfer_delta,
                         changed_vertices=changed,
                         counters=device.counters.delta_since(counters_before),
+                        kernel_stats={
+                            "pass_mode": "sparse" if sparse else "dense"
+                        },
+                        frontier_size=processed_vertices,
+                        processed_edges=processed_edges,
                     )
                 )
                 if iteration_converged and stop_on_convergence:
@@ -332,28 +410,45 @@ class HybridEngine:
         self,
         graph: CSRGraph,
         program: LPProgram,
-        prev_changed: Optional[np.ndarray],
+        frontier_candidates: Optional[np.ndarray],
         overflow_start: int,
         iteration: int,
     ) -> np.ndarray:
         """Overflow vertices the CPU must recompute this iteration."""
-        all_overflow = np.arange(
-            overflow_start, graph.num_vertices, dtype=np.int64
-        )
         if iteration == 1 or not program.frontier_safe:
-            return all_overflow
-        if prev_changed is None or prev_changed.size == 0:
+            return np.arange(
+                overflow_start, graph.num_vertices, dtype=np.int64
+            )
+        if frontier_candidates is None:
             return np.empty(0, dtype=np.int64)
-        if not hasattr(self, "_reversed") or self._reversed_source != id(graph):
-            self._reversed = graph.reversed()
-            self._reversed_source = id(graph)
-        chunks = [
-            self._reversed.neighbors(int(v)) for v in prev_changed
-        ]
-        if not chunks:
+        return frontier_candidates[frontier_candidates >= overflow_start]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _changed_out_neighbors(
+        graph: CSRGraph, changed: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Sorted unique out-neighbors of ``changed`` (the next frontier)."""
+        if changed is None or changed.size == 0:
             return np.empty(0, dtype=np.int64)
-        candidates = np.unique(np.concatenate(chunks))
-        return candidates[candidates >= overflow_start].astype(np.int64)
+        batch = mfl.expand_edges(graph.reversed(), changed)
+        return np.unique(batch.neighbor_ids.astype(np.int64, copy=False))
+
+    @staticmethod
+    def _resident_frontier(
+        frontier_candidates: Optional[np.ndarray],
+        resident_vertices: np.ndarray,
+    ) -> np.ndarray:
+        """Resident-range slice of the active frontier."""
+        if frontier_candidates is None or frontier_candidates.size == 0:
+            return np.empty(0, dtype=np.int64)
+        lo = np.searchsorted(
+            frontier_candidates, resident_vertices[0], side="left"
+        )
+        hi = np.searchsorted(
+            frontier_candidates, resident_vertices[-1], side="right"
+        )
+        return frontier_candidates[lo:hi]
 
 
 def run_auto(

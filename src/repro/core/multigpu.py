@@ -6,11 +6,20 @@ range in parallel; the iteration's kernel time is the *maximum* over
 devices (bulk-synchronous).  Afterwards the devices exchange the labels
 their partitions updated (peer-to-peer over PCIe), which is the scaling tax
 that turns 2 GPUs into ~1.8x rather than 2x.
+
+**Frontier execution.**  With ``frontier="frontier"``/``"auto"`` and a
+``frontier_safe`` program, each device tracks its *own partition's* active
+frontier: it expands its local changed vertices through the reversed CSR,
+keeps the frontier candidates that fall inside its range, and ships the
+remote candidates to the owning peers — that frontier exchange is counted
+as inter-GPU traffic on top of the label exchange.  The direction-
+optimizing switch is made globally (bulk-synchronous rounds must agree on
+the pass shape), using the total frontier fraction.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -23,9 +32,17 @@ from repro.gpusim.config import TITAN_V, DeviceSpec
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import Device
 from repro.gpusim.timing import transfer_time
-from repro.kernels.base import GLP_DEFAULT, KernelContext, StrategyConfig
+from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
+from repro.kernels.frontier import (
+    FrontierConfig,
+    expand_frontier,
+    compact_frontier,
+    resolve_frontier,
+    use_sparse_pass,
+)
 from repro.kernels.mfl import NO_SCORE
 from repro.kernels.propagate import propagate_pass
+from repro.kernels.scheduler import bin_vertices_by_degree
 from repro.types import LABEL_DTYPE, WEIGHT_DTYPE
 
 
@@ -38,11 +55,13 @@ class MultiGPUEngine:
         *,
         config: StrategyConfig = GLP_DEFAULT,
         spec: DeviceSpec = TITAN_V,
+        frontier: "FrontierConfig | str" = "dense",
     ) -> None:
         if num_gpus <= 0:
             raise ConvergenceError("num_gpus must be positive")
         self.devices = [Device(spec, index=i) for i in range(num_gpus)]
         self.config = config
+        self.frontier = resolve_frontier(frontier)
         self.name = f"GLP-{num_gpus}GPU"
 
     @property
@@ -69,6 +88,28 @@ class MultiGPUEngine:
         validate_program(program, graph, labels)
 
         parts = balanced_edge_partition(graph, self.num_gpus)
+        track_frontier = self.frontier.enabled and program.frontier_safe
+        reversed_graph = graph.reversed() if track_frontier else None
+
+        # Per-partition vertex ranges and their memoized degree bins
+        # (degrees are static, so dense rounds never re-bin).
+        part_vertices = [
+            np.arange(part.start, part.stop, dtype=np.int64) for part in parts
+        ]
+        part_bins = [
+            bin_vertices_by_degree(
+                graph,
+                low_threshold=self.config.low_threshold,
+                high_threshold=self.config.high_threshold,
+                vertices=vertices,
+            )
+            if vertices.size
+            else None
+            for vertices in part_vertices
+        ]
+        # Per-partition active frontier; None means "dense round".
+        part_frontiers: Optional[List[np.ndarray]] = None
+
         iterations: List[IterationStats] = []
         history = [] if record_history else None
         converged = False
@@ -82,10 +123,25 @@ class MultiGPUEngine:
             device_seconds = []
             counters_total = PerfCounters()
 
-            for device, part in zip(self.devices, parts):
+            sparse = (
+                track_frontier
+                and part_frontiers is not None
+                and use_sparse_pass(
+                    self.frontier,
+                    sum(f.size for f in part_frontiers),
+                    graph.num_vertices,
+                )
+            )
+
+            processed_vertices = 0
+            processed_edges = 0
+            for i, (device, part) in enumerate(zip(self.devices, parts)):
                 kernel_before = device.kernel_seconds
                 counters_before = device.counters.copy()
-                if part.num_vertices:
+                vertices = (
+                    part_frontiers[i] if sparse else part_vertices[i]
+                )
+                if vertices.size:
                     ctx = KernelContext(
                         device=device,
                         graph=graph,
@@ -93,29 +149,39 @@ class MultiGPUEngine:
                         program=program,
                         config=self.config,
                     )
-                    vertices = np.arange(
-                        part.start, part.stop, dtype=np.int64
-                    )
-                    result = propagate_pass(ctx, vertices=vertices)
+                    if sparse:
+                        result = propagate_pass(ctx, vertices)
+                    else:
+                        result = propagate_pass(
+                            ctx, vertices, bins=part_bins[i]
+                        )
                     best_labels[result.vertices] = result.best_labels
                     best_scores[result.vertices] = result.best_scores
+                    processed_vertices += int(result.vertices.size)
+                    processed_edges += int(
+                        graph.degrees[result.vertices].sum()
+                    )
                 device_seconds.append(device.kernel_seconds - kernel_before)
                 counters_total.add(
                     device.counters.delta_since(counters_before)
                 )
 
-            all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
+            processed = (
+                np.concatenate(part_frontiers)
+                if sparse
+                else np.arange(graph.num_vertices, dtype=np.int64)
+            )
             new_labels = program.update_vertices(
-                all_vertices, best_labels, best_scores, labels
+                processed, best_labels[processed], best_scores[processed], labels
             )
 
             # Label exchange: each device broadcasts the *changed* labels of
             # its partition to the peers ((id, label) pairs over PCIe peer
             # copies; peers upload concurrently, so the per-iteration cost
             # is the busiest device's share).
+            changed_mask = new_labels != labels
             exchange_seconds = 0.0
             if self.num_gpus > 1:
-                changed_mask = new_labels != labels
                 per_part_changed = [
                     int(np.count_nonzero(changed_mask[part.start : part.stop]))
                     for part in parts
@@ -124,8 +190,56 @@ class MultiGPUEngine:
                 exchange_seconds = transfer_time(
                     max_changed * 8, self.devices[0].spec
                 ) * (self.num_gpus - 1)
+
+            # Frontier advance: each device expands its own changed range
+            # and ships remote frontier candidates to the owning peer —
+            # counted as additional inter-GPU traffic.
+            if track_frontier:
+                part_frontiers = []
+                remote_candidate_counts = []
+                boundaries = np.array(
+                    [part.start for part in parts] + [graph.num_vertices],
+                    dtype=np.int64,
+                )
+                incoming: List[List[np.ndarray]] = [
+                    [] for _ in range(self.num_gpus)
+                ]
+                for i, (device, part) in enumerate(zip(self.devices, parts)):
+                    local_changed = np.flatnonzero(
+                        changed_mask[part.start : part.stop]
+                    ) + part.start
+                    candidates = expand_frontier(
+                        device, reversed_graph, local_changed
+                    )
+                    owners = (
+                        np.searchsorted(
+                            boundaries, candidates, side="right"
+                        )
+                        - 1
+                    )
+                    remote = candidates[owners != i]
+                    remote_candidate_counts.append(int(remote.size))
+                    for j in range(self.num_gpus):
+                        chunk = candidates[owners == j]
+                        if chunk.size:
+                            incoming[j].append(chunk)
+                if self.num_gpus > 1 and remote_candidate_counts:
+                    exchange_seconds += transfer_time(
+                        max(remote_candidate_counts) * ELEM_BYTES,
+                        self.devices[0].spec,
+                    ) * (self.num_gpus - 1)
+                for i, device in enumerate(self.devices):
+                    merged = (
+                        np.unique(np.concatenate(incoming[i]))
+                        if incoming[i]
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    part_frontiers.append(
+                        compact_frontier(device, graph.num_vertices, merged)
+                    )
+
             program.on_iteration_end(graph, labels, new_labels, iteration)
-            changed = int(np.count_nonzero(new_labels != labels))
+            changed = int(np.count_nonzero(changed_mask))
             iteration_converged = program.converged(labels, new_labels, iteration)
             labels = new_labels
             if history is not None:
@@ -140,6 +254,11 @@ class MultiGPUEngine:
                     transfer_seconds=exchange_seconds,
                     changed_vertices=changed,
                     counters=counters_total,
+                    kernel_stats={
+                        "pass_mode": "sparse" if sparse else "dense"
+                    },
+                    frontier_size=processed_vertices,
+                    processed_edges=processed_edges,
                 )
             )
             if iteration_converged and stop_on_convergence:

@@ -21,6 +21,11 @@ class IterationStats:
     changed_vertices: int
     counters: PerfCounters
     kernel_stats: Dict[str, object] = field(default_factory=dict)
+    #: Vertices the LabelPropagation pass processed this iteration — the
+    #: active frontier for sparse passes, ``|V|`` for dense ones.
+    frontier_size: int = 0
+    #: Sum of in-degrees of the processed vertices (edges actually read).
+    processed_edges: int = 0
 
 
 @dataclass

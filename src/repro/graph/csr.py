@@ -46,6 +46,9 @@ class CSRGraph:
     weights: Optional[np.ndarray] = None
     name: str = "graph"
     _degrees: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _reversed_cache: Optional["CSRGraph"] = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         offsets = np.ascontiguousarray(self.offsets, dtype=VERTEX_DTYPE)
@@ -173,7 +176,14 @@ class CSRGraph:
     # Derived graphs
     # ------------------------------------------------------------------
     def reversed(self) -> "CSRGraph":
-        """Return the graph with all edge directions flipped."""
+        """Return the graph with all edge directions flipped.
+
+        The result is memoized on the instance: frontier engines call this
+        every run to find the out-neighbors of changed vertices, and the
+        graph is immutable, so the O(V + E) transpose is paid once.
+        """
+        if self._reversed_cache is not None:
+            return self._reversed_cache
         sources = self.edge_sources()
         order = np.argsort(self.indices, kind="stable")
         new_indices = sources[order]
@@ -183,12 +193,14 @@ class CSRGraph:
         new_weights = None
         if self.weights is not None:
             new_weights = self.weights[order]
-        return CSRGraph(
+        rev = CSRGraph(
             offsets=new_offsets,
             indices=new_indices,
             weights=new_weights,
             name=f"{self.name}:reversed",
         )
+        object.__setattr__(self, "_reversed_cache", rev)
+        return rev
 
     def subgraph(self, vertices: np.ndarray) -> Tuple["CSRGraph", np.ndarray]:
         """Induced subgraph on ``vertices``.

@@ -13,12 +13,16 @@ One module per strategy from the paper:
 * :mod:`~repro.kernels.scheduler` — degree binning (low < 32, high > 128).
 * :mod:`~repro.kernels.propagate` — composes strategies into one
   LabelPropagation pass.
+* :mod:`~repro.kernels.frontier` — frontier expand/compact kernels and the
+  direction-optimizing dispatch for delta propagation.
 """
 
+from repro.kernels.frontier import FrontierConfig
 from repro.kernels.propagate import StrategyConfig, propagate_pass
 from repro.kernels.scheduler import DegreeBins, bin_vertices_by_degree
 
 __all__ = [
+    "FrontierConfig",
     "StrategyConfig",
     "propagate_pass",
     "DegreeBins",

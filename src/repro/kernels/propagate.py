@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from repro.errors import KernelError
 from repro.kernels.base import (  # noqa: F401  (re-exported presets)
     GLOBAL_BASELINE,
     GLP_DEFAULT,
@@ -58,9 +59,18 @@ class PassResult:
 
 
 def propagate_pass(
-    ctx: KernelContext, vertices: np.ndarray = None
+    ctx: KernelContext,
+    vertices: np.ndarray = None,
+    *,
+    bins: DegreeBins = None,
 ) -> PassResult:
-    """Run one MFL pass over ``vertices`` (all vertices by default)."""
+    """Run one MFL pass over ``vertices`` (all vertices by default).
+
+    ``bins`` lets callers pass precomputed degree bins for a *static* vertex
+    set (degrees never change between iterations, so engines memoize the
+    full-graph bins instead of re-binning and re-sorting every round);
+    dynamic frontier subsets are binned here per pass.
+    """
     graph = ctx.graph
     config = ctx.config
     if vertices is None:
@@ -68,12 +78,18 @@ def propagate_pass(
     else:
         vertices = np.sort(np.asarray(vertices, dtype=np.int64))
 
-    bins = bin_vertices_by_degree(
-        graph,
-        low_threshold=config.low_threshold,
-        high_threshold=config.high_threshold,
-        vertices=vertices,
-    )
+    if bins is None:
+        bins = bin_vertices_by_degree(
+            graph,
+            low_threshold=config.low_threshold,
+            high_threshold=config.high_threshold,
+            vertices=vertices,
+        )
+    elif bins.total != vertices.size:
+        raise KernelError(
+            f"precomputed bins cover {bins.total} vertices but the pass "
+            f"processes {vertices.size}"
+        )
 
     best_labels = ctx.current_labels[vertices].astype(LABEL_DTYPE, copy=True)
     best_scores = np.full(vertices.size, NO_SCORE, dtype=WEIGHT_DTYPE)
@@ -121,7 +137,10 @@ def propagate_pass(
 
 
 def segmented_sort_pass(
-    ctx: KernelContext, vertices: np.ndarray = None
+    ctx: KernelContext,
+    vertices: np.ndarray = None,
+    *,
+    bins: DegreeBins = None,
 ) -> PassResult:
     """A full pass through the G-Sort strategy (all degree classes)."""
     graph = ctx.graph
@@ -129,7 +148,8 @@ def segmented_sort_pass(
         vertices = np.arange(graph.num_vertices, dtype=np.int64)
     else:
         vertices = np.sort(np.asarray(vertices, dtype=np.int64))
-    bins = bin_vertices_by_degree(graph, vertices=vertices)
+    if bins is None:
+        bins = bin_vertices_by_degree(graph, vertices=vertices)
     labels, scores = run_segmented_sort(ctx, vertices)
     return PassResult(
         vertices=vertices,

@@ -23,7 +23,11 @@ from repro.pipeline.seeds import SeedStore
 from repro.pipeline.detector import ClusterDetector
 from repro.pipeline.downstream import ClusterScorer
 from repro.pipeline.pipeline import FraudDetectionPipeline, PipelineReport
-from repro.pipeline.incremental import IncrementalWindowBuilder, warm_start_seeds
+from repro.pipeline.incremental import (
+    IncrementalWindowBuilder,
+    SlidingWindowDetector,
+    warm_start_seeds,
+)
 
 __all__ = [
     "TransactionStream",
@@ -36,5 +40,6 @@ __all__ = [
     "FraudDetectionPipeline",
     "PipelineReport",
     "IncrementalWindowBuilder",
+    "SlidingWindowDetector",
     "warm_start_seeds",
 ]

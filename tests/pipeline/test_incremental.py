@@ -5,7 +5,12 @@ import pytest
 
 from repro import GLPEngine, SeededFraudLP
 from repro.errors import PipelineError
-from repro.pipeline.incremental import IncrementalWindowBuilder, warm_start_seeds
+from repro.pipeline.detector import ClusterDetector
+from repro.pipeline.incremental import (
+    IncrementalWindowBuilder,
+    SlidingWindowDetector,
+    warm_start_seeds,
+)
 from repro.pipeline.transactions import (
     TransactionStream,
     TransactionStreamConfig,
@@ -93,6 +98,33 @@ class TestIncrementalBuilder:
         with pytest.raises(PipelineError):
             builder.slide()
 
+    def test_five_slides_match_dict_reference(self, stream):
+        """The vectorized builder tracks a naive per-transaction dict
+        exactly across five consecutive one-day slides."""
+
+        def reference_counts(start, num_days):
+            counts = {}
+            txns = stream.window_transactions(start, num_days)
+            for user, product in zip(txns["user"], txns["product"]):
+                counts[(int(user), int(product))] = (
+                    counts.get((int(user), int(product)), 0) + 1
+                )
+            return counts
+
+        builder = IncrementalWindowBuilder(stream)
+        for day in range(5):
+            builder.add_day(day)
+        for start in range(1, 6):
+            builder.slide()
+            expected = reference_counts(start, 5)
+            got = {
+                (int(k >> 32), int(k & 0xFFFFFFFF)): c
+                for k, c in zip(builder._pair_keys, builder._pair_counts)
+            }
+            assert len(got) == len(expected)
+            for pair, count in expected.items():
+                assert got[pair] == count
+
 
 class TestWarmStart:
     def _detect(self, window, seeds):
@@ -141,3 +173,34 @@ class TestWarmStart:
             previous, prev_result.labels, current, base, max_carryover=5
         )
         assert len(capped) <= 5 + len(base)
+
+
+class TestSlidingWindowDetector:
+    def test_start_then_slide_warm_starts(self, stream):
+        detector = SlidingWindowDetector(
+            stream, ClusterDetector(GLPEngine(frontier="auto"))
+        )
+        window, cold = detector.start(0, 8)
+        assert window.start_day == 0
+        slid_window, warm = detector.slide()
+        assert slid_window.start_day == 1
+        # Warm start converges at least as fast as the cold run.
+        assert (
+            warm.lp_result.num_iterations <= cold.lp_result.num_iterations
+        )
+        assert warm.clusters
+
+    def test_slide_before_start_rejected(self, stream):
+        detector = SlidingWindowDetector(
+            stream, ClusterDetector(GLPEngine())
+        )
+        with pytest.raises(PipelineError):
+            detector.slide()
+
+    def test_double_start_rejected(self, stream):
+        detector = SlidingWindowDetector(
+            stream, ClusterDetector(GLPEngine())
+        )
+        detector.start(0, 5)
+        with pytest.raises(PipelineError):
+            detector.start(0, 5)
