@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Validate observability output files against their expected schemas.
+
+Usage::
+
+    python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON
+
+Checks that ``TRACE_JSON`` is a loadable Chrome ``trace_event`` document
+with at least one complete kernel span, and that ``METRICS_JSON`` is a
+metrics registry dump carrying the iteration-time histogram with its
+percentile fields.  Exits non-zero with a message on the first violation —
+this is the CI gate for ``run --trace-out/--metrics-out``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(message: str):
+    print(f"check_obs_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    complete = [e for e in events if e.get("ph") == "X"]
+    if not complete:
+        fail(f"{path}: no complete ('X') spans")
+    for event in complete:
+        for key in ("name", "cat", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                fail(f"{path}: span {event.get('name')!r} missing {key!r}")
+        if event["dur"] < 0:
+            fail(f"{path}: span {event['name']!r} has negative duration")
+    kernels = [e for e in complete if e.get("cat") == "kernel"]
+    if not kernels:
+        fail(f"{path}: no kernel spans — device hooks did not fire")
+    print(
+        f"check_obs_schema: {path}: OK "
+        f"({len(complete)} spans, {len(kernels)} kernel)"
+    )
+
+
+def check_metrics(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    series = doc.get("metrics")
+    if not isinstance(series, list) or not series:
+        fail(f"{path}: metrics list missing or empty")
+    for metric in series:
+        for key in ("name", "type", "labels"):
+            if key not in metric:
+                fail(f"{path}: series missing {key!r}: {metric}")
+    histograms = [
+        m for m in series
+        if m["name"] == "engine_iteration_seconds"
+        and m["type"] == "histogram"
+    ]
+    if not histograms:
+        fail(f"{path}: engine_iteration_seconds histogram not found")
+    for hist in histograms:
+        for key in ("count", "sum", "p50", "p95", "p99"):
+            if key not in hist:
+                fail(f"{path}: iteration histogram missing {key!r}")
+        if hist["count"] < 1:
+            fail(f"{path}: iteration histogram recorded no observations")
+    print(f"check_obs_schema: {path}: OK ({len(series)} series)")
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    check_trace(argv[1])
+    check_metrics(argv[2])
+    print("check_obs_schema: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

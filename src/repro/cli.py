@@ -12,6 +12,14 @@ Commands
     fig7, pipeline, theory) and print its report.
 ``pipeline``
     Run the end-to-end fraud-detection pipeline on a synthetic stream.
+``profile``
+    Run an LP variant under the profiler and print an nvprof-style
+    per-kernel table (see ``docs/observability.md``).
+
+``run`` and ``pipeline`` accept ``--trace-out`` (Chrome ``trace_event``
+JSON for Perfetto) and ``--metrics-out`` (metrics registry dump); ``run
+--json`` emits the machine-readable result summary instead of the human
+report.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.obs.profile import SORT_KEYS as PROFILE_SORT_KEYS
 
 #: Engine names accepted by ``run --engine``.
 ENGINES = ["glp", "gsort", "ghash", "serial", "omp", "ligra", "distributed"]
@@ -84,16 +93,50 @@ def _load_graph(source: str):
     return load_edge_list(source, symmetrize=True)
 
 
+def _obs_session(args):
+    """Activate observability when any obs output flag is set."""
+    from repro import obs
+
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        return obs.enable()
+    return None
+
+
+def _write_obs_outputs(args, session) -> None:
+    if session is None:
+        return
+    if args.trace_out:
+        session.tracer.write(args.trace_out)
+        print(f"trace written  : {args.trace_out}", flush=True)
+    if args.metrics_out:
+        if args.metrics_format == "prometheus":
+            with open(args.metrics_out, "w") as fh:
+                fh.write(session.metrics.to_prometheus_text())
+        else:
+            session.metrics.write(args.metrics_out)
+        print(f"metrics written: {args.metrics_out}", flush=True)
+
+
 def _cmd_run(args) -> int:
+    from repro import obs
+
     graph = _load_graph(args.graph)
     engine = _build_engine(args.engine)
     program = _build_program(args.algorithm, args)
-    result = engine.run(
-        graph,
-        program,
-        max_iterations=args.iterations,
-        stop_on_convergence=not args.no_early_stop,
-    )
+    session = _obs_session(args)
+    try:
+        result = engine.run(
+            graph,
+            program,
+            max_iterations=args.iterations,
+            stop_on_convergence=not args.no_early_stop,
+        )
+    finally:
+        obs.disable()
+    if args.json:
+        print(result.to_json(indent=2))
+        _write_obs_outputs(args, session)
+        return 0
     sizes = result.community_sizes()
     print(f"graph          : {graph.name} "
           f"(V={graph.num_vertices:,}, E={graph.num_edges:,})")
@@ -110,6 +153,33 @@ def _cmd_run(args) -> int:
         print(f"global traffic : {counters.global_transactions:,} "
               f"transactions; lane utilization "
               f"{counters.lane_utilization:.1%}")
+    _write_obs_outputs(args, session)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import ProfileReport
+
+    graph = _load_graph(args.dataset)
+    engine = _build_engine(args.engine)
+    program = _build_program(args.algorithm, args)
+    result = engine.run(
+        graph,
+        program,
+        max_iterations=args.iterations,
+        stop_on_convergence=not args.no_early_stop,
+    )
+    report = ProfileReport.from_engine(engine)
+    if args.json:
+        print(report.to_json(sort_by=args.sort_by, indent=2))
+        return 0
+    print(f"graph          : {graph.name} "
+          f"(V={graph.num_vertices:,}, E={graph.num_edges:,})")
+    print(f"engine         : {result.engine}   algorithm: {program.name}   "
+          f"iterations: {result.num_iterations}")
+    print(f"modeled time   : {result.total_seconds * 1e3:.4f} ms")
+    print()
+    print(report.to_text(sort_by=args.sort_by))
     return 0
 
 
@@ -153,6 +223,7 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_pipeline(args) -> int:
+    from repro import obs
     from repro.baselines import InHouseDistributedEngine
     from repro.core.framework import GLPEngine
     from repro.pipeline import (
@@ -170,7 +241,11 @@ def _cmd_pipeline(args) -> int:
     )
     detector = ClusterDetector(engine, max_iterations=20, max_hops=6)
     pipeline = FraudDetectionPipeline(stream, detector)
-    report = pipeline.run_window(min(args.window, args.days))
+    session = _obs_session(args)
+    try:
+        report = pipeline.run_window(min(args.window, args.days))
+    finally:
+        obs.disable()
     print(f"window         : {report.window_days} days "
           f"(V={report.num_vertices:,}, E={report.num_edges:,})")
     print(f"stage times    : build={report.construction_seconds * 1e3:.2f} ms"
@@ -181,6 +256,7 @@ def _cmd_pipeline(args) -> int:
           f"of {report.num_clusters} detected")
     print(f"quality        : precision={report.metrics.precision:.2f} "
           f"recall={report.metrics.recall:.2f} f1={report.metrics.f1:.2f}")
+    _write_obs_outputs(args, session)
     return 0
 
 
@@ -210,6 +286,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-early-stop", action="store_true",
         help="always run the full iteration budget",
     )
+    _add_obs_flags(run)
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable result summary instead of text",
+    )
     run.set_defaults(func=_cmd_run)
 
     datasets = sub.add_parser("datasets", help="list the dataset registry")
@@ -229,8 +310,52 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--engine", choices=["glp", "distributed"],
                           default="glp")
     pipeline.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(pipeline)
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run an LP variant and print the nvprof-style kernel table",
+    )
+    profile.add_argument(
+        "--dataset", default="dblp",
+        help="Table 2 dataset name or edge-list file path",
+    )
+    profile.add_argument("--engine",
+                         choices=["glp", "gsort", "ghash"], default="glp")
+    profile.add_argument("--algorithm", choices=ALGORITHMS,
+                         default="classic")
+    profile.add_argument("--iterations", type=int, default=20)
+    profile.add_argument("--gamma", type=float, default=1.0,
+                         help="LLP density parameter")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--no-early-stop", action="store_true",
+        help="always run the full iteration budget",
+    )
+    profile.add_argument(
+        "--sort-by", choices=sorted(PROFILE_SORT_KEYS), default="time",
+        help="kernel table sort column",
+    )
+    profile.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    profile.set_defaults(func=_cmd_profile)
     return parser
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write a Chrome trace_event JSON timeline (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the metrics registry dump",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=["json", "prometheus"], default="json",
+        help="format of --metrics-out (default: json)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -28,11 +28,14 @@ dense — label trajectories are bitwise identical across all three modes.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.api import LPProgram, validate_program
+from repro.core.instrument import observe_iteration, observe_run
 from repro.core.results import IterationStats, LPResult
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
@@ -132,8 +135,13 @@ class GLPEngine:
         iterations = []
         history = [] if record_history else None
         converged = False
+        active_tracer = obs.tracer()
+        run_started = time.perf_counter() if active_tracer else 0.0
         try:
             for iteration in range(1, max_iterations + 1):
+                iter_started = (
+                    time.perf_counter() if active_tracer else 0.0
+                )
                 kernel_before = device.kernel_seconds
                 transfer_before = device.transfer_seconds
                 counters_before = device.counters.copy()
@@ -215,44 +223,70 @@ class GLPEngine:
                         np.flatnonzero(changed_mask),
                     )
 
-                iterations.append(
-                    IterationStats(
-                        iteration=iteration,
-                        seconds=(
-                            device.kernel_seconds
-                            - kernel_before
-                            + device.transfer_seconds
-                            - transfer_before
-                        ),
-                        kernel_seconds=device.kernel_seconds - kernel_before,
-                        transfer_seconds=(
-                            device.transfer_seconds - transfer_before
-                        ),
-                        changed_vertices=changed,
-                        counters=device.counters.delta_since(counters_before),
-                        kernel_stats=kernel_stats,
-                        frontier_size=int(result.vertices.size),
-                        processed_edges=int(
-                            graph.degrees[result.vertices].sum()
-                            if result.vertices.size
-                            else 0
-                        ),
-                    )
+                stats = IterationStats(
+                    iteration=iteration,
+                    seconds=(
+                        device.kernel_seconds
+                        - kernel_before
+                        + device.transfer_seconds
+                        - transfer_before
+                    ),
+                    kernel_seconds=device.kernel_seconds - kernel_before,
+                    transfer_seconds=(
+                        device.transfer_seconds - transfer_before
+                    ),
+                    changed_vertices=changed,
+                    counters=device.counters.delta_since(counters_before),
+                    kernel_stats=kernel_stats,
+                    frontier_size=int(result.vertices.size),
+                    processed_edges=int(
+                        graph.degrees[result.vertices].sum()
+                        if result.vertices.size
+                        else 0
+                    ),
                 )
+                iterations.append(stats)
+                observe_iteration(
+                    self.name, stats, graph.num_vertices, track_frontier
+                )
+                if active_tracer is not None:
+                    active_tracer.host_event(
+                        f"iteration {iteration}",
+                        iter_started,
+                        cat="engine",
+                        args={
+                            "modeled_seconds": stats.seconds,
+                            "changed_vertices": changed,
+                            "pass_mode": kernel_stats["pass_mode"],
+                        },
+                    )
                 if iteration_converged and stop_on_convergence:
                     converged = True
                     break
         finally:
             for handle in resident:
                 device.free(handle)
+            if active_tracer is not None:
+                active_tracer.host_event(
+                    "glp-run",
+                    run_started,
+                    cat="engine",
+                    args={
+                        "engine": self.name,
+                        "graph": graph.name,
+                        "program": program.name,
+                    },
+                )
 
-        return LPResult(
+        result = LPResult(
             labels=program.final_labels(labels),
             iterations=iterations,
             converged=converged,
             engine=self.name if self.pass_kind == "binned" else "G-Sort",
             history=history,
         )
+        observe_run(result.engine, result)
+        return result
 
     # ------------------------------------------------------------------
     def _account_map_kernel(self, num_vertices: int) -> None:

@@ -26,13 +26,16 @@ Design — persistent residency + CPU co-processing:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.cpumodel import CPUSpec, XEON_W2133
 from repro.core.api import LPProgram, validate_program
+from repro.core.instrument import observe_iteration, observe_run
 from repro.core.results import IterationStats, LPResult
 from repro.errors import ConvergenceError, OutOfDeviceMemoryError
 from repro.graph.csr import CSRGraph
@@ -227,24 +230,27 @@ class HybridEngine:
         total_cpu_seconds = 0.0
         prev_changed: Optional[np.ndarray] = None
 
+        active_tracer = obs.tracer()
+        run_started = time.perf_counter() if active_tracer else 0.0
         try:
             for iteration in range(1, max_iterations + 1):
+                iter_started = (
+                    time.perf_counter() if active_tracer else 0.0
+                )
                 kernel_before = device.kernel_seconds
                 transfer_before = device.transfer_seconds
                 counters_before = device.counters.copy()
 
                 picked = program.pick_labels(graph, labels, iteration)
 
-                # Host -> device: ship the labels that changed last round.
+                # Host -> device: ship the labels that changed last round
+                # ((id, label) int32 pairs — a stream, not an allocation).
                 if iteration == 1:
                     up_count = graph.num_vertices
                 else:
                     up_count = int(prev_changed.size)
                 if up_count:
-                    delta = device.h2d(
-                        np.empty((2, up_count), dtype=np.int32)
-                    )
-                    device.free(delta)
+                    device.stream_to_device(2 * up_count * 4)
 
                 best_labels = picked.astype(LABEL_DTYPE, copy=True)
                 best_scores = np.full(
@@ -281,10 +287,7 @@ class HybridEngine:
                             # The host computed the frontier; ship the ids
                             # of the resident slice to the device.
                             if vertices.size:
-                                ids = device.h2d(
-                                    np.empty(vertices.size, dtype=np.int64)
-                                )
-                                device.free(ids)
+                                device.stream_to_device(vertices.size * 8)
                     if vertices.size:
                         ctx = KernelContext(
                             device=device,
@@ -345,10 +348,7 @@ class HybridEngine:
 
                 # Device -> host: the winners that moved.
                 if changed:
-                    down = device.h2d(np.empty((2, changed), dtype=np.int32))
-                    device.counters.h2d_bytes -= down.nbytes
-                    device.counters.d2h_bytes += down.nbytes
-                    device.free(down)
+                    device.stream_to_host(2 * changed * 4)
 
                 iteration_converged = program.converged(
                     labels, new_labels, iteration
@@ -359,28 +359,53 @@ class HybridEngine:
 
                 kernel_delta = device.kernel_seconds - kernel_before
                 transfer_delta = device.transfer_seconds - transfer_before
-                iterations.append(
-                    IterationStats(
-                        iteration=iteration,
-                        # GPU and CPU shares run concurrently.
-                        seconds=max(kernel_delta, cpu_seconds) + transfer_delta,
-                        kernel_seconds=kernel_delta,
-                        transfer_seconds=transfer_delta,
-                        changed_vertices=changed,
-                        counters=device.counters.delta_since(counters_before),
-                        kernel_stats={
-                            "pass_mode": "sparse" if sparse else "dense"
-                        },
-                        frontier_size=processed_vertices,
-                        processed_edges=processed_edges,
-                    )
+                stats = IterationStats(
+                    iteration=iteration,
+                    # GPU and CPU shares run concurrently.
+                    seconds=max(kernel_delta, cpu_seconds) + transfer_delta,
+                    kernel_seconds=kernel_delta,
+                    transfer_seconds=transfer_delta,
+                    changed_vertices=changed,
+                    counters=device.counters.delta_since(counters_before),
+                    kernel_stats={
+                        "pass_mode": "sparse" if sparse else "dense"
+                    },
+                    frontier_size=processed_vertices,
+                    processed_edges=processed_edges,
                 )
+                iterations.append(stats)
+                observe_iteration(
+                    self.name, stats, graph.num_vertices, track_frontier
+                )
+                m = obs.metrics()
+                if m is not None:
+                    m.observe(
+                        "hybrid_cpu_seconds", cpu_seconds, engine=self.name
+                    )
+                if active_tracer is not None:
+                    active_tracer.host_event(
+                        f"iteration {iteration}",
+                        iter_started,
+                        cat="engine",
+                        args={
+                            "modeled_seconds": stats.seconds,
+                            "cpu_seconds": cpu_seconds,
+                            "changed_vertices": changed,
+                        },
+                    )
                 if iteration_converged and stop_on_convergence:
                     converged = True
                     break
         finally:
             for handle in persistent:
                 device.free(handle)
+            if active_tracer is not None:
+                active_tracer.host_event(
+                    "hybrid-run",
+                    run_started,
+                    cat="engine",
+                    args={"engine": self.name, "graph": graph.name},
+                )
 
         self.last_stats = HybridStats(
             num_chunks=len(chunks),
@@ -397,13 +422,27 @@ class HybridEngine:
             ),
             cpu_seconds=total_cpu_seconds,
         )
-        return LPResult(
+        m = obs.metrics()
+        if m is not None:
+            m.set_gauge(
+                "hybrid_resident_edge_fraction",
+                self.last_stats.resident_edge_fraction,
+                engine=self.name,
+            )
+            m.set_gauge(
+                "hybrid_transfer_fraction",
+                self.last_stats.transfer_fraction,
+                engine=self.name,
+            )
+        result = LPResult(
             labels=program.final_labels(labels),
             iterations=iterations,
             converged=converged,
             engine=self.name,
             history=history,
         )
+        observe_run(self.name, result)
+        return result
 
     # ------------------------------------------------------------------
     def _overflow_active(

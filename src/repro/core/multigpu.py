@@ -19,11 +19,14 @@ the pass shape), using the total frontier fraction.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.api import LPProgram, validate_program
+from repro.core.instrument import observe_iteration, observe_run
 from repro.core.results import IterationStats, LPResult
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
@@ -113,8 +116,11 @@ class MultiGPUEngine:
         iterations: List[IterationStats] = []
         history = [] if record_history else None
         converged = False
+        active_tracer = obs.tracer()
+        run_started = time.perf_counter() if active_tracer else 0.0
 
         for iteration in range(1, max_iterations + 1):
+            iter_started = time.perf_counter() if active_tracer else 0.0
             picked = program.pick_labels(graph, labels, iteration)
             best_labels = picked.astype(LABEL_DTYPE, copy=True)
             best_scores = np.full(
@@ -181,6 +187,7 @@ class MultiGPUEngine:
             # is the busiest device's share).
             changed_mask = new_labels != labels
             exchange_seconds = 0.0
+            exchange_bytes = 0
             if self.num_gpus > 1:
                 per_part_changed = [
                     int(np.count_nonzero(changed_mask[part.start : part.stop]))
@@ -190,6 +197,9 @@ class MultiGPUEngine:
                 exchange_seconds = transfer_time(
                     max_changed * 8, self.devices[0].spec
                 ) * (self.num_gpus - 1)
+                exchange_bytes += (
+                    sum(per_part_changed) * 8 * (self.num_gpus - 1)
+                )
 
             # Frontier advance: each device expands its own changed range
             # and ships remote frontier candidates to the owning peer —
@@ -228,6 +238,9 @@ class MultiGPUEngine:
                         max(remote_candidate_counts) * ELEM_BYTES,
                         self.devices[0].spec,
                     ) * (self.num_gpus - 1)
+                    exchange_bytes += (
+                        sum(remote_candidate_counts) * ELEM_BYTES
+                    )
                 for i, device in enumerate(self.devices):
                     merged = (
                         np.unique(np.concatenate(incoming[i]))
@@ -246,29 +259,63 @@ class MultiGPUEngine:
                 history.append(labels.copy())
 
             seconds = max(device_seconds) + exchange_seconds
-            iterations.append(
-                IterationStats(
-                    iteration=iteration,
-                    seconds=seconds,
-                    kernel_seconds=max(device_seconds),
-                    transfer_seconds=exchange_seconds,
-                    changed_vertices=changed,
-                    counters=counters_total,
-                    kernel_stats={
-                        "pass_mode": "sparse" if sparse else "dense"
-                    },
-                    frontier_size=processed_vertices,
-                    processed_edges=processed_edges,
-                )
+            stats = IterationStats(
+                iteration=iteration,
+                seconds=seconds,
+                kernel_seconds=max(device_seconds),
+                transfer_seconds=exchange_seconds,
+                changed_vertices=changed,
+                counters=counters_total,
+                kernel_stats={
+                    "pass_mode": "sparse" if sparse else "dense"
+                },
+                frontier_size=processed_vertices,
+                processed_edges=processed_edges,
             )
+            iterations.append(stats)
+            observe_iteration(
+                self.name, stats, graph.num_vertices, track_frontier
+            )
+            m = obs.metrics()
+            if m is not None:
+                m.inc(
+                    "multigpu_exchange_bytes_total",
+                    exchange_bytes,
+                    engine=self.name,
+                )
+                m.observe(
+                    "multigpu_exchange_seconds",
+                    exchange_seconds,
+                    engine=self.name,
+                )
+            if active_tracer is not None:
+                active_tracer.host_event(
+                    f"iteration {iteration}",
+                    iter_started,
+                    cat="engine",
+                    args={
+                        "modeled_seconds": seconds,
+                        "exchange_bytes": exchange_bytes,
+                        "changed_vertices": changed,
+                    },
+                )
             if iteration_converged and stop_on_convergence:
                 converged = True
                 break
 
-        return LPResult(
+        if active_tracer is not None:
+            active_tracer.host_event(
+                "multigpu-run",
+                run_started,
+                cat="engine",
+                args={"engine": self.name, "graph": graph.name},
+            )
+        result = LPResult(
             labels=program.final_labels(labels),
             iterations=iterations,
             converged=converged,
             engine=self.name,
             history=history,
         )
+        observe_run(self.name, result)
+        return result

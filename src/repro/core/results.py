@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -96,3 +98,49 @@ class LPResult:
         """Sizes of all communities, descending."""
         _, counts = np.unique(self.labels, return_counts=True)
         return np.sort(counts)[::-1]
+
+    # ------------------------------------------------------------------
+    def labels_hash(self) -> str:
+        """Content hash of the final label array.
+
+        Two runs producing bitwise-identical labels hash identically —
+        the cheap way for differential tests and CI to compare outcomes
+        without shipping whole arrays.
+        """
+        data = np.ascontiguousarray(self.labels)
+        digest = hashlib.sha256()
+        digest.update(str(data.dtype).encode())
+        digest.update(data.tobytes())
+        return digest.hexdigest()
+
+    def summary(self) -> dict:
+        """Machine-readable run summary (the ``--json`` CLI output)."""
+        return {
+            "engine": self.engine,
+            "num_vertices": int(self.labels.size),
+            "iterations": self.num_iterations,
+            "converged": self.converged,
+            "labels_hash": self.labels_hash(),
+            "num_communities": int(np.unique(self.labels).size),
+            "total_seconds": self.total_seconds,
+            "seconds_per_iteration": self.seconds_per_iteration,
+            "counters": self.total_counters.as_dict(include_derived=True),
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """JSON dump: the summary plus per-iteration stats."""
+        doc = self.summary()
+        doc["per_iteration"] = [
+            {
+                "iteration": stats.iteration,
+                "seconds": stats.seconds,
+                "kernel_seconds": stats.kernel_seconds,
+                "transfer_seconds": stats.transfer_seconds,
+                "changed_vertices": stats.changed_vertices,
+                "frontier_size": stats.frontier_size,
+                "processed_edges": stats.processed_edges,
+                "pass_mode": stats.kernel_stats.get("pass_mode", "dense"),
+            }
+            for stats in self.iterations
+        ]
+        return json.dumps(doc, indent=indent)

@@ -51,3 +51,7 @@ class PipelineError(GLPError):
 
 class BenchmarkError(GLPError):
     """An experiment definition or sweep configuration is invalid."""
+
+
+class ObservabilityError(GLPError):
+    """Misuse of the tracing / metrics / profiling layer."""

@@ -82,12 +82,24 @@ class PerfCounters:
             return 0.0
         return self.active_lane_sum / (self.warp_instructions * 32)
 
-    def as_dict(self) -> dict:
-        """Plain-dict view for reports and JSON dumps."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+    def as_dict(self, *, include_derived: bool = False) -> dict:
+        """Plain-dict view for reports and JSON dumps.
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        With ``include_derived`` the dict additionally carries the derived
+        ``global_transactions`` and ``lane_utilization`` properties — the
+        diff-friendly form the profiler report embeds per kernel row.
+        """
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if include_derived:
+            out["global_transactions"] = self.global_transactions
+            out["lane_utilization"] = self.lane_utilization
+        return out
+
+    def __repr__(self) -> str:
         interesting = {
             k: v for k, v in self.as_dict().items() if v
         }
-        return f"PerfCounters({interesting})"
+        parts = [f"{k}={v}" for k, v in interesting.items()]
+        parts.append(f"global_transactions={self.global_transactions}")
+        parts.append(f"lane_utilization={self.lane_utilization:.3f}")
+        return f"PerfCounters({', '.join(parts)})"

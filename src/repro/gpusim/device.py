@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import DeviceError, OutOfDeviceMemoryError
 from repro.gpusim.atomics import AtomicsModel
 from repro.gpusim.config import TITAN_V, DeviceSpec
@@ -86,6 +87,12 @@ class Device:
         self._live_arrays: Dict[int, DeviceArray] = {}
         self.timeline: List[LaunchRecord] = []
         self._transfer_seconds = 0.0
+        # Per-direction transfer accounting for the nvprof-style report
+        # (raw modeled seconds, before any hybrid overlap credit).
+        self._h2d_count = 0
+        self._h2d_seconds = 0.0
+        self._d2h_count = 0
+        self._d2h_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Memory management
@@ -141,16 +148,75 @@ class Device:
         """Copy a host array onto the device (PCIe-timed)."""
         host_array = np.ascontiguousarray(host_array)
         handle = self._register(host_array.copy())
+        seconds = transfer_time(host_array.nbytes, self.spec)
+        self._record_memcpy("[memcpy HtoD]", host_array.nbytes, seconds)
         self.counters.h2d_bytes += host_array.nbytes
-        self._transfer_seconds += transfer_time(host_array.nbytes, self.spec)
+        self._transfer_seconds += seconds
+        self._h2d_count += 1
+        self._h2d_seconds += seconds
         return handle
 
     def d2h(self, handle: DeviceArray) -> np.ndarray:
         """Copy a device array back to the host (PCIe-timed)."""
         handle._check_alive()
+        seconds = transfer_time(handle.nbytes, self.spec)
+        self._record_memcpy("[memcpy DtoH]", handle.nbytes, seconds)
         self.counters.d2h_bytes += handle.nbytes
-        self._transfer_seconds += transfer_time(handle.nbytes, self.spec)
+        self._transfer_seconds += seconds
+        self._d2h_count += 1
+        self._d2h_seconds += seconds
         return handle.data.copy()
+
+    def _record_memcpy(self, name: str, nbytes: int, seconds: float) -> None:
+        """Emit a modeled-clock memcpy span when tracing is active."""
+        active = obs.tracer()
+        if active is not None:
+            active.device_span(
+                self.index,
+                name,
+                self.kernel_seconds + self._transfer_seconds,
+                seconds,
+                cat="memcpy",
+                args={"bytes": int(nbytes)},
+            )
+
+    def stream_to_device(self, nbytes: int) -> None:
+        """Account an H2D stream that leaves no allocation behind.
+
+        The hybrid engine ships per-iteration label deltas this way: the
+        bytes cross PCIe (and are timed) but never live in the allocation
+        table.
+        """
+        seconds = transfer_time(nbytes, self.spec)
+        self._record_memcpy("[memcpy HtoD]", nbytes, seconds)
+        self.counters.h2d_bytes += nbytes
+        self._transfer_seconds += seconds
+        self._h2d_count += 1
+        self._h2d_seconds += seconds
+
+    def stream_to_host(self, nbytes: int) -> None:
+        """Account a D2H stream that reads no allocation (label deltas)."""
+        seconds = transfer_time(nbytes, self.spec)
+        self._record_memcpy("[memcpy DtoH]", nbytes, seconds)
+        self.counters.d2h_bytes += nbytes
+        self._transfer_seconds += seconds
+        self._d2h_count += 1
+        self._d2h_seconds += seconds
+
+    def transfer_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-direction transfer totals (count, bytes, raw seconds)."""
+        return {
+            "h2d": {
+                "count": self._h2d_count,
+                "bytes": self.counters.h2d_bytes,
+                "seconds": self._h2d_seconds,
+            },
+            "d2h": {
+                "count": self._d2h_count,
+                "bytes": self.counters.d2h_bytes,
+                "seconds": self._d2h_seconds,
+            },
+        }
 
     # ------------------------------------------------------------------
     # Kernel bookkeeping
@@ -163,6 +229,22 @@ class Device:
         yield self.counters
         delta = self.counters.delta_since(snapshot)
         timing = kernel_time(delta, self.spec)
+        active = obs.tracer()
+        if active is not None:
+            # Kernel spans live on the modeled clock: this launch starts
+            # where the device's accumulated modeled time currently ends.
+            active.device_span(
+                self.index,
+                name,
+                self.kernel_seconds + self._transfer_seconds,
+                timing.total_seconds,
+                cat="kernel",
+                args={
+                    "global_transactions": delta.global_transactions,
+                    "lane_utilization": round(delta.lane_utilization, 4),
+                    "memory_bound": timing.memory_bound,
+                },
+            )
         self.timeline.append(
             LaunchRecord(name=name, timing=timing, counters=delta)
         )
@@ -198,6 +280,10 @@ class Device:
         """Clear the timeline (and optionally counters) for a fresh run."""
         self.timeline.clear()
         self._transfer_seconds = 0.0
+        self._h2d_count = 0
+        self._h2d_seconds = 0.0
+        self._d2h_count = 0
+        self._d2h_seconds = 0.0
         if reset_counters:
             self.counters.reset()
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
@@ -170,10 +171,17 @@ def next_frontier(
     changed: np.ndarray,
 ) -> np.ndarray:
     """Full frontier advance: expand changed vertices, compact the bitmap."""
-    candidates = expand_frontier(device, reversed_graph, changed)
-    return compact_frontier(
-        device, reversed_graph.num_vertices, candidates
-    )
+    with obs.span(
+        "frontier-advance", cat="pass", changed=int(np.size(changed))
+    ):
+        candidates = expand_frontier(device, reversed_graph, changed)
+        frontier = compact_frontier(
+            device, reversed_graph.num_vertices, candidates
+        )
+    m = obs.metrics()
+    if m is not None:
+        m.observe("frontier_candidates", frontier.size)
+    return frontier
 
 
 def _account_warp_work(device: Device, num_elements: int) -> None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import numpy as np
 
+from repro import obs
 from repro.errors import KernelError
 from repro.kernels.base import (  # noqa: F401  (re-exported presets)
     GLOBAL_BASELINE,
@@ -101,31 +102,41 @@ def propagate_pass(
         best_labels[idx] = labels
         best_scores[idx] = scores
 
-    # Bins whose strategy is "global" share one pooled kernel launch.
-    pooled = []
-    if config.high_strategy == "global":
-        pooled.append(bins.high)
-    elif bins.high.size:
-        merge(bins.high, *run_smem_cms_ht(ctx, bins.high))
+    with obs.span(
+        "propagate-pass",
+        cat="pass",
+        vertices=int(vertices.size),
+        high=int(bins.high.size),
+        mid=int(bins.mid.size),
+        low=int(bins.low.size),
+    ):
+        # Bins whose strategy is "global" share one pooled kernel launch.
+        pooled = []
+        if config.high_strategy == "global":
+            pooled.append(bins.high)
+        elif bins.high.size:
+            merge(bins.high, *run_smem_cms_ht(ctx, bins.high))
 
-    if config.mid_strategy == "global":
-        pooled.append(bins.mid)
-    elif bins.mid.size:
-        merge(bins.mid, *run_warp_shared_ht(ctx, bins.mid))
+        if config.mid_strategy == "global":
+            pooled.append(bins.mid)
+        elif bins.mid.size:
+            merge(bins.mid, *run_warp_shared_ht(ctx, bins.mid))
 
-    if config.low_strategy == "warp_per_vertex":
-        pooled.append(bins.low)
-    elif config.low_strategy == "thread_per_vertex":
-        if bins.low.size:
-            merge(bins.low, *run_thread_per_vertex(ctx, bins.low))
-    else:  # warp_multi
-        if bins.low.size:
-            merge(bins.low, *run_warp_multi(ctx, bins.low))
+        if config.low_strategy == "warp_per_vertex":
+            pooled.append(bins.low)
+        elif config.low_strategy == "thread_per_vertex":
+            if bins.low.size:
+                merge(bins.low, *run_thread_per_vertex(ctx, bins.low))
+        else:  # warp_multi
+            if bins.low.size:
+                merge(bins.low, *run_warp_multi(ctx, bins.low))
 
-    if pooled:
-        pooled_vertices = np.sort(np.concatenate(pooled))
-        if pooled_vertices.size:
-            merge(pooled_vertices, *run_global_hash(ctx, pooled_vertices))
+        if pooled:
+            pooled_vertices = np.sort(np.concatenate(pooled))
+            if pooled_vertices.size:
+                merge(
+                    pooled_vertices, *run_global_hash(ctx, pooled_vertices)
+                )
 
     return PassResult(
         vertices=vertices,
@@ -150,7 +161,10 @@ def segmented_sort_pass(
         vertices = np.sort(np.asarray(vertices, dtype=np.int64))
     if bins is None:
         bins = bin_vertices_by_degree(graph, vertices=vertices)
-    labels, scores = run_segmented_sort(ctx, vertices)
+    with obs.span(
+        "segmented-sort-pass", cat="pass", vertices=int(vertices.size)
+    ):
+        labels, scores = run_segmented_sort(ctx, vertices)
     return PassResult(
         vertices=vertices,
         best_labels=labels,

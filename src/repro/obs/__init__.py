@@ -1,0 +1,123 @@
+"""repro.obs — tracing, metrics and profiling for the whole stack.
+
+Three integrated layers (see ``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — nested spans with a Chrome ``trace_event``
+  exporter (host spans on the wall clock, kernel/memcpy spans on the
+  simulator's modeled clock);
+* :mod:`repro.obs.metrics` — named counters / gauges / histograms with
+  labeled dimensions, exported as JSON or prometheus text;
+* :mod:`repro.obs.profile` — an nvprof-style per-kernel report aggregated
+  from the device launch timeline.
+
+Observability is **off by default** and activated per-session::
+
+    with obs.observe() as session:
+        result = GLPEngine().run(graph, ClassicLP())
+    session.tracer.write("trace.json")
+    session.metrics.write("metrics.json")
+
+Instrumented code calls the module-level helpers (:func:`span`,
+:func:`metrics`, :func:`tracer`, :func:`session`); with no active session
+they cost one global read and change **nothing** — labels, counters and
+timings are bitwise identical, which ``tests/obs/test_identity.py``
+enforces differentially.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import KernelRow, MemcpyRow, ProfileReport
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelRow",
+    "MemcpyRow",
+    "MetricsRegistry",
+    "ObsSession",
+    "ProfileReport",
+    "Tracer",
+    "disable",
+    "enable",
+    "metrics",
+    "observe",
+    "session",
+    "span",
+    "tracer",
+]
+
+
+class ObsSession:
+    """One observability session: a tracer plus a metrics registry."""
+
+    def __init__(self, *, trace: bool = True, metrics: bool = True) -> None:
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+
+
+#: The active session; ``None`` means observability is disabled.
+_ACTIVE: Optional[ObsSession] = None
+
+#: Shared no-op context for disabled spans (nullcontext is reentrant).
+_NULL_SPAN = contextlib.nullcontext()
+
+
+def session() -> Optional[ObsSession]:
+    """The active session, or ``None`` when observability is off."""
+    return _ACTIVE
+
+
+def enable(*, trace: bool = True, metrics: bool = True) -> ObsSession:
+    """Start a fresh session and make it the active one."""
+    global _ACTIVE
+    _ACTIVE = ObsSession(trace=trace, metrics=metrics)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Deactivate observability (instrumentation reverts to no-ops)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def observe(
+    *, trace: bool = True, metrics: bool = True
+) -> Iterator[ObsSession]:
+    """Scoped :func:`enable` / :func:`disable` (restores the previous)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    current = ObsSession(trace=trace, metrics=metrics)
+    _ACTIVE = current
+    try:
+        yield current
+    finally:
+        _ACTIVE = previous
+
+
+def tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` (hot paths guard on this)."""
+    s = _ACTIVE
+    return s.tracer if s is not None else None
+
+
+def metrics() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or ``None``."""
+    s = _ACTIVE
+    return s.metrics if s is not None else None
+
+
+def span(name: str, *, cat: str = "host", **args):
+    """A host wall-clock span, or a shared no-op context when disabled."""
+    s = _ACTIVE
+    if s is None or s.tracer is None:
+        return _NULL_SPAN
+    return s.tracer.span(name, cat=cat, args=args or None)

@@ -1,0 +1,201 @@
+"""Metrics registry: named counters, gauges and streaming histograms.
+
+Every metric is identified by a name plus a set of labeled dimensions
+(``engine="GLP"``, ``mode="sparse"`` ...), prometheus-style; one registry
+instance collects everything a run emits and exports it as JSON or
+prometheus text exposition format.
+
+Histograms keep their raw observations (runs are bounded — thousands of
+iterations, not billions of requests) and compute p50/p95/p99 at export
+time, which keeps the hot path to a single ``list.append``.
+
+The metric families the instrumented code emits are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+
+Number = Union[int, float]
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Percentiles every histogram reports.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming distribution with percentile export."""
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def observe(self, value: Number) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self._values))
+
+    def percentile(self, q: float) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, q))
+
+    def snapshot(self) -> dict:
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self._values) if self._values else 0.0,
+            "max": max(self._values) if self._values else 0.0,
+        }
+        for q in PERCENTILES:
+            out[f"p{q:g}"] = self.percentile(q)
+        return out
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """All metrics of one observability session, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, _LabelKey], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Dict[str, str]):
+        seen = self._kinds.get(name)
+        if seen is not None and seen != kind:
+            raise ObservabilityError(
+                f"metric {name!r} already registered as a {seen}"
+            )
+        self._kinds[name] = kind
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = _METRIC_TYPES[kind]()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    # Convenience one-liners for instrumented call sites.
+    def inc(self, name: str, amount: Number = 1, **labels: str) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: Number, **labels: str) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: Number, **labels: str) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def to_dict(self) -> dict:
+        """Flat export: one entry per (name, labels) series."""
+        series = []
+        for (kind, name, labels) in sorted(self._metrics):
+            metric = self._metrics[(kind, name, labels)]
+            series.append(
+                {
+                    "name": name,
+                    "type": kind,
+                    "labels": dict(labels),
+                    **metric.snapshot(),
+                }
+            )
+        return {"metrics": series}
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=2))
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition (histograms as summary quantiles)."""
+        lines: List[str] = []
+        by_name: Dict[str, List] = {}
+        for (kind, name, labels) in sorted(self._metrics):
+            by_name.setdefault(name, []).append(
+                (kind, labels, self._metrics[(kind, name, labels)])
+            )
+        for name, entries in sorted(by_name.items()):
+            kind = entries[0][0]
+            prom_type = "summary" if kind == "histogram" else kind
+            lines.append(f"# TYPE {name} {prom_type}")
+            for _, labels, metric in entries:
+                base = ",".join(f'{k}="{v}"' for k, v in labels)
+                if kind == "histogram":
+                    for q in PERCENTILES:
+                        qlabel = f'quantile="{q / 100:g}"'
+                        sel = f"{{{base + ',' if base else ''}{qlabel}}}"
+                        lines.append(
+                            f"{name}{sel} {metric.percentile(q):.9g}"
+                        )
+                    sel = f"{{{base}}}" if base else ""
+                    lines.append(f"{name}_count{sel} {metric.count}")
+                    lines.append(f"{name}_sum{sel} {metric.sum:.9g}")
+                else:
+                    sel = f"{{{base}}}" if base else ""
+                    lines.append(f"{name}{sel} {metric.value:.9g}")
+        return "\n".join(lines) + "\n"

@@ -9,11 +9,13 @@ distributed baseline without touching this stage.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.seeded import SeededFraudLP
 from repro.core.results import LPResult
 from repro.errors import PipelineError
@@ -91,10 +93,17 @@ class ClusterDetector:
         """Run seeded LP on ``window`` and extract suspicious clusters."""
         if not seeds:
             raise PipelineError("seed store contributed no seeds to window")
+        started = time.perf_counter()
         program = SeededFraudLP(seeds, max_hops=self.max_hops)
-        lp_result = self.engine.run(
-            window.graph, program, max_iterations=self.max_iterations
-        )
+        with obs.span(
+            "lp-detect",
+            cat="pipeline",
+            window=window.graph.name,
+            seeds=len(seeds),
+        ):
+            lp_result = self.engine.run(
+                window.graph, program, max_iterations=self.max_iterations
+            )
         labels = lp_result.labels
 
         clusters: List[DetectedCluster] = []
@@ -117,4 +126,15 @@ class ClusterDetector:
                 )
             )
         clusters.sort(key=lambda c: c.label)
+        m = obs.metrics()
+        if m is not None:
+            m.observe(
+                "pipeline_lp_modeled_seconds", lp_result.total_seconds
+            )
+            m.observe(
+                "pipeline_detect_wall_seconds",
+                time.perf_counter() - started,
+            )
+            m.inc("pipeline_detections_total")
+            m.inc("pipeline_clusters_total", len(clusters))
         return DetectionResult(clusters=clusters, lp_result=lp_result)

@@ -22,10 +22,12 @@ reprocessed.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.errors import PipelineError
 from repro.graph.builder import from_edge_arrays
 from repro.pipeline.detector import ClusterDetector, DetectionResult
@@ -263,16 +265,49 @@ class SlidingWindowDetector:
 
     # ------------------------------------------------------------------
     def _detect(self) -> Tuple[WindowGraph, DetectionResult]:
-        window = self.builder.build()
-        seeds = self.seed_store.window_seeds(window)
+        build_started = time.perf_counter()
+        with obs.span("window-build", cat="pipeline"):
+            window = self.builder.build()
+        m = obs.metrics()
+        if m is not None:
+            m.observe(
+                "pipeline_window_build_seconds",
+                time.perf_counter() - build_started,
+            )
+        base_seeds = self.seed_store.window_seeds(window)
+        seeds = base_seeds
         if self._previous is not None:
             prev_window, prev_labels = self._previous
-            seeds = warm_start_seeds(
-                prev_window, prev_labels, window, seeds,
-                carry_products=True,
-            )
+            with obs.span("warm-start-seeds", cat="pipeline"):
+                seeds = warm_start_seeds(
+                    prev_window, prev_labels, window, base_seeds,
+                    carry_products=True,
+                )
         if not seeds:
             raise PipelineError("no seeds fall inside the current window")
+        if m is not None:
+            # ``base_seeds`` always win on conflict (they are merged last),
+            # so the carried share is exactly the size difference.
+            carried = len(seeds) - len(base_seeds)
+            m.inc("pipeline_warm_start_seeds_total", carried, kind="carried")
+            m.inc(
+                "pipeline_warm_start_seeds_total",
+                len(base_seeds),
+                kind="base",
+            )
+            m.set_gauge(
+                "pipeline_warm_start_hit_rate",
+                carried / len(seeds) if seeds else 0.0,
+            )
         result = self.detector.detect(window, seeds)
         self._previous = (window, result.lp_result.labels)
+        if m is not None:
+            m.observe(
+                "pipeline_serving_latency_seconds",
+                time.perf_counter() - build_started,
+            )
+            m.observe(
+                "pipeline_e2e_modeled_seconds",
+                result.lp_result.total_seconds,
+            )
         return window, result

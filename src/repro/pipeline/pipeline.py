@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import PipelineError
 from repro.pipeline.detector import ClusterDetector, DetectionResult
 from repro.pipeline.downstream import ClusterScorer, ScoringResult
@@ -96,8 +97,17 @@ class FraudDetectionPipeline:
         construction_seconds = transactions.size / self.construction_rate
 
         seeds = self.seed_store.window_seeds(window)
-        detection: DetectionResult = self.detector.detect(window, seeds)
-        scoring: ScoringResult = self.scorer.score(window, detection.clusters)
+        with obs.span(
+            "pipeline-window",
+            cat="pipeline",
+            window_days=window.num_days,
+            num_vertices=window.graph.num_vertices,
+        ):
+            detection: DetectionResult = self.detector.detect(window, seeds)
+            with obs.span("downstream-scoring", cat="pipeline"):
+                scoring: ScoringResult = self.scorer.score(
+                    window, detection.clusters
+                )
 
         fraud = scoring.fraud_clusters()
         flagged = (
@@ -109,6 +119,17 @@ class FraudDetectionPipeline:
         metrics = user_detection_metrics(
             flagged, self.stream, active_users=window.users
         )
+        m = obs.metrics()
+        if m is not None:
+            m.observe(
+                "pipeline_construction_seconds", construction_seconds
+            )
+            m.observe("pipeline_downstream_seconds", scoring.seconds)
+            m.observe(
+                "pipeline_total_modeled_seconds",
+                construction_seconds + detection.lp_seconds + scoring.seconds,
+            )
+            m.inc("pipeline_windows_total")
         return PipelineReport(
             window_days=window.num_days,
             num_vertices=window.graph.num_vertices,

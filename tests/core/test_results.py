@@ -1,5 +1,7 @@
 """Tests for LPResult containers."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -58,3 +60,35 @@ class TestCommunities:
     def test_singleton_labels(self):
         result = make_result([0, 1, 2], [1.0])
         assert len(result.communities()) == 3
+
+
+class TestSerialization:
+    def test_labels_hash_depends_on_content(self):
+        a = make_result([0, 0, 1], [1.0])
+        b = make_result([0, 0, 1], [2.0])
+        c = make_result([0, 1, 1], [1.0])
+        assert a.labels_hash() == b.labels_hash()
+        assert a.labels_hash() != c.labels_hash()
+
+    def test_labels_hash_depends_on_dtype(self):
+        a = make_result(np.array([0, 1], dtype=np.int32), [1.0])
+        b = make_result(np.array([0, 1], dtype=np.int64), [1.0])
+        assert a.labels_hash() != b.labels_hash()
+
+    def test_summary_fields(self):
+        result = make_result([0, 0, 1], [0.5, 1.5])
+        summary = result.summary()
+        assert summary["num_vertices"] == 3
+        assert summary["iterations"] == 2
+        assert summary["converged"] is True
+        assert summary["num_communities"] == 2
+        assert summary["total_seconds"] == 2.0
+        assert summary["counters"]["global_transactions"] == 20
+
+    def test_to_json_round_trips(self):
+        result = make_result([0, 0, 1], [0.5, 1.5])
+        doc = json.loads(result.to_json(indent=2))
+        assert doc["labels_hash"] == result.labels_hash()
+        assert len(doc["per_iteration"]) == 2
+        assert doc["per_iteration"][0]["iteration"] == 1
+        assert doc["per_iteration"][0]["pass_mode"] == "dense"

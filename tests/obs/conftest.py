@@ -1,0 +1,15 @@
+"""Observability test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _no_obs_leakage():
+    """Guarantee every test starts and ends with observability off."""
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,114 @@
+"""Tests for the metrics registry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("ops_total")
+        registry.inc("ops_total", 4)
+        assert registry.counter("ops_total").value == 5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.inc("ops_total", -1)
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.inc("passes_total", 2, mode="dense")
+        registry.inc("passes_total", 3, mode="sparse")
+        assert registry.counter("passes_total", mode="dense").value == 2
+        assert registry.counter("passes_total", mode="sparse").value == 3
+        assert len(registry) == 2
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("hit_rate", 0.2)
+        registry.set_gauge("hit_rate", 0.9)
+        assert registry.gauge("hit_rate").value == 0.9
+
+
+class TestHistogram:
+    def test_percentiles_match_numpy(self):
+        registry = MetricsRegistry()
+        values = list(range(1, 101))
+        for v in values:
+            registry.observe("latency", v)
+        hist = registry.histogram("latency")
+        assert hist.count == 100
+        assert hist.sum == sum(values)
+        for q in (50.0, 95.0, 99.0):
+            assert hist.percentile(q) == pytest.approx(
+                np.percentile(values, q)
+            )
+
+    def test_snapshot_has_percentile_keys(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 1.0)
+        snap = registry.histogram("latency").snapshot()
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            assert key in snap
+
+    def test_empty_histogram_is_safe(self):
+        registry = MetricsRegistry()
+        snap = registry.histogram("latency").snapshot()
+        assert snap["count"] == 0
+        assert snap["p99"] == 0.0
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ObservabilityError):
+            registry.set_gauge("x", 1.0)
+
+    def test_to_dict_lists_every_series(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", engine="GLP")
+        registry.observe("iter_seconds", 0.5, engine="GLP")
+        doc = registry.to_dict()
+        names = {m["name"] for m in doc["metrics"]}
+        assert names == {"runs_total", "iter_seconds"}
+        for m in doc["metrics"]:
+            assert m["labels"] == {"engine": "GLP"}
+
+    def test_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("runs_total")
+        path = tmp_path / "metrics.json"
+        registry.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["metrics"][0]["name"] == "runs_total"
+        assert doc["metrics"][0]["type"] == "counter"
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.inc("runs_total", 2, engine="GLP")
+        registry.set_gauge("hit_rate", 0.75)
+        text = registry.to_prometheus_text()
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{engine="GLP"} 2' in text
+        assert "hit_rate 0.75" in text
+
+    def test_histogram_exported_as_summary(self):
+        registry = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            registry.observe("latency", v)
+        text = registry.to_prometheus_text()
+        assert "# TYPE latency summary" in text
+        assert 'latency{quantile="0.5"} 2' in text
+        assert "latency_count 3" in text
+        assert "latency_sum 6" in text

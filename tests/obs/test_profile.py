@@ -1,0 +1,140 @@
+"""Tests for the nvprof-style profiler report (and counter satellites)."""
+
+import json
+
+import pytest
+
+from repro.algorithms import ClassicLP
+from repro.core.framework import GLPEngine
+from repro.core.multigpu import MultiGPUEngine
+from repro.errors import ObservabilityError
+from repro.gpusim.counters import PerfCounters
+from repro.obs import ProfileReport
+from repro.obs.profile import SORT_KEYS
+
+
+@pytest.fixture
+def glp_run(powerlaw_graph):
+    engine = GLPEngine()
+    result = engine.run(powerlaw_graph, ClassicLP(), max_iterations=5)
+    return engine, result
+
+
+class TestReconciliation:
+    def test_kernel_rows_sum_to_run_total(self, glp_run):
+        """The headline invariant: the table reconciles to the result.
+
+        GLP's setup transfers happen before the first iteration snapshot,
+        so the per-iteration deltas are pure kernel time and the kernel
+        section of the profile must sum to ``LPResult.total_seconds``.
+        """
+        engine, result = glp_run
+        report = ProfileReport.from_engine(engine)
+        assert report.kernel_seconds == pytest.approx(
+            result.total_seconds, rel=1e-9
+        )
+
+    def test_launch_count_matches_timeline(self, glp_run):
+        engine, _ = glp_run
+        report = ProfileReport.from_engine(engine)
+        assert report.total_launches == len(engine.device.timeline)
+
+    def test_memcpy_rows_cover_setup_transfers(self, glp_run):
+        engine, _ = glp_run
+        report = ProfileReport.from_engine(engine)
+        h2d = [m for m in report.memcpys if m.name == "[memcpy HtoD]"]
+        assert h2d and h2d[0].bytes > 0
+        assert report.transfer_seconds > 0
+
+
+class TestSorting:
+    def test_time_sort_is_descending(self, glp_run):
+        engine, _ = glp_run
+        rows = ProfileReport.from_engine(engine).sorted_rows("time")
+        seconds = [r.seconds for r in rows]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_name_sort_is_ascending(self, glp_run):
+        engine, _ = glp_run
+        rows = ProfileReport.from_engine(engine).sorted_rows("name")
+        names = [r.name for r in rows]
+        assert names == sorted(names)
+
+    def test_unknown_key_raises(self, glp_run):
+        engine, _ = glp_run
+        with pytest.raises(ObservabilityError):
+            ProfileReport.from_engine(engine).sorted_rows("vibes")
+
+
+class TestExport:
+    def test_to_dict_schema(self, glp_run):
+        engine, _ = glp_run
+        doc = ProfileReport.from_engine(engine).to_dict()
+        for key in (
+            "num_devices", "kernel_seconds", "transfer_seconds",
+            "total_launches", "kernels", "memcpys",
+        ):
+            assert key in doc
+        kernel = doc["kernels"][0]
+        for key in (
+            "name", "launches", "seconds", "avg_seconds",
+            "global_transactions", "lane_utilization",
+            "atomic_serialized_ops", "counters",
+        ):
+            assert key in kernel
+
+    def test_to_json_parses(self, glp_run):
+        engine, _ = glp_run
+        doc = json.loads(ProfileReport.from_engine(engine).to_json())
+        assert doc["total_launches"] > 0
+
+    def test_text_table_reconciles_visibly(self, glp_run):
+        engine, _ = glp_run
+        text = ProfileReport.from_engine(engine).to_text()
+        assert "[kernel total]" in text
+        assert "[memcpy HtoD]" in text
+        assert "Time(%)" in text and "LaneUtil" in text
+
+
+class TestEngineDiscovery:
+    def test_multigpu_exposes_all_devices(self, powerlaw_graph):
+        engine = MultiGPUEngine(2)
+        engine.run(powerlaw_graph, ClassicLP(), max_iterations=3)
+        report = ProfileReport.from_engine(engine)
+        assert report.num_devices == 2
+        assert report.total_launches > 0
+
+    def test_deviceless_engine_rejected(self):
+        with pytest.raises(ObservabilityError):
+            ProfileReport.from_engine(object())
+
+    def test_no_devices_rejected(self):
+        with pytest.raises(ObservabilityError):
+            ProfileReport.from_devices([])
+
+
+class TestCounterSatellites:
+    def test_as_dict_derived_fields(self):
+        counters = PerfCounters(
+            global_load_transactions=10,
+            global_store_transactions=5,
+            warp_instructions=4,
+            active_lane_sum=96,
+        )
+        base = counters.as_dict()
+        assert "global_transactions" not in base
+        derived = counters.as_dict(include_derived=True)
+        assert derived["global_transactions"] == 15
+        assert derived["lane_utilization"] == pytest.approx(0.75)
+
+    def test_repr_shows_derived_and_nonzero(self):
+        counters = PerfCounters(
+            global_load_transactions=10,
+            warp_instructions=4,
+            active_lane_sum=96,
+        )
+        text = repr(counters)
+        assert "global_load_transactions=10" in text
+        assert "global_transactions=10" in text
+        assert "lane_utilization=0.750" in text
+        assert "global_store_transactions" not in text

@@ -1,0 +1,118 @@
+"""Tests for the span tracer and its Chrome trace_event exporter."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import DEVICE_PID, HOST_PID, Tracer
+
+
+class TestHostSpans:
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("work", cat="test", args={"k": 1}):
+            pass
+        assert tracer.num_events == 1
+        (event,) = tracer.events
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["cat"] == "test"
+        assert event["pid"] == HOST_PID
+        assert event["args"] == {"k": 1}
+        assert event["dur"] >= 0
+
+    def test_nested_spans_are_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # Spans close inner-first, so the event list is [inner, outer].
+        inner, outer = tracer.events
+        assert inner["name"] == "inner"
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.num_events == 1
+
+    def test_host_event_uses_external_start(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        tracer.host_event("late", start, cat="engine", args={"n": 2})
+        (event,) = tracer.events
+        assert event["name"] == "late"
+        assert event["cat"] == "engine"
+        assert event["dur"] >= 0
+
+    def test_instant_marker(self):
+        tracer = Tracer()
+        tracer.instant("tick")
+        (event,) = tracer.events
+        assert event["ph"] == "i"
+
+
+class TestDeviceSpans:
+    def test_device_span_lives_on_modeled_track(self):
+        tracer = Tracer()
+        tracer.device_span(0, "kern", 1e-6, 2e-6, args={"x": 1})
+        (event,) = tracer.events
+        assert event["pid"] == DEVICE_PID
+        assert event["tid"] == 0
+        assert event["ts"] == pytest.approx(1.0)   # microseconds
+        assert event["dur"] == pytest.approx(2.0)
+
+    def test_sequential_spans_do_not_overlap(self):
+        tracer = Tracer()
+        tracer.device_span(0, "a", 0.0, 1e-6)
+        tracer.device_span(0, "b", 1e-6, 1e-6)
+        a, b = tracer.events
+        assert a["ts"] + a["dur"] <= b["ts"] + 1e-9
+
+
+class TestExport:
+    def test_chrome_trace_has_metadata_tracks(self):
+        tracer = Tracer()
+        with tracer.span("host-work"):
+            pass
+        tracer.device_span(1, "kern", 0.0, 1e-6)
+        doc = tracer.chrome_trace()
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {
+            (e["name"], e["args"]["name"]) for e in meta
+        }
+        assert ("process_name", "host (wall clock)") in names
+        assert ("process_name", "gpusim (modeled clock)") in names
+        assert ("thread_name", "gpu1") in names
+
+    def test_write_round_trips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        doc = json.loads(path.read_text())
+        assert any(
+            e.get("ph") == "X" and e["name"] == "work"
+            for e in doc["traceEvents"]
+        )
+        assert doc["displayTimeUnit"] == "ms"
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored"):
+            tracer.instant("ignored")
+        tracer.device_span(0, "ignored", 0.0, 1.0)
+        tracer.host_event("ignored", time.perf_counter())
+        assert tracer.num_events == 0
+        # Export still works — just metadata plus nothing.
+        assert all(
+            e["ph"] == "M" for e in tracer.chrome_trace()["traceEvents"]
+        )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -82,3 +84,82 @@ class TestOtherCommands:
         assert code == 0
         assert "LP share" in out
         assert "fraud clusters" in out
+
+
+class TestObservability:
+    def test_run_json(self, capsys):
+        code = main(["run", "dblp", "--iterations", "3", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["engine"] == "GLP"
+        assert doc["iterations"] == 3
+        assert "labels_hash" in doc
+        assert len(doc["per_iteration"]) == 3
+
+    def test_run_trace_and_metrics_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "run", "dblp", "--iterations", "3",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        kernels = [
+            e for e in trace["traceEvents"] if e.get("cat") == "kernel"
+        ]
+        assert kernels and all(e["ph"] == "X" for e in kernels)
+        metrics = json.loads(metrics_path.read_text())
+        names = {m["name"] for m in metrics["metrics"]}
+        assert "engine_iteration_seconds" in names
+
+    def test_run_prometheus_metrics(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        main([
+            "run", "dblp", "--iterations", "2",
+            "--metrics-out", str(path),
+            "--metrics-format", "prometheus",
+        ])
+        text = path.read_text()
+        assert "# TYPE engine_iteration_seconds summary" in text
+        assert 'quantile="0.99"' in text
+
+    def test_run_without_obs_flags_writes_nothing(self, capsys):
+        code = main(["run", "dblp", "--iterations", "2"])
+        assert code == 0
+        assert "trace written" not in capsys.readouterr().out
+
+    def test_pipeline_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main([
+            "pipeline", "--days", "8", "--window", "4",
+            "--trace-out", str(path),
+        ])
+        assert code == 0
+        trace = json.loads(path.read_text())
+        cats = {e.get("cat") for e in trace["traceEvents"]}
+        assert "pipeline" in cats
+
+    def test_profile_table(self, capsys):
+        code = main([
+            "profile", "--dataset", "dblp", "--iterations", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[kernel total]" in out
+        assert "Time(%)" in out
+
+    def test_profile_json_sorted_by_launches(self, capsys):
+        code = main([
+            "profile", "--dataset", "dblp", "--iterations", "3",
+            "--sort-by", "launches", "--json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        launches = [k["launches"] for k in doc["kernels"]]
+        assert launches == sorted(launches, reverse=True)
+
+    def test_profile_rejects_unknown_sort(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--sort-by", "vibes"])
