@@ -57,7 +57,7 @@ def test_ht_capacity_sweep(benchmark, save_report):
         rows,
         title="Ablation: shared-memory HT capacity (twitter stand-in)",
     )
-    save_report("ablation_ht_capacity", text)
+    save_report("ablation_ht_capacity", text, rows)
 
     rates = [float(r[1].rstrip("%")) for r in rows]
     # Monotone non-increasing fallback rate in h; big h ~ no fallbacks.
@@ -88,7 +88,7 @@ def test_cms_depth_sweep(benchmark, save_report):
         rows,
         title="Ablation: CMS depth with a deliberately tiny HT (aligraph)",
     )
-    save_report("ablation_cms_depth", text)
+    save_report("ablation_cms_depth", text, rows)
 
     rates = [float(r[1].rstrip("%")) for r in rows]
     assert rates[-1] <= rates[0] + 1e-9
@@ -115,7 +115,7 @@ def test_degree_threshold_sweep(benchmark, save_report):
         rows,
         title="Ablation: degree-class thresholds (ljournal stand-in)",
     )
-    save_report("ablation_thresholds", text)
+    save_report("ablation_thresholds", text, rows)
 
     times = {r[0]: float(r[1]) for r in rows}
     # The paper's 32/128 choice is within 1.5x of the best swept setting.
@@ -155,7 +155,7 @@ def test_low_degree_strategy_comparison(benchmark, save_report):
         rows,
         title="Ablation: low-degree scheduling strategies",
     )
-    save_report("ablation_low_degree_strategy", text)
+    save_report("ablation_low_degree_strategy", text, rows)
 
     for dataset, results in all_results.items():
         per_iter = {

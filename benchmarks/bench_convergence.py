@@ -59,7 +59,7 @@ def test_convergence_dynamics(benchmark, save_report):
         "(vertices flipping between two equal-frequency labels); the "
         "block-asynchronous engine drains it."
     )
-    save_report("convergence_dynamics", text)
+    save_report("convergence_dynamics", text, rows)
 
     sync_changed = [r[1] for r in rows]
     async_changed = [r[2] for r in rows]

@@ -7,7 +7,7 @@ def test_cost_efficiency(benchmark, save_report):
     text, data = benchmark.pedantic(
         run_cost_efficiency, kwargs={"iterations": 10}, rounds=1, iterations=1
     )
-    save_report("cost_efficiency", text)
+    save_report("cost_efficiency", text, data)
 
     # The paper's price quote: $23,560 x 32 vs $3,616 -> ~208x cheaper.
     assert data["cluster_cost"] == 753_920

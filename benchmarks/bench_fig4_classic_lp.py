@@ -7,7 +7,7 @@ def test_fig4_classic_lp(benchmark, save_report):
     text, speedups = benchmark.pedantic(
         run_fig4, kwargs={"iterations": 8}, rounds=1, iterations=1
     )
-    save_report("fig4_classic_lp", text)
+    save_report("fig4_classic_lp", text, speedups)
 
     import numpy as np
 

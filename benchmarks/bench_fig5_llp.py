@@ -7,7 +7,7 @@ def test_fig5_llp(benchmark, save_report):
     text, speedups = benchmark.pedantic(
         run_fig5, kwargs={"iterations": 5}, rounds=1, iterations=1
     )
-    save_report("fig5_llp", text)
+    save_report("fig5_llp", text, speedups)
 
     for dataset, per_approach in speedups.items():
         # Paper: "For LLP ... the results are consistent with those of

@@ -7,7 +7,7 @@ def test_fig6_slp(benchmark, save_report):
     text, speedups = benchmark.pedantic(
         run_fig6, kwargs={"iterations": 5}, rounds=1, iterations=1
     )
-    save_report("fig6_slp", text)
+    save_report("fig6_slp", text, speedups)
 
     for dataset, per_approach in speedups.items():
         # Consistent with classic LP: GLP fastest, GPU baselines beaten.

@@ -8,7 +8,7 @@ def test_fig7_taobao(benchmark, save_report):
     text, data = benchmark.pedantic(
         run_fig7, kwargs={"iterations": 10}, rounds=1, iterations=1
     )
-    save_report("fig7_taobao", text)
+    save_report("fig7_taobao", text, data)
 
     # GLP beats the in-house solution on every window.
     for days in WINDOW_DAYS:

@@ -141,7 +141,7 @@ def test_frontier_vs_dense(benchmark, save_report):
         iterations=1,
     )
     check_acceptance(report)
-    save_report("frontier", json.dumps(report, indent=2))
+    save_report("frontier", json.dumps(report, indent=2), report)
 
 
 def main(argv) -> int:

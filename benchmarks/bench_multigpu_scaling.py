@@ -47,7 +47,7 @@ def test_multigpu_scaling(benchmark, save_report):
         rows,
         title="Multi-GPU scaling (twitter stand-in, classic LP)",
     )
-    save_report("multigpu_scaling", text)
+    save_report("multigpu_scaling", text, {"rows": rows, "times": times})
 
     # Monotone improvement...
     assert times[2] < times[1]

@@ -7,7 +7,7 @@ def test_pipeline_share(benchmark, save_report):
     text, data = benchmark.pedantic(
         run_pipeline_share, kwargs={"window_days": 30}, rounds=1, iterations=1
     )
-    save_report("pipeline_share", text)
+    save_report("pipeline_share", text, data)
 
     inhouse = data["in-house distributed"]
     glp = data["GLP (1 GPU)"]

@@ -50,7 +50,7 @@ def test_quality_on_lfr(benchmark, save_report):
         rows,
         title="LP variant quality on LFR benchmarks (extension experiment)",
     )
-    save_report("quality_lfr", text)
+    save_report("quality_lfr", text, rows)
 
     # Quality degrades with mixing for every variant.
     for label in ("classic", "llp", "slp"):

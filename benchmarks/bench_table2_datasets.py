@@ -5,7 +5,7 @@ from repro.bench import run_table2
 
 def test_table2_datasets(benchmark, save_report):
     text, rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
-    save_report("table2_datasets", text)
+    save_report("table2_datasets", text, rows)
 
     # Shape: the stand-ins preserve the paper's average-degree ordering —
     # roadNet smallest, aligraph by far the largest.

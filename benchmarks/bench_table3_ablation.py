@@ -7,7 +7,7 @@ def test_table3_ablation(benchmark, save_report):
     text, data = benchmark.pedantic(
         run_table3, kwargs={"iterations": 8}, rounds=1, iterations=1
     )
-    save_report("table3_ablation", text)
+    save_report("table3_ablation", text, data)
 
     # Shape assertions from the paper's analysis:
     # (1) both optimizations help (no slowdowns);

@@ -6,7 +6,7 @@ from repro.bench.datasets import PAPER_TABLE4, WINDOW_DAYS
 
 def test_table4_windows(benchmark, save_report):
     text, data = benchmark.pedantic(run_table4, rounds=1, iterations=1)
-    save_report("table4_windows", text)
+    save_report("table4_windows", text, data)
 
     # Monotone growth in both V and E, like the paper's windows.
     vertices = [data[d][0] for d in WINDOW_DAYS]

@@ -38,4 +38,5 @@ def test_theory_bounds(benchmark, save_report):
         "\nCMS+HT kernel fallback rate per iteration (twitter stand-in): "
         + ", ".join(f"{rate:.2%}" for rate in rates)
     )
-    save_report("theory_bounds", text + fallback_text)
+    save_report("theory_bounds", text + fallback_text,
+                dict(data, kernel_fallback_rates=rates))

@@ -3,19 +3,43 @@
 
 Usage::
 
-    python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON
+    python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON [ADVISOR_JSON]
 
 Checks that ``TRACE_JSON`` is a loadable Chrome ``trace_event`` document
 with at least one complete kernel span, and that ``METRICS_JSON`` is a
 metrics registry dump carrying the iteration-time histogram with its
-percentile fields.  Exits non-zero with a message on the first violation —
-this is the CI gate for ``run --trace-out/--metrics-out``.
+percentile fields.  With the optional third argument, also checks that
+``ADVISOR_JSON`` (the output of ``repro advise --json``) carries per-kernel
+verdicts from the known enum and cause breakdowns that sum to each
+kernel's modeled seconds.  Exits non-zero with a message on the first
+violation — this is the CI gate for ``run --trace-out/--metrics-out``
+and ``advise --json``.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+
+# Kept in sync with repro.obs.advisor by tests/obs/test_advisor.py; the
+# script stays standalone (no repo imports) so CI can run it anywhere.
+KERNEL_VERDICTS = {
+    "memory-bound",
+    "compute-bound",
+    "divergence-bound",
+    "conflict-bound",
+    "atomic-bound",
+    "latency-bound",
+}
+CAUSE_KEYS = {
+    "global_memory",
+    "compute_issue",
+    "divergence",
+    "bank_conflicts",
+    "atomics",
+    "launch_overhead",
+}
+FINDING_KEYS = ("kernel", "verdict", "seconds", "severity", "message", "hint")
 
 
 def fail(message: str):
@@ -73,12 +97,50 @@ def check_metrics(path: str) -> None:
     print(f"check_obs_schema: {path}: OK ({len(series)} series)")
 
 
+def check_advisor(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        fail(f"{path}: kernels list missing or empty")
+    for kernel in kernels:
+        name = kernel.get("name")
+        if not name:
+            fail(f"{path}: kernel entry without a name")
+        if kernel.get("verdict") not in KERNEL_VERDICTS:
+            fail(
+                f"{path}: kernel {name!r} has unknown verdict "
+                f"{kernel.get('verdict')!r}"
+            )
+        causes = kernel.get("causes")
+        if not isinstance(causes, dict) or set(causes) != CAUSE_KEYS:
+            fail(f"{path}: kernel {name!r} has malformed causes dict")
+        if abs(sum(causes.values()) - kernel.get("seconds", 0.0)) > 1e-9:
+            fail(
+                f"{path}: kernel {name!r} causes do not sum to its "
+                f"modeled seconds"
+            )
+    fraction = doc.get("transfer_fraction")
+    if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
+        fail(f"{path}: transfer_fraction missing or out of [0, 1]")
+    for finding in doc.get("findings", []):
+        for key in FINDING_KEYS:
+            if key not in finding:
+                fail(f"{path}: finding missing {key!r}: {finding}")
+    print(
+        f"check_obs_schema: {path}: OK "
+        f"({len(kernels)} kernels, {len(doc.get('findings', []))} findings)"
+    )
+
+
 def main(argv) -> int:
-    if len(argv) != 3:
+    if len(argv) not in (3, 4):
         print(__doc__)
         return 2
     check_trace(argv[1])
     check_metrics(argv[2])
+    if len(argv) == 4:
+        check_advisor(argv[3])
     print("check_obs_schema: all checks passed")
     return 0
 

@@ -17,11 +17,20 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session")
 def save_report():
-    """Persist a rendered experiment report under benchmarks/results/."""
+    """Persist an experiment report under benchmarks/results/.
 
-    def _save(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{text}\n[report saved to benchmarks/results/{name}.txt]")
+    Every report goes through the one shared serializer
+    (:func:`repro.bench.report.write_report`): the rendered text lands in
+    ``<name>.txt`` and, when the experiment passes its raw ``data``, a
+    machine-readable ``<name>.json`` sidecar lands next to it.
+    """
+    from repro.bench.report import write_report
+
+    def _save(name: str, text: str, data=None) -> None:
+        paths = write_report(RESULTS_DIR, name, text, data)
+        written = ", ".join(
+            f"benchmarks/results/{p.name}" for p in paths
+        )
+        print(f"\n{text}\n[report saved to {written}]")
 
     return _save

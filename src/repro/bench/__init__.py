@@ -9,8 +9,19 @@ the rendered reports to ``benchmarks/results/``.
 * :mod:`~repro.bench.report` — text table / bar-series rendering.
 * :mod:`~repro.bench.experiments` — ``run_table2`` ... ``run_fig7`` plus
   the theory-validation and pipeline-share experiments.
+* :mod:`~repro.bench.baseline` — the standardized scenario suite behind
+  ``repro bench run`` / ``repro bench compare`` and the committed
+  ``BENCH_<scenario>.json`` regression baselines.
 """
 
+from repro.bench.baseline import (
+    SCENARIOS,
+    compare_against_baselines,
+    compare_payloads,
+    run_scenario,
+    scenario_names,
+    write_baseline,
+)
 from repro.bench.experiments import (
     run_cost_efficiency,
     run_fig4,
@@ -25,6 +36,12 @@ from repro.bench.experiments import (
 )
 
 __all__ = [
+    "SCENARIOS",
+    "compare_against_baselines",
+    "compare_payloads",
+    "run_scenario",
+    "scenario_names",
+    "write_baseline",
     "run_cost_efficiency",
     "run_table2",
     "run_fig4",

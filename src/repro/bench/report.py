@@ -1,7 +1,17 @@
-"""Plain-text rendering of experiment results (tables and bar series)."""
+"""Rendering and persistence of experiment results.
+
+Text rendering (tables and bar series) plus the one shared serializer
+every ``benchmarks/bench_*.py`` goes through: :func:`write_report`
+persists the rendered ``.txt`` **and** a machine-readable ``.json``
+sidecar with the experiment's raw data, so downstream tooling (the
+regression baselines, EXPERIMENTS.md generators, plots) never has to
+re-parse text tables.
+"""
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 
@@ -63,6 +73,49 @@ def format_bar_series(
                 f"  {name.ljust(name_width)} {value:8.2f}{unit} {bar}"
             )
     return "\n".join(lines)
+
+
+def write_report(directory, name: str, text: str, data=None):
+    """Persist one experiment report: ``<name>.txt`` (+ ``.json`` sidecar).
+
+    ``data`` is the experiment's raw result structure (rows, series,
+    dicts ...); anything JSON-hostile inside (numpy scalars/arrays,
+    tuples, dataclass-free objects) is coerced by :func:`_jsonable`.
+    Returns the paths written.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    txt_path = directory / f"{name}.txt"
+    txt_path.write_text(text + "\n")
+    paths = [txt_path]
+    if data is not None:
+        json_path = directory / f"{name}.json"
+        json_path.write_text(
+            json.dumps(_jsonable(data), indent=2, sort_keys=True) + "\n"
+        )
+        paths.append(json_path)
+    return paths
+
+
+def _jsonable(value):
+    """Coerce an experiment result structure into JSON-clean types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):
+        # numpy array
+        return value.tolist()
+    if hasattr(value, "as_dict"):
+        return _jsonable(value.as_dict())
+    return str(value)
 
 
 def _fmt(value: object) -> str:

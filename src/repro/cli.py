@@ -9,12 +9,20 @@ Commands
     List the Table 2 dataset registry.
 ``bench``
     Run one paper experiment (table2, fig4, fig5, fig6, table3, table4,
-    fig7, pipeline, theory) and print its report.
+    fig7, pipeline, theory) and print its report — or drive the
+    regression-baseline layer: ``bench run`` executes the standardized
+    scenario suite and writes ``BENCH_<scenario>.json`` payloads;
+    ``bench compare`` diffs fresh runs against the committed baselines
+    under the tolerance bands of ``benchmarks/baseline_config.toml`` and
+    exits non-zero on regression (the CI perf gate).
 ``pipeline``
     Run the end-to-end fraud-detection pipeline on a synthetic stream.
 ``profile``
     Run an LP variant under the profiler and print an nvprof-style
     per-kernel table (see ``docs/observability.md``).
+``advise``
+    Run an LP variant under the roofline bottleneck advisor and print
+    ranked findings with per-kernel cause attribution and verdicts.
 
 ``run`` and ``pipeline`` accept ``--trace-out`` (Chrome ``trace_event``
 JSON for Perfetto) and ``--metrics-out`` (metrics registry dump); ``run
@@ -37,11 +45,14 @@ ENGINES = ["glp", "gsort", "ghash", "serial", "omp", "ligra", "distributed"]
 #: Algorithm names accepted by ``run --algorithm``.
 ALGORITHMS = ["classic", "llp", "slp", "labelrank"]
 
-#: Experiment names accepted by ``bench``.
+#: Experiment names accepted by ``bench`` (plus the baseline verbs).
 EXPERIMENTS = [
     "table2", "fig4", "fig5", "fig6", "table3", "table4", "fig7",
     "pipeline", "theory", "cost",
 ]
+
+#: Baseline-layer verbs ``bench`` also accepts.
+BENCH_VERBS = ["run", "compare"]
 
 
 def _build_engine(name: str):
@@ -191,7 +202,118 @@ def _cmd_datasets(args) -> int:
     return 0
 
 
+def _cmd_advise(args) -> int:
+    from repro.obs import AdvisorReport
+
+    graph = _load_graph(args.dataset)
+    engine = _build_engine(args.engine)
+    program = _build_program(args.algorithm, args)
+    result = engine.run(
+        graph,
+        program,
+        max_iterations=args.iterations,
+        stop_on_convergence=not args.no_early_stop,
+    )
+    report = AdvisorReport.from_engine(engine)
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0
+    print(f"graph          : {graph.name} "
+          f"(V={graph.num_vertices:,}, E={graph.num_edges:,})")
+    print(f"engine         : {result.engine}   algorithm: {program.name}   "
+          f"iterations: {result.num_iterations}")
+    print(f"modeled time   : {result.total_seconds * 1e3:.4f} ms")
+    print()
+    print(report.to_text(top=args.top))
+    return 0
+
+
+def _cmd_bench_run(args) -> int:
+    from repro.bench.baseline import (
+        run_scenario,
+        scenario_names,
+        write_baseline,
+    )
+
+    names = args.scenario or scenario_names()
+    out_dir = "." if args.update_baselines else args.out_dir
+    payloads = {}
+    for name in names:
+        print(f"running scenario {name} ...", flush=True)
+        payloads[name] = run_scenario(name)
+        path = write_baseline(out_dir, payloads[name])
+        print(f"  wrote {path}", flush=True)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(payloads, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    import json as _json
+    import os
+
+    from repro.bench.baseline import (
+        compare_against_baselines,
+        load_baseline,
+        scenario_names,
+    )
+
+    names = args.scenario or scenario_names()
+    config_path = args.config
+    if config_path is None and os.path.exists(
+        "benchmarks/baseline_config.toml"
+    ):
+        config_path = "benchmarks/baseline_config.toml"
+    fresh_payloads = None
+    if args.fresh_dir:
+        # Consume payloads a prior `bench run --out-dir` already wrote
+        # (CI runs the suite once and compares the files).
+        fresh_payloads = {
+            name: load_baseline(args.fresh_dir, name) for name in names
+        }
+    outcome = compare_against_baselines(
+        args.baseline_dir,
+        names=names,
+        config_path=config_path,
+        fresh_payloads=fresh_payloads,
+    )
+    failed = {n: v for n, v in outcome.items() if v}
+    if args.json:
+        print(_json.dumps(
+            {
+                "passed": sorted(n for n in outcome if n not in failed),
+                "failed": {n: v for n, v in sorted(failed.items())},
+            },
+            indent=2,
+        ))
+    else:
+        for name in sorted(outcome):
+            violations = outcome[name]
+            status = "FAIL" if violations else "ok"
+            print(f"[{status:>4}] {name}")
+            for violation in violations:
+                print(f"        {violation}")
+    if failed:
+        fields = sorted(
+            {v.split(":", 1)[0] for vs in failed.values() for v in vs}
+        )
+        print(
+            f"perf gate: {len(failed)}/{len(outcome)} scenario(s) regressed "
+            f"(offending fields: {', '.join(fields)})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate: all {len(outcome)} scenario(s) within tolerance")
+    return 0
+
+
 def _cmd_bench(args) -> int:
+    if args.experiment == "run":
+        return _cmd_bench_run(args)
+    if args.experiment == "compare":
+        return _cmd_bench_compare(args)
     from repro.bench import (
         run_fig4,
         run_fig5,
@@ -296,8 +418,46 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = sub.add_parser("datasets", help="list the dataset registry")
     datasets.set_defaults(func=_cmd_datasets)
 
-    bench = sub.add_parser("bench", help="run one paper experiment")
-    bench.add_argument("experiment", choices=EXPERIMENTS)
+    bench = sub.add_parser(
+        "bench",
+        help="run one paper experiment, or the baseline suite "
+        "(bench run / bench compare)",
+    )
+    bench.add_argument("experiment", choices=EXPERIMENTS + BENCH_VERBS)
+    bench.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="baseline scenario to run/compare (repeatable; "
+        "default: the full suite)",
+    )
+    bench.add_argument(
+        "--out-dir", default="benchmarks/results", metavar="DIR",
+        help="where `bench run` writes BENCH_<scenario>.json "
+        "(default: benchmarks/results)",
+    )
+    bench.add_argument(
+        "--update-baselines", action="store_true",
+        help="`bench run` writes the committed baselines at the repo "
+        "root instead of --out-dir",
+    )
+    bench.add_argument(
+        "--baseline-dir", default=".", metavar="DIR",
+        help="where `bench compare` reads the committed baselines "
+        "(default: repo root)",
+    )
+    bench.add_argument(
+        "--config", metavar="TOML",
+        help="tolerance-band config (default: "
+        "benchmarks/baseline_config.toml when present)",
+    )
+    bench.add_argument(
+        "--fresh-dir", metavar="DIR",
+        help="`bench compare` consumes BENCH files a prior `bench run "
+        "--out-dir` wrote here instead of re-running the scenarios",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable payloads / gate outcome",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     pipeline = sub.add_parser(
@@ -340,6 +500,35 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="emit the report as JSON")
     profile.set_defaults(func=_cmd_profile)
+
+    advise = sub.add_parser(
+        "advise",
+        help="run an LP variant and print ranked roofline bottleneck "
+        "findings",
+    )
+    advise.add_argument(
+        "--dataset", default="dblp",
+        help="Table 2 dataset name or edge-list file path",
+    )
+    advise.add_argument("--engine",
+                        choices=["glp", "gsort", "ghash"], default="glp")
+    advise.add_argument("--algorithm", choices=ALGORITHMS,
+                        default="classic")
+    advise.add_argument("--iterations", type=int, default=20)
+    advise.add_argument("--gamma", type=float, default=1.0,
+                        help="LLP density parameter")
+    advise.add_argument("--seed", type=int, default=0)
+    advise.add_argument(
+        "--no-early-stop", action="store_true",
+        help="always run the full iteration budget",
+    )
+    advise.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="print only the N most severe findings",
+    )
+    advise.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    advise.set_defaults(func=_cmd_advise)
     return parser
 
 

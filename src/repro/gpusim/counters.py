@@ -82,17 +82,49 @@ class PerfCounters:
             return 0.0
         return self.active_lane_sum / (self.warp_instructions * 32)
 
+    @property
+    def shared_accesses(self) -> int:
+        """All shared-memory lane operations (loads + stores)."""
+        return self.shared_load_ops + self.shared_store_ops
+
+    @property
+    def bank_conflict_rate(self) -> float:
+        """Bank-conflict replays per shared access (0.0 on empty runs)."""
+        accesses = self.shared_accesses
+        if accesses == 0:
+            return 0.0
+        return self.shared_bank_conflicts / accesses
+
+    @property
+    def atomic_serialization_rate(self) -> float:
+        """Serialized replays per global atomic op (0.0 on empty runs)."""
+        if self.global_atomic_ops == 0:
+            return 0.0
+        return self.global_atomic_serialized_ops / self.global_atomic_ops
+
+    @property
+    def avg_active_lanes(self) -> float:
+        """Mean non-idle lanes per issued warp instruction (0.0 if none)."""
+        if self.warp_instructions == 0:
+            return 0.0
+        return self.active_lane_sum / self.warp_instructions
+
     def as_dict(self, *, include_derived: bool = False) -> dict:
         """Plain-dict view for reports and JSON dumps.
 
         With ``include_derived`` the dict additionally carries the derived
-        ``global_transactions`` and ``lane_utilization`` properties — the
-        diff-friendly form the profiler report embeds per kernel row.
+        ratio properties — the diff-friendly form the profiler report
+        embeds per kernel row.  Every ratio is guarded against empty runs
+        (zero shared accesses, zero warp instructions, zero atomics) and
+        yields ``0.0`` instead of dividing by zero.
         """
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         if include_derived:
             out["global_transactions"] = self.global_transactions
             out["lane_utilization"] = self.lane_utilization
+            out["bank_conflict_rate"] = self.bank_conflict_rate
+            out["atomic_serialization_rate"] = self.atomic_serialization_rate
+            out["avg_active_lanes"] = self.avg_active_lanes
         return out
 
     def __repr__(self) -> str:

@@ -29,14 +29,18 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
+from repro.obs.advisor import AdvisorReport, Finding, KernelDiagnosis
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import KernelRow, MemcpyRow, ProfileReport
 from repro.obs.trace import Tracer
 
 __all__ = [
+    "AdvisorReport",
     "Counter",
+    "Finding",
     "Gauge",
     "Histogram",
+    "KernelDiagnosis",
     "KernelRow",
     "MemcpyRow",
     "MetricsRegistry",

@@ -245,9 +245,10 @@ class ProfileReport:
             f"{'':>11}  {'':>12}  {'':>8}  {'':>9}  {'':>8}  [kernel total]"
         )
         for row in self.memcpys:
+            avg = row.seconds / row.count if row.count else 0.0
             lines.append(
                 f"{'':>8}  {_fmt_time(row.seconds):>11}  {row.count:>6}  "
-                f"{_fmt_time(row.seconds / row.count):>11}  "
+                f"{_fmt_time(avg):>11}  "
                 f"{row.bytes:>12,}B {'':>8}  {'':>9}  {'':>8}  {row.name}"
             )
         return "\n".join(lines)

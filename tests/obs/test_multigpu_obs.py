@@ -1,0 +1,158 @@
+"""Observability under the multi-GPU engine.
+
+The single-GPU obs tests pin down the hooks themselves; these tests pin
+down the multi-device behaviours: every device gets its own span lane on
+the modeled-clock track, counters attribute per device and re-aggregate
+to the run totals, and the engine label / exchange metric families carry
+the multi-GPU identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.algorithms import ClassicLP
+from repro.core.multigpu import MultiGPUEngine
+from repro.gpusim.counters import PerfCounters
+from repro.obs.profile import ProfileReport
+from repro.obs.trace import DEVICE_PID
+
+
+@pytest.fixture()
+def multigpu_session(powerlaw_graph):
+    """One observed 2-GPU run: (engine, result, session)."""
+    engine = MultiGPUEngine(2)
+    with obs.observe() as session:
+        result = engine.run(
+            powerlaw_graph,
+            ClassicLP(),
+            max_iterations=4,
+            stop_on_convergence=False,
+        )
+    return engine, result, session
+
+
+class TestDeviceSpanLanes:
+    def test_each_device_gets_its_own_lane(self, multigpu_session):
+        _, _, session = multigpu_session
+        kernel_events = [
+            e
+            for e in session.tracer.events
+            if e["pid"] == DEVICE_PID and e["cat"] == "kernel"
+        ]
+        assert kernel_events
+        assert {e["tid"] for e in kernel_events} == {0, 1}
+
+    def test_thread_name_metadata_per_device(self, multigpu_session):
+        _, _, session = multigpu_session
+        meta = [
+            e
+            for e in session.tracer.chrome_trace()["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        names = {e["args"]["name"] for e in meta}
+        assert {"gpu0", "gpu1"} <= names
+
+    def test_lanes_are_sequential_per_device(self, multigpu_session):
+        _, _, session = multigpu_session
+        for tid in (0, 1):
+            lane = [
+                e
+                for e in session.tracer.events
+                if e["pid"] == DEVICE_PID and e["tid"] == tid
+            ]
+            ends = 0.0
+            for event in lane:
+                assert event["ts"] >= ends - 1e-9
+                ends = event["ts"] + event["dur"]
+
+    def test_iteration_host_events_present(self, multigpu_session):
+        _, result, session = multigpu_session
+        iteration_events = [
+            e
+            for e in session.tracer.events
+            if e["cat"] == "engine" and e["name"].startswith("iteration ")
+        ]
+        assert len(iteration_events) == result.num_iterations
+
+
+class TestCounterAttribution:
+    def test_device_timelines_reaggregate_to_run_totals(
+        self, multigpu_session
+    ):
+        engine, result, _ = multigpu_session
+        merged = PerfCounters()
+        for device in engine.devices:
+            for record in device.timeline:
+                merged.add(record.counters)
+        total = result.total_counters
+        # Kernel-side events attribute exactly: the per-device launch
+        # deltas are what the iteration stats accumulated.
+        assert merged.global_transactions == total.global_transactions
+        assert merged.warp_instructions == total.warp_instructions
+        assert merged.active_lane_sum == total.active_lane_sum
+        assert merged.kernel_launches == total.kernel_launches
+
+    def test_each_device_did_work(self, multigpu_session):
+        engine, _, _ = multigpu_session
+        for device in engine.devices:
+            assert device.timeline
+            assert device.counters.global_transactions > 0
+
+    def test_profile_report_spans_both_devices(self, multigpu_session):
+        engine, _, multigpu = multigpu_session
+        report = ProfileReport.from_engine(engine)
+        assert report.num_devices == 2
+        assert report.total_launches == sum(
+            len(d.timeline) for d in engine.devices
+        )
+
+
+class TestMultiGPUMetrics:
+    def test_engine_label_is_multigpu(self, multigpu_session):
+        _, result, session = multigpu_session
+        registry = session.metrics
+        assert result.engine == "GLP-2GPU"
+        assert registry.counter(
+            "engine_runs_total", engine="GLP-2GPU"
+        ).value == 1
+        assert registry.counter(
+            "engine_iterations_total", engine="GLP-2GPU"
+        ).value == result.num_iterations
+
+    def test_exchange_metrics_emitted(self, multigpu_session):
+        _, result, session = multigpu_session
+        registry = session.metrics
+        exchange = registry.counter(
+            "multigpu_exchange_bytes_total", engine="GLP-2GPU"
+        )
+        assert exchange.value > 0
+        hist = registry.histogram(
+            "multigpu_exchange_seconds", engine="GLP-2GPU"
+        )
+        assert hist.count == result.num_iterations
+
+
+class TestMultiGPUIdentity:
+    def test_observation_does_not_change_results(self, powerlaw_graph):
+        engine_plain = MultiGPUEngine(2)
+        baseline = engine_plain.run(
+            powerlaw_graph,
+            ClassicLP(),
+            max_iterations=4,
+            stop_on_convergence=False,
+        )
+        engine_observed = MultiGPUEngine(2)
+        with obs.observe():
+            observed = engine_observed.run(
+                powerlaw_graph,
+                ClassicLP(),
+                max_iterations=4,
+                stop_on_convergence=False,
+            )
+        assert np.array_equal(baseline.labels, observed.labels)
+        assert baseline.total_seconds == observed.total_seconds
+        assert (
+            baseline.total_counters.as_dict()
+            == observed.total_counters.as_dict()
+        )
