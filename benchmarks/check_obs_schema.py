@@ -3,7 +3,8 @@
 
 Usage::
 
-    python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON [ADVISOR_JSON]
+    python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON \
+        [ADVISOR_JSON] [--analysis REPORT_JSON ...]
 
 Checks that ``TRACE_JSON`` is a loadable Chrome ``trace_event`` document
 with at least one complete kernel span, and that ``METRICS_JSON`` is a
@@ -11,9 +12,13 @@ metrics registry dump carrying the iteration-time histogram with its
 percentile fields.  With the optional third argument, also checks that
 ``ADVISOR_JSON`` (the output of ``repro advise --json``) carries per-kernel
 verdicts from the known enum and cause breakdowns that sum to each
-kernel's modeled seconds.  Exits non-zero with a message on the first
-violation — this is the CI gate for ``run --trace-out/--metrics-out``
-and ``advise --json``.
+kernel's modeled seconds.  Each ``--analysis`` argument names a sanitizer
+or lint report (``repro check --out`` / ``repro run --sanitize-out``) to
+validate against the analysis-report schema; ``--analysis`` may also be
+used alone, without the trace/metrics positionals.  Exits non-zero with a
+message on the first violation — this is the CI gate for ``run
+--trace-out/--metrics-out``, ``advise --json``, and the sanitize-gate
+artifacts.
 """
 
 from __future__ import annotations
@@ -40,6 +45,30 @@ CAUSE_KEYS = {
     "launch_overhead",
 }
 FINDING_KEYS = ("kernel", "verdict", "seconds", "severity", "message", "hint")
+
+# Kept in sync with repro.analysis.findings.RULES by
+# tests/analysis/test_lint.py::test_schema_checker_rule_enum_in_sync.
+ANALYSIS_RULES = {
+    "racecheck-write-write",
+    "racecheck-read-write",
+    "racecheck-non-atomic-rmw",
+    "racecheck-oob-shared",
+    "synccheck-barrier-divergence",
+    "synccheck-empty-mask",
+    "perf-bank-conflict-hotspot",
+    "lint-inplace-output-write",
+    "lint-missing-barrier",
+    "lint-non-atomic-rmw",
+    "lint-divergent-warp-sync",
+    "lint-sketch-bounds",
+    "lint-uninitialized-read",
+}
+ANALYSIS_SOURCES = {"sanitizer", "lint"}
+ANALYSIS_SCHEMA_VERSION = 1
+ANALYSIS_FINDING_KEYS = (
+    "rule", "severity", "message", "kernel", "array", "space",
+    "offset", "location", "actors", "count",
+)
 
 
 def fail(message: str):
@@ -133,14 +162,80 @@ def check_advisor(path: str) -> None:
     )
 
 
+def check_analysis(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != ANALYSIS_SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{ANALYSIS_SCHEMA_VERSION}"
+        )
+    if doc.get("source") not in ANALYSIS_SOURCES:
+        fail(f"{path}: unknown source {doc.get('source')!r}")
+    checked = doc.get("checked")
+    if not isinstance(checked, int) or checked < 0:
+        fail(f"{path}: 'checked' missing or negative")
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        fail(f"{path}: findings list missing")
+    severities = {"error": 0, "warning": 0}
+    for finding in findings:
+        for key in ANALYSIS_FINDING_KEYS:
+            if key not in finding:
+                fail(f"{path}: finding missing {key!r}: {finding}")
+        if finding["rule"] not in ANALYSIS_RULES:
+            fail(f"{path}: unknown rule {finding['rule']!r}")
+        if finding["severity"] not in severities:
+            fail(f"{path}: unknown severity {finding['severity']!r}")
+        severities[finding["severity"]] += 1
+        if not finding["location"] and not finding["kernel"]:
+            fail(f"{path}: finding {finding['rule']!r} has no anchor "
+                 f"(neither location nor kernel)")
+        actors = finding["actors"]
+        if not isinstance(actors, list) or any(
+            not isinstance(a, list) or len(a) != 2 for a in actors
+        ):
+            fail(f"{path}: malformed actors for {finding['rule']!r}")
+    for key, expected in (
+        ("num_errors", severities["error"]),
+        ("num_warnings", severities["warning"]),
+    ):
+        if doc.get(key) != expected:
+            fail(
+                f"{path}: {key}={doc.get(key)!r} does not match the "
+                f"findings list ({expected})"
+            )
+    rules = doc.get("rules")
+    if not isinstance(rules, dict) or set(rules) - ANALYSIS_RULES:
+        fail(f"{path}: rules histogram missing or carries unknown rules")
+    if sum(rules.values()) != len(findings):
+        fail(f"{path}: rules histogram does not sum to the findings count")
+    print(
+        f"check_obs_schema: {path}: OK ({doc['source']}, {checked} checked, "
+        f"{severities['error']} error(s), {severities['warning']} warning(s))"
+    )
+
+
 def main(argv) -> int:
-    if len(argv) not in (3, 4):
+    args = list(argv[1:])
+    analysis_paths = []
+    while "--analysis" in args:
+        i = args.index("--analysis")
+        if i + 1 >= len(args):
+            print(__doc__)
+            return 2
+        analysis_paths.append(args[i + 1])
+        del args[i:i + 2]
+    if len(args) not in ((0, 2, 3) if analysis_paths else (2, 3)):
         print(__doc__)
         return 2
-    check_trace(argv[1])
-    check_metrics(argv[2])
-    if len(argv) == 4:
-        check_advisor(argv[3])
+    if args:
+        check_trace(args[0])
+        check_metrics(args[1])
+    if len(args) == 3:
+        check_advisor(args[2])
+    for path in analysis_paths:
+        check_analysis(path)
     print("check_obs_schema: all checks passed")
     return 0
 

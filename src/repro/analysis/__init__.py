@@ -1,0 +1,101 @@
+"""Correctness tooling for the GLP reproduction: sanitizer + LP lint.
+
+Two layers, one finding currency (:mod:`repro.analysis.findings`):
+
+* :mod:`repro.analysis.sanitizer` — a compute-sanitizer-style *dynamic*
+  race/sync checker inside :mod:`repro.gpusim`.  Enable per launch
+  (``device.launch(name, sanitize=True)``), per device
+  (``Device(spec, sanitize=True)`` or ``DeviceSpec(sanitize=True)``), or
+  ambiently for a whole run with :func:`sanitize` — mirroring how
+  :mod:`repro.obs` sessions wrap engines that build their own devices::
+
+      with analysis.sanitize() as san:
+          engine.run(graph, program)
+      report = san.report()        # AnalysisReport; san.has_hazards gates
+
+* :mod:`repro.analysis.lint` — a *static* AST checker over LP-program
+  hooks and simulator-API kernel code (``repro check`` on the CLI).
+
+Both are off by default and, like observability, never perturb labels,
+hashes, counters, or modeled timings.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.analysis.findings import (
+    RULES,
+    SCHEMA_VERSION,
+    AnalysisReport,
+    Finding,
+)
+from repro.analysis.lint import (
+    HOOK_NAMES,
+    iter_python_files,
+    lint_file,
+    lint_module,
+    lint_paths,
+    lint_program,
+    lint_source,
+)
+from repro.analysis.sanitizer import Sanitizer, SanitizerConfig
+from repro.gpusim import hooks as _hooks
+
+__all__ = [
+    "RULES",
+    "SCHEMA_VERSION",
+    "AnalysisReport",
+    "Finding",
+    "HOOK_NAMES",
+    "Sanitizer",
+    "SanitizerConfig",
+    "disable_sanitizer",
+    "enable_sanitizer",
+    "iter_python_files",
+    "lint_file",
+    "lint_module",
+    "lint_paths",
+    "lint_program",
+    "lint_source",
+    "sanitize",
+    "session_sanitizer",
+]
+
+
+def enable_sanitizer(
+    config: Optional[SanitizerConfig] = None,
+) -> Sanitizer:
+    """Install an ambient session sanitizer and return it.
+
+    Every subsequent kernel launch on any device attaches to it (unless
+    the launch explicitly passes ``sanitize=False``).  Call
+    :func:`disable_sanitizer` to detach.
+    """
+    sanitizer = Sanitizer(config=config)
+    _hooks.set_session(sanitizer)
+    return sanitizer
+
+
+def disable_sanitizer() -> None:
+    """Remove the ambient session sanitizer, if any."""
+    _hooks.set_session(None)
+
+
+def session_sanitizer() -> Optional[Sanitizer]:
+    """The currently-installed ambient sanitizer, if any."""
+    return _hooks.session()
+
+
+@contextlib.contextmanager
+def sanitize(
+    config: Optional[SanitizerConfig] = None,
+) -> Iterator[Sanitizer]:
+    """Context manager scoping an ambient sanitizer to a ``with`` block."""
+    previous = _hooks.session()
+    sanitizer = enable_sanitizer(config)
+    try:
+        yield sanitizer
+    finally:
+        _hooks.set_session(previous)

@@ -1,0 +1,635 @@
+"""Static AST lint for LP programs and simulator-API kernel code.
+
+The sanitizer (:mod:`repro.analysis.sanitizer`) catches hazards a run
+actually exercises; this linter catches the same bug *classes* before any
+run, by walking the Python AST of LP hooks and kernel modules.  Each rule
+protects one of the paper's correctness invariants:
+
+``lint-inplace-output-write``
+    The four Table-1 hooks (``pick_labels``, ``load_neighbor``, ``score``,
+    ``update_vertices``) are device functions the framework may re-invoke,
+    reorder, or run over vertex subsets; mutating an input array in place
+    races with other blocks reading it.  Hooks must build a fresh array
+    (``.copy()`` / ``.astype(..)``) and return it.
+
+``lint-missing-barrier``
+    A shared-memory tile stored in one phase and loaded in the next needs a
+    ``__syncthreads`` (``device.barrier()``) in between (paper, Section 4.1
+    phase structure).
+
+``lint-non-atomic-rmw``
+    Load-then-store on a shared array without a barrier or atomic is the
+    lost-update pattern; CMS/HT counter bumps must use
+    ``shared_atomic_add``.
+
+``lint-divergent-warp-sync``
+    ``ballot_sync``/``match_any_sync``/shuffles require converged warps;
+    calling them under data-dependent control flow (a branch whose
+    condition subscripts an array) is undefined behaviour.
+
+``lint-sketch-bounds``
+    ``StrategyConfig``/``CountMinSketch`` sizings must respect the
+    Lemma 1–2 regimes in :mod:`repro.sketch.theory` and the shared-memory
+    budget, or the MFL fallback probability guarantee evaporates.
+
+``lint-uninitialized-read``
+    ``np.empty``/``device.alloc`` buffers read (subscripted) before any
+    element is stored.
+
+Suppression: append ``# lint: disable=<rule>[,<rule>...]`` (or
+``disable=all``) to the offending line, or put
+``# lint: disable-file=<rule>`` anywhere in the file to silence a rule
+file-wide.
+
+The checks are deliberately control-flow-insensitive (lexical statement
+order) and only fire on patterns they can prove — unknown values and
+aliasing they cannot track are assumed fine.  Zero false positives on the
+shipped kernels is part of the CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import os
+import textwrap
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+#: The Table-1 hook names whose bodies must not mutate their inputs.
+HOOK_NAMES = ("pick_labels", "load_neighbor", "score", "update_vertices")
+
+#: Warp-converged intrinsics (repro.gpusim.warp) that need uniform control
+#: flow.
+WARP_INTRINSICS = frozenset(
+    {
+        "ballot_sync",
+        "match_any_sync",
+        "shfl_sync",
+        "shfl_down_sync",
+        "shfl_up_sync",
+    }
+)
+
+#: StrategyConfig defaults (repro.kernels.base) used when a kwarg is absent.
+_STRATEGY_DEFAULTS = {
+    "high_threshold": 128,
+    "ht_capacity": 512,
+    "cms_depth": 4,
+    "cms_width": 512,
+}
+
+#: Shared-memory budget per block (DeviceSpec.shared_mem_per_block).
+_SHARED_BUDGET = 96 * 1024
+
+#: Methods that mutate a numpy array in place when called on it.
+_MUTATING_METHODS = frozenset({"fill", "sort", "partition", "put"})
+
+#: Methods whose return value is a fresh array (breaks aliasing) unless
+#: called with ``copy=False``.
+_COPYING_METHODS = frozenset({"copy", "astype"})
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers
+# ----------------------------------------------------------------------
+def _call_name(node: ast.Call) -> str:
+    """Trailing name of the called object: ``a.b.c(...)`` -> ``"c"``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _attr_chain(node: ast.expr) -> List[str]:
+    """``device.shared.store`` -> ``["device", "shared", "store"]``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    """Root ``Name`` under a Subscript/Attribute chain, if any."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _literal_int(node: Optional[ast.expr]) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -node.operand.value
+    return None
+
+
+def _string_kwarg(node: ast.Call, name: str) -> Optional[str]:
+    for kw in node.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    return None
+
+
+def _functions(tree: ast.AST) -> Iterable[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_statements(func: ast.FunctionDef) -> Iterable[ast.stmt]:
+    """All statements of ``func`` excluding nested function bodies."""
+    stack: List[ast.stmt] = list(func.body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, field, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            stack.extend(handler.body)
+    return
+
+
+class _Lint:
+    """One lint pass over one parsed source file."""
+
+    def __init__(self, tree: ast.Module, source: str, filename: str) -> None:
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.filename = filename
+        self.findings: List[Finding] = []
+        self._file_disabled = self._scan_file_directives()
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        self._check_sketch_bounds(self.tree)
+        for func in _functions(self.tree):
+            if func.name in HOOK_NAMES:
+                self._check_hook_purity(func)
+            self._check_shared_phases(func)
+            self._check_divergent_sync(func)
+            self._check_uninitialized(func)
+        return self.findings
+
+    def _scan_file_directives(self) -> Set[str]:
+        disabled: Set[str] = set()
+        for line in self.lines:
+            marker = "# lint: disable-file="
+            idx = line.find(marker)
+            if idx >= 0:
+                for rule in line[idx + len(marker):].split(","):
+                    disabled.add(rule.strip())
+        return disabled
+
+    def _suppressed(self, rule: str, lineno: int) -> bool:
+        if rule in self._file_disabled or "all" in self._file_disabled:
+            return True
+        if 1 <= lineno <= len(self.lines):
+            line = self.lines[lineno - 1]
+            marker = "# lint: disable="
+            idx = line.find(marker)
+            if idx >= 0:
+                rules = {
+                    r.strip()
+                    for r in line[idx + len(marker):].split(",")
+                }
+                return rule in rules or "all" in rules
+        return False
+
+    def _emit(self, rule: str, lineno: int, message: str, **kw) -> None:
+        if self._suppressed(rule, lineno):
+            return
+        self.findings.append(
+            Finding(
+                rule=rule,
+                message=message,
+                location=f"{self.filename}:{lineno}",
+                **kw,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # lint-inplace-output-write
+    # ------------------------------------------------------------------
+    def _check_hook_purity(self, func: ast.FunctionDef) -> None:
+        params = {
+            a.arg
+            for a in (
+                func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+            )
+            if a.arg != "self"
+        }
+        aliases = set(params)
+        for stmt in _own_statements(func):
+            # Alias tracking: plain rebinds extend or break the alias set.
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._aliases_param(stmt.value, aliases):
+                        aliases.add(target.id)
+                    else:
+                        aliases.discard(target.id)
+            self._flag_param_writes(stmt, aliases, params)
+
+    def _aliases_param(self, value: ast.expr, aliases: Set[str]) -> bool:
+        """Does evaluating ``value`` yield a view of an aliased array?"""
+        if isinstance(value, ast.Name):
+            return value.id in aliases
+        if isinstance(value, ast.Call):
+            name = _call_name(value)
+            if name in _COPYING_METHODS:
+                for kw in value.keywords:
+                    if (
+                        kw.arg == "copy"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    ):
+                        base = _base_name(value.func)
+                        return base in aliases
+                return False  # fresh array
+            if name == "asarray" and value.args:
+                return self._aliases_param(value.args[0], aliases)
+            return False
+        if isinstance(value, ast.Subscript):
+            # Slicing an aliased array yields a view.
+            return _base_name(value) in aliases
+        return False
+
+    def _flag_param_writes(
+        self, stmt: ast.stmt, aliases: Set[str], params: Set[str]
+    ) -> None:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                base = _base_name(target)
+                if base in aliases:
+                    origin = "" if base in params else " (aliases an input)"
+                    self._emit(
+                        "lint-inplace-output-write",
+                        target.lineno,
+                        f"hook writes into input array {base!r}"
+                        f"{origin} — hooks must return a fresh array "
+                        "(.copy() first), in-place writes race with "
+                        "other blocks",
+                        array=base,
+                    )
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr in _MUTATING_METHODS
+            ):
+                base = _base_name(call.func.value)
+                if base in aliases:
+                    self._emit(
+                        "lint-inplace-output-write",
+                        call.lineno,
+                        f"hook mutates input array {base!r} via "
+                        f".{call.func.attr}() — copy it first",
+                        array=base,
+                    )
+
+    # ------------------------------------------------------------------
+    # lint-missing-barrier / lint-non-atomic-rmw
+    # ------------------------------------------------------------------
+    def _check_shared_phases(self, func: ast.FunctionDef) -> None:
+        events: List[Tuple[int, str, str]] = []  # (lineno, op, array)
+        for stmt in _own_statements(func):
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                name = chain[-1] if chain else ""
+                if name == "barrier" or name == "block_reduce_max_cost":
+                    events.append((node.lineno, "barrier", ""))
+                elif "shared" in chain[:-1] and name in ("load", "store"):
+                    array = _string_kwarg(node, "array")
+                    if array:
+                        events.append((node.lineno, name, array))
+                elif name == "shared_atomic_add":
+                    array = _string_kwarg(node, "array")
+                    if array:
+                        events.append((node.lineno, "atomic", array))
+        events.sort(key=lambda e: e[0])
+
+        pending_stores: Dict[str, int] = {}
+        pending_loads: Dict[str, int] = {}
+        flagged: Set[Tuple[str, str]] = set()
+        for lineno, op, array in events:
+            if op == "barrier":
+                pending_stores.clear()
+                pending_loads.clear()
+            elif op == "load":
+                if array in pending_stores and ("mb", array) not in flagged:
+                    flagged.add(("mb", array))
+                    self._emit(
+                        "lint-missing-barrier",
+                        lineno,
+                        f"shared array {array!r} loaded after a store "
+                        f"(line {pending_stores[array]}) with no "
+                        "intervening device.barrier() — the producing "
+                        "phase is not published",
+                        array=array,
+                        space="shared",
+                    )
+                pending_loads[array] = lineno
+            elif op == "store":
+                if array in pending_loads and ("rmw", array) not in flagged:
+                    flagged.add(("rmw", array))
+                    self._emit(
+                        "lint-non-atomic-rmw",
+                        lineno,
+                        f"shared array {array!r} stored after a load "
+                        f"(line {pending_loads[array]}) with no barrier "
+                        "or atomic — lost updates under contention; use "
+                        "shared_atomic_add",
+                        array=array,
+                        space="shared",
+                    )
+                pending_stores[array] = lineno
+            # atomics neither publish nor consume: no state change
+
+    # ------------------------------------------------------------------
+    # lint-divergent-warp-sync
+    # ------------------------------------------------------------------
+    def _check_divergent_sync(self, func: ast.FunctionDef) -> None:
+        self._walk_divergence(func.body, divergent_line=None)
+
+    def _walk_divergence(
+        self, stmts: Sequence[ast.stmt], divergent_line: Optional[int]
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if divergent_line is not None:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and _call_name(node) in WARP_INTRINSICS
+                    ):
+                        self._emit(
+                            "lint-divergent-warp-sync",
+                            node.lineno,
+                            f"{_call_name(node)} under data-dependent "
+                            f"control flow (branch at line "
+                            f"{divergent_line} subscripts an array) — "
+                            "warp-sync intrinsics require converged "
+                            "warps",
+                        )
+                continue  # nested statements already covered by the walk
+            if isinstance(stmt, (ast.If, ast.While)):
+                test_divergent = any(
+                    isinstance(n, ast.Subscript) for n in ast.walk(stmt.test)
+                )
+                child_ctx = stmt.test.lineno if test_divergent else None
+                self._walk_divergence(stmt.body, child_ctx)
+                self._walk_divergence(stmt.orelse, divergent_line)
+            else:
+                for field in ("body", "orelse", "finalbody"):
+                    self._walk_divergence(
+                        getattr(stmt, field, []) or [], divergent_line
+                    )
+                for handler in getattr(stmt, "handlers", []) or []:
+                    self._walk_divergence(handler.body, divergent_line)
+
+    # ------------------------------------------------------------------
+    # lint-sketch-bounds
+    # ------------------------------------------------------------------
+    def _check_sketch_bounds(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name == "StrategyConfig":
+                self._check_strategy_config(node)
+            elif name == "CountMinSketch":
+                self._check_cms_call(node)
+
+    def _kwarg_values(self, node: ast.Call, names) -> Dict[str, Optional[int]]:
+        """Literal value, default, or ``None`` (=unknown) per kwarg."""
+        values: Dict[str, Optional[int]] = {
+            n: _STRATEGY_DEFAULTS[n] for n in names
+        }
+        for kw in node.keywords:
+            if kw.arg in values:
+                values[kw.arg] = _literal_int(kw.value)
+        return values
+
+    def _check_strategy_config(self, node: ast.Call) -> None:
+        v = self._kwarg_values(node, _STRATEGY_DEFAULTS)
+        ht, thr = v["ht_capacity"], v["high_threshold"]
+        d, w = v["cms_depth"], v["cms_width"]
+        if ht is not None and thr is not None and ht < thr:
+            self._emit(
+                "lint-sketch-bounds",
+                node.lineno,
+                f"ht_capacity={ht} < high_threshold={thr}: Lemma 1 "
+                "needs h >= the distinct-label bound of the bin, or "
+                "the HT-hit guarantee is void",
+            )
+        if d is not None and d < 2:
+            self._emit(
+                "lint-sketch-bounds",
+                node.lineno,
+                f"cms_depth={d} < 2: Lemma 2's fallback probability is "
+                "m*2^-d — one row gives 50% per label",
+            )
+        if w is not None and thr is not None and w < 2 * thr:
+            self._emit(
+                "lint-sketch-bounds",
+                node.lineno,
+                f"cms_width={w} < 2*high_threshold={2 * thr}: Lemma 2 "
+                "assumes w = 2s for s insertions per vertex",
+            )
+        if ht is not None and d is not None and w is not None:
+            nbytes = ht * 8 + d * w * 4
+            if nbytes > _SHARED_BUDGET:
+                self._emit(
+                    "lint-sketch-bounds",
+                    node.lineno,
+                    f"HT+CMS shared footprint {nbytes} B exceeds the "
+                    f"{_SHARED_BUDGET} B per-block budget",
+                )
+
+    def _check_cms_call(self, node: ast.Call) -> None:
+        depth: Optional[int] = None
+        if node.args:
+            depth = _literal_int(node.args[0])
+        for kw in node.keywords:
+            if kw.arg == "depth":
+                depth = _literal_int(kw.value)
+        if depth is not None and depth < 2:
+            self._emit(
+                "lint-sketch-bounds",
+                node.lineno,
+                f"CountMinSketch depth={depth} < 2: Lemma 2's failure "
+                "probability 2^-d per label needs d >= 2",
+            )
+
+    # ------------------------------------------------------------------
+    # lint-uninitialized-read
+    # ------------------------------------------------------------------
+    def _check_uninitialized(self, func: ast.FunctionDef) -> None:
+        # (lineno, order, kind, name): kind in {alloc, init, read};
+        # ``order`` breaks same-line ties (reads before writes for
+        # AugAssign, allocs last so ``x = np.empty(...)`` does not
+        # "initialize" a previous x).
+        events: List[Tuple[int, int, str, str]] = []
+        for stmt in _own_statements(func):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and isinstance(
+                    stmt.value, ast.Call
+                ):
+                    cname = _call_name(stmt.value)
+                    if cname in ("empty", "empty_like", "alloc"):
+                        events.append((stmt.lineno, 2, "alloc", target.id))
+                        continue
+            if isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.target, ast.Subscript
+            ):
+                base = _base_name(stmt.target)
+                if base:
+                    # ``buf[i] += x`` reads before writing.
+                    events.append((stmt.lineno, 0, "read", base))
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Subscript):
+                    base = _base_name(node)
+                    if not base:
+                        continue
+                    if isinstance(node.ctx, ast.Load):
+                        events.append((node.lineno, 0, "read", base))
+                    else:  # Store / Del
+                        events.append((node.lineno, 1, "init", base))
+                elif isinstance(node, ast.Call):
+                    if (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _MUTATING_METHODS
+                    ):
+                        base = _base_name(node.func.value)
+                        if base:
+                            events.append((node.lineno, 1, "init", base))
+                    for arg in list(node.args) + [
+                        kw.value for kw in node.keywords
+                    ]:
+                        if isinstance(arg, ast.Name):
+                            # The callee may initialize it: stop tracking.
+                            events.append((node.lineno, 1, "init", arg.id))
+
+        events.sort(key=lambda e: (e[0], e[1]))
+        uninit: Dict[str, int] = {}
+        for lineno, _order, kind, name in events:
+            if kind == "alloc":
+                uninit[name] = lineno
+            elif kind == "init":
+                uninit.pop(name, None)
+            elif kind == "read" and name in uninit:
+                self._emit(
+                    "lint-uninitialized-read",
+                    lineno,
+                    f"{name!r} (allocated uninitialized at line "
+                    f"{uninit[name]}) is read before any element is "
+                    "written",
+                    array=name,
+                )
+                uninit.pop(name, None)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def lint_source(source: str, filename: str = "<string>") -> List[Finding]:
+    """Lint one source string; returns the findings (possibly empty)."""
+    tree = ast.parse(source, filename=filename)
+    return _Lint(tree, source, filename).run()
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r") as fh:
+        source = fh.read()
+    return lint_source(source, filename=path)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d != "__pycache__"
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[str]) -> AnalysisReport:
+    """Lint files and directories into one :class:`AnalysisReport`."""
+    report = AnalysisReport(source="lint")
+    for path in iter_python_files(paths):
+        report.extend(lint_file(path))
+        report.checked += 1
+    return report
+
+
+def lint_module(module) -> AnalysisReport:
+    """Lint an imported module (or dotted module name)."""
+    if isinstance(module, str):
+        module = importlib.import_module(module)
+    path = inspect.getsourcefile(module)
+    if path is None:
+        raise ValueError(f"cannot locate source for module {module!r}")
+    report = AnalysisReport(source="lint")
+    report.extend(lint_file(path))
+    report.checked = 1
+    return report
+
+
+def lint_program(program) -> AnalysisReport:
+    """Lint the overridden Table-1 hooks of an LPProgram instance."""
+    report = AnalysisReport(source="lint")
+    cls = type(program)
+    for hook in HOOK_NAMES:
+        impl = getattr(cls, hook, None)
+        if impl is None:
+            continue
+        # Skip hooks inherited unchanged from the framework defaults.
+        defining = next(
+            (c for c in cls.__mro__ if hook in vars(c)), None
+        )
+        if defining is None or defining.__module__ == "repro.core.api":
+            continue
+        try:
+            source = textwrap.dedent(inspect.getsource(impl))
+            filename = inspect.getsourcefile(impl) or f"<{cls.__name__}>"
+        except (OSError, TypeError):
+            continue
+        report.extend(lint_source(source, filename=filename))
+        report.checked += 1
+    return report

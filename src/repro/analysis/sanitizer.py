@@ -1,0 +1,537 @@
+"""Compute-sanitizer-style race and sync checking for the GPU simulator.
+
+The real CUDA ``compute-sanitizer`` tools (racecheck/synccheck) watch every
+shared/global access a kernel makes and flag pairs that are not ordered by
+the memory model.  The simulator executes kernels functionally in numpy, so
+the same idea becomes *shadow accounting*: while a sanitized kernel launch
+is in flight, the accounting models forward every **named** array access
+here — per-lane offsets, the warp/lane that issued them, whether the access
+was a read, a plain write, an idempotent write or an atomic — and barriers
+advance a happens-before *epoch*.  At ``end_kernel`` the recorded access
+sets are analyzed:
+
+=============================  =======================================
+Rule                           Hazard
+=============================  =======================================
+``racecheck-write-write``      two lanes plain-write one offset in one
+                               epoch (incl. mixed atomic + plain)
+``racecheck-read-write``       a lane reads an offset another lane
+                               writes in the same epoch
+``racecheck-non-atomic-rmw``   contended offset where a writing lane
+                               also reads it (load/add/store instead of
+                               ``atomicAdd``)
+``racecheck-oob-shared``       shared-memory offset outside the
+                               declared extent
+``synccheck-barrier-divergence``  a barrier some warps never reach
+``synccheck-empty-mask``       a warp executes a ``*_sync`` intrinsic
+                               with no active lanes
+``perf-bank-conflict-hotspot`` shared-array replay rate above the
+                               configured threshold (warning)
+=============================  =======================================
+
+Accesses from different epochs never conflict (the barrier orders them);
+atomics never conflict with atomics; *idempotent* writes (every lane
+stores the same value, e.g. the frontier bitmap's byte stores) never
+conflict with each other — that is the sanitizer's suppression mechanism
+for the paper's deliberate benign races (see ``docs/analysis.md``).
+
+The sanitizer only **observes**: it never touches
+:class:`~repro.gpusim.counters.PerfCounters` or any functional array, so
+sanitized runs are bitwise identical to unsanitized ones
+(``tests/analysis/test_identity.py`` enforces this differentially).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.findings import AnalysisReport, Finding
+
+#: Access kinds recorded by the accounting models.
+READ = 0
+WRITE = 1
+ATOMIC = 2
+IDEMPOTENT = 3
+
+_KIND_CODES = {
+    "read": READ,
+    "write": WRITE,
+    "atomic": ATOMIC,
+    "idempotent": IDEMPOTENT,
+}
+
+#: Lane bits used when packing (warp, lane) into one actor id.
+_LANE_BITS = 6  # supports warp_size <= 64
+
+
+@dataclass(frozen=True)
+class SanitizerConfig:
+    """Tuning knobs for the sanitizer."""
+
+    #: Shared-memory replay rate (replays per access) above which a
+    #: ``perf-bank-conflict-hotspot`` warning is emitted for an array.
+    bank_conflict_threshold: float = 1.0
+    #: Minimum shared accesses before the hotspot rule applies (tiny
+    #: kernels produce noisy rates).
+    bank_conflict_min_ops: int = 256
+    #: Conflicting (warp, lane) pairs attached to each finding.
+    max_actor_samples: int = 2
+
+
+@dataclass
+class _ArrayLog:
+    """Raw access chunks recorded for one (space, array) in one kernel."""
+
+    offsets: List[np.ndarray] = field(default_factory=list)
+    actors: List[np.ndarray] = field(default_factory=list)
+    kinds: List[np.ndarray] = field(default_factory=list)
+    epochs: List[np.ndarray] = field(default_factory=list)
+    size: Optional[int] = None  # declared extent (shared arrays)
+
+
+class Sanitizer:
+    """Shadow-memory race detector for simulated kernel launches.
+
+    One instance can span many launches (and many devices — the simulator
+    executes launches sequentially); findings accumulate across them and
+    :meth:`report` snapshots everything seen so far.
+    """
+
+    def __init__(
+        self,
+        *,
+        warp_size: int = 32,
+        num_banks: int = 32,
+        config: Optional[SanitizerConfig] = None,
+    ) -> None:
+        self.warp_size = warp_size
+        self.num_banks = num_banks
+        self.config = config if config is not None else SanitizerConfig()
+        self.findings: List[Finding] = []
+        self.kernels_checked = 0
+        self._kernel: Optional[str] = None
+        self._device_index = 0
+        self._epoch = 0
+        self._logs: Dict[Tuple[str, str], _ArrayLog] = {}
+
+    # ------------------------------------------------------------------
+    # Kernel lifecycle (driven by Device.launch)
+    # ------------------------------------------------------------------
+    @property
+    def in_kernel(self) -> bool:
+        return self._kernel is not None
+
+    def begin_kernel(self, name: str, *, device_index: int = 0) -> None:
+        self._kernel = name
+        self._device_index = device_index
+        self._epoch = 0
+        self._logs = {}
+
+    def end_kernel(self) -> None:
+        """Analyze the recorded access sets and append findings."""
+        if self._kernel is None:
+            return
+        try:
+            for (space, array), log in self._logs.items():
+                self._analyze_array(space, array, log)
+        finally:
+            self.kernels_checked += 1
+            self._kernel = None
+            self._logs = {}
+            self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Event recording (called by the accounting models / intrinsics)
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        space: str,
+        array: str,
+        offsets,
+        *,
+        kind: str,
+        warp_ids=None,
+        lane_ids=None,
+        size: Optional[int] = None,
+    ) -> None:
+        """Record one batch of per-lane accesses to a named array.
+
+        ``offsets`` are element/word indices; ``warp_ids`` follows the
+        accounting models' convention (consecutive elements on consecutive
+        lanes when omitted).  ``size`` declares the array extent for
+        out-of-bounds checking (shared tiles).
+        """
+        if self._kernel is None:
+            return
+        offsets = np.atleast_1d(np.asarray(offsets, dtype=np.int64))
+        n = offsets.size
+        if n == 0:
+            if size is not None:
+                self._log_for(space, array, size)
+            return
+        if warp_ids is None:
+            warps = np.arange(n, dtype=np.int64) // self.warp_size
+        else:
+            warps = np.atleast_1d(np.asarray(warp_ids, dtype=np.int64))
+        if lane_ids is None:
+            lanes = np.arange(n, dtype=np.int64) % self.warp_size
+        else:
+            lanes = np.atleast_1d(np.asarray(lane_ids, dtype=np.int64))
+        actors = (warps << _LANE_BITS) | (lanes & ((1 << _LANE_BITS) - 1))
+        log = self._log_for(space, array, size)
+        log.offsets.append(offsets.copy())
+        log.actors.append(actors)
+        log.kinds.append(
+            np.full(n, _KIND_CODES[kind], dtype=np.int8)
+        )
+        log.epochs.append(np.full(n, self._epoch, dtype=np.int64))
+
+    def _log_for(
+        self, space: str, array: str, size: Optional[int]
+    ) -> _ArrayLog:
+        log = self._logs.setdefault((space, array), _ArrayLog())
+        if size is not None:
+            log.size = int(size)
+        return log
+
+    def barrier(
+        self,
+        *,
+        expected_warps: Optional[int] = None,
+        arrived_warps: Optional[int] = None,
+    ) -> None:
+        """A block-wide barrier: orders everything before vs after.
+
+        When the caller reports arrival counts and they disagree, the
+        barrier is divergent — deadlock/UB on real hardware.
+        """
+        if self._kernel is None:
+            return
+        self._epoch += 1
+        if (
+            expected_warps is not None
+            and arrived_warps is not None
+            and int(arrived_warps) != int(expected_warps)
+        ):
+            self._add(
+                Finding(
+                    rule="synccheck-barrier-divergence",
+                    kernel=self._kernel,
+                    message=(
+                        f"barrier reached by {int(arrived_warps)} of "
+                        f"{int(expected_warps)} warps — divergent "
+                        "__syncthreads deadlocks on real hardware"
+                    ),
+                )
+            )
+
+    def warp_sync(self, intrinsic: str, active) -> None:
+        """A warp-sync intrinsic executed over ``(W, warp_size)`` masks.
+
+        A warp whose active mask is empty names lanes that never reach the
+        intrinsic — undefined behaviour for ``__ballot_sync`` and friends.
+        """
+        if self._kernel is None:
+            return
+        active = np.asarray(active, dtype=bool)
+        if active.ndim != 2 or active.size == 0:
+            return
+        empty = np.flatnonzero(~active.any(axis=1))
+        if empty.size:
+            self._add(
+                Finding(
+                    rule="synccheck-empty-mask",
+                    kernel=self._kernel,
+                    array=intrinsic,
+                    message=(
+                        f"{intrinsic} executed by warp {int(empty[0])} "
+                        "with an empty active mask (no participating "
+                        "lanes)"
+                    ),
+                    actors=((int(empty[0]), 0),),
+                    count=int(empty.size),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def _add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def _analyze_array(self, space: str, array: str, log: _ArrayLog) -> None:
+        if not log.offsets:
+            return
+        offsets = np.concatenate(log.offsets)
+        actors = np.concatenate(log.actors)
+        kinds = np.concatenate(log.kinds)
+        epochs = np.concatenate(log.epochs)
+
+        # --- out-of-bounds (declared shared extents) -------------------
+        if log.size is not None:
+            oob = (offsets < 0) | (offsets >= log.size)
+            if oob.any():
+                bad = np.flatnonzero(oob)
+                self._add(
+                    Finding(
+                        rule="racecheck-oob-shared",
+                        kernel=self._kernel or "",
+                        array=array,
+                        space=space,
+                        offset=int(offsets[bad[0]]),
+                        message=(
+                            f"access outside declared extent "
+                            f"[0, {log.size}) — first offending offset "
+                            f"{int(offsets[bad[0]])}"
+                        ),
+                        actors=self._sample_actors(actors[bad]),
+                        count=int(bad.size),
+                    )
+                )
+                keep = ~oob
+                offsets, actors = offsets[keep], actors[keep]
+                kinds, epochs = kinds[keep], epochs[keep]
+
+        # --- bank-conflict hotspot (shared arrays, advisory) -----------
+        if space == "shared" and offsets.size >= self.config.bank_conflict_min_ops:
+            self._check_bank_hotspot(array, offsets, actors)
+
+        # --- data races ------------------------------------------------
+        self._check_races(space, array, offsets, actors, kinds, epochs)
+
+    def _check_bank_hotspot(
+        self, array: str, offsets: np.ndarray, actors: np.ndarray
+    ) -> None:
+        # Imported lazily: the simulator must stay loadable without the
+        # analysis package and vice versa.
+        from repro.gpusim.sharedmem import bank_conflict_replays
+
+        warps = actors >> _LANE_BITS
+        replays = bank_conflict_replays(offsets, warps, self.num_banks)
+        rate = replays / offsets.size
+        if rate > self.config.bank_conflict_threshold:
+            self._add(
+                Finding(
+                    rule="perf-bank-conflict-hotspot",
+                    kernel=self._kernel or "",
+                    array=array,
+                    space="shared",
+                    message=(
+                        f"{replays} bank-conflict replays over "
+                        f"{offsets.size} accesses "
+                        f"(rate {rate:.2f} > threshold "
+                        f"{self.config.bank_conflict_threshold:.2f})"
+                    ),
+                )
+            )
+
+    def _check_races(
+        self,
+        space: str,
+        array: str,
+        offsets: np.ndarray,
+        actors: np.ndarray,
+        kinds: np.ndarray,
+        epochs: np.ndarray,
+    ) -> None:
+        writes = kinds == WRITE
+        idems = kinds == IDEMPOTENT
+        if not (writes.any() or idems.any()):
+            return  # read/atomic-only arrays cannot race
+
+        # Pack (epoch, offset) into one group key.
+        mult = int(offsets.max()) + 1 if offsets.size else 1
+        keys = epochs * mult + offsets
+
+        w_keys, w_counts, w_single = _distinct_actor_stats(
+            keys[writes], actors[writes]
+        )
+        i_keys, i_counts, i_single = _distinct_actor_stats(
+            keys[idems], actors[idems]
+        )
+        r_keys, r_counts, r_single = _distinct_actor_stats(
+            keys[kinds == READ], actors[kinds == READ]
+        )
+        a_keys = np.unique(keys[kinds == ATOMIC])
+
+        hazard_keys: Dict[int, str] = {}
+
+        # Plain writes contended by >= 2 distinct lanes.
+        for key in w_keys[w_counts >= 2]:
+            hazard_keys[int(key)] = "racecheck-write-write"
+        # Plain write + plain write is symmetric; plain + idempotent and
+        # plain + atomic still conflict (the idempotent/atomic access can
+        # observe or lose the unordered plain write).
+        for key in _conflicting(w_keys, w_single, i_keys, i_single):
+            hazard_keys.setdefault(int(key), "racecheck-write-write")
+        for key in np.intersect1d(w_keys, a_keys):
+            hazard_keys.setdefault(int(key), "racecheck-write-write")
+        # Write vs read from a different lane.
+        for key in _conflicting(w_keys, w_single, r_keys, r_single):
+            hazard_keys.setdefault(int(key), "racecheck-read-write")
+        # Idempotent write vs read (the reader may see either value).
+        for key in _conflicting(i_keys, i_single, r_keys, r_single):
+            hazard_keys.setdefault(int(key), "racecheck-read-write")
+
+        if not hazard_keys:
+            return
+
+        # Upgrade contended-write groups where a writer also reads the
+        # offset: that is a lost-update RMW, the classic "should have been
+        # an atomicAdd" bug.
+        write_pairs = _pair_index(keys[writes], actors[writes])
+        read_pairs = _pair_index(keys[kinds == READ], actors[kinds == READ])
+        per_rule: Dict[str, List[int]] = {}
+        rule_actors: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+        for key, rule in hazard_keys.items():
+            if rule == "racecheck-write-write" and _pairs_overlap(
+                write_pairs, read_pairs, key
+            ):
+                rule = "racecheck-non-atomic-rmw"
+            per_rule.setdefault(rule, []).append(key)
+            if rule not in rule_actors:
+                involved = np.unique(
+                    np.concatenate(
+                        (
+                            _actors_of(write_pairs, key),
+                            _actors_of(read_pairs, key),
+                            _actors_of(
+                                _pair_index(keys[idems], actors[idems]), key
+                            ),
+                        )
+                    )
+                )
+                rule_actors[rule] = self._sample_actors(involved)
+
+        messages = {
+            "racecheck-write-write": (
+                "unsynchronized writes to the same offset from multiple "
+                "lanes in one barrier interval — use atomics or separate "
+                "the phases with a barrier"
+            ),
+            "racecheck-read-write": (
+                "offset read and written by different lanes in the same "
+                "barrier interval — publish with a barrier before "
+                "consuming"
+            ),
+            "racecheck-non-atomic-rmw": (
+                "non-atomic read-modify-write on a contended offset — "
+                "lost updates; use atomicAdd (shared_atomic_add)"
+            ),
+        }
+        for rule, rule_keys in per_rule.items():
+            first = min(rule_keys)
+            self._add(
+                Finding(
+                    rule=rule,
+                    kernel=self._kernel or "",
+                    array=array,
+                    space=space,
+                    offset=int(first % mult),
+                    message=messages[rule],
+                    actors=rule_actors.get(rule, ()),
+                    count=len(rule_keys),
+                )
+            )
+
+    def _sample_actors(
+        self, actors: np.ndarray
+    ) -> Tuple[Tuple[int, int], ...]:
+        unique = np.unique(actors)[: self.config.max_actor_samples]
+        return tuple(
+            (int(a) >> _LANE_BITS, int(a) & ((1 << _LANE_BITS) - 1))
+            for a in unique
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def has_hazards(self) -> bool:
+        return any(f.severity == "error" for f in self.findings)
+
+    def report(self) -> AnalysisReport:
+        report = AnalysisReport(
+            source="sanitizer", checked=self.kernels_checked
+        )
+        report.extend(self.findings)
+        return report
+
+
+# ----------------------------------------------------------------------
+# Group-statistics helpers (module-level, reused by tests)
+# ----------------------------------------------------------------------
+def _distinct_actor_stats(keys: np.ndarray, actors: np.ndarray):
+    """Per group key: distinct-actor count and the single actor if unique.
+
+    Returns ``(group_keys, distinct_counts, single_actor)`` where
+    ``single_actor[i]`` is the lone actor of group ``i`` (or -1 when the
+    group has several).
+    """
+    if keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    order = np.lexsort((actors, keys))
+    k = keys[order]
+    a = actors[order]
+    keep = np.concatenate(([True], (k[1:] != k[:-1]) | (a[1:] != a[:-1])))
+    k, a = k[keep], a[keep]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], k[1:] != k[:-1]))
+    )
+    counts = np.diff(np.concatenate((boundaries, [k.size])))
+    group_keys = k[boundaries]
+    single = np.where(counts == 1, a[boundaries], -1)
+    return group_keys, counts.astype(np.int64), single
+
+
+def _conflicting(
+    keys_a: np.ndarray,
+    single_a: np.ndarray,
+    keys_b: np.ndarray,
+    single_b: np.ndarray,
+) -> np.ndarray:
+    """Group keys present in both sides with at least two distinct actors.
+
+    A key conflicts unless each side has exactly one actor and it is the
+    *same* actor (one lane touching its own slot twice is sequential).
+    """
+    common, ia, ib = np.intersect1d(
+        keys_a, keys_b, assume_unique=True, return_indices=True
+    )
+    if common.size == 0:
+        return common
+    same_single = (
+        (single_a[ia] >= 0)
+        & (single_b[ib] >= 0)
+        & (single_a[ia] == single_b[ib])
+    )
+    return common[~same_single]
+
+
+def _pair_index(keys: np.ndarray, actors: np.ndarray):
+    """Sorted (keys, actors) for key-sliced actor lookups."""
+    if keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    order = np.lexsort((actors, keys))
+    return keys[order], actors[order]
+
+
+def _actors_of(pair_index, key: int) -> np.ndarray:
+    keys, actors = pair_index
+    lo = np.searchsorted(keys, key, side="left")
+    hi = np.searchsorted(keys, key, side="right")
+    return actors[lo:hi]
+
+
+def _pairs_overlap(write_pairs, read_pairs, key: int) -> bool:
+    """Does any actor both write and read ``key``'s offset in its epoch?"""
+    writers = _actors_of(write_pairs, key)
+    readers = _actors_of(read_pairs, key)
+    if writers.size == 0 or readers.size == 0:
+        return False
+    return bool(np.intersect1d(writers, readers).size)

@@ -23,11 +23,19 @@ Commands
 ``advise``
     Run an LP variant under the roofline bottleneck advisor and print
     ranked findings with per-kernel cause attribution and verdicts.
+``check``
+    Statically lint LP-program hooks and simulator kernel code for GPU
+    correctness hazards (non-atomic shared writes, missing barriers,
+    divergent warp syncs, sketch-sizing violations of Lemma 1/2).
+    Exits non-zero when any error-severity finding survives.
 
 ``run`` and ``pipeline`` accept ``--trace-out`` (Chrome ``trace_event``
 JSON for Perfetto) and ``--metrics-out`` (metrics registry dump); ``run
 --json`` emits the machine-readable result summary instead of the human
-report.
+report.  ``run --sanitize`` executes every kernel under the dynamic
+race/sync sanitizer (see ``docs/analysis.md``) and exits non-zero on
+hazards; ``run --frontier {dense,frontier,auto}`` selects the GLP
+engine's frontier execution mode.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.kernels.frontier import FRONTIER_MODES
 from repro.obs.profile import SORT_KEYS as PROFILE_SORT_KEYS
 
 #: Engine names accepted by ``run --engine``.
@@ -55,7 +64,7 @@ EXPERIMENTS = [
 BENCH_VERBS = ["run", "compare"]
 
 
-def _build_engine(name: str):
+def _build_engine(name: str, frontier: str = "dense"):
     from repro.baselines import (
         GHashEngine,
         GSortEngine,
@@ -66,8 +75,9 @@ def _build_engine(name: str):
     )
     from repro.core.framework import GLPEngine
 
+    if name == "glp":
+        return GLPEngine(frontier=frontier)
     factories = {
-        "glp": GLPEngine,
         "gsort": GSortEngine,
         "ghash": GHashEngine,
         "serial": SerialEngine,
@@ -128,13 +138,38 @@ def _write_obs_outputs(args, session) -> None:
         print(f"metrics written: {args.metrics_out}", flush=True)
 
 
-def _cmd_run(args) -> int:
-    from repro import obs
+def _finish_sanitize(args, sanitizer) -> int:
+    """Write/print the sanitizer report; non-zero exit on hazards."""
+    if sanitizer is None:
+        return 0
+    report = sanitizer.report()
+    if args.sanitize_out:
+        report.write(args.sanitize_out)
+    # In --json mode stdout carries the result document, so the human
+    # summary moves to stderr.
+    stream = sys.stderr if args.json else sys.stdout
+    print(report.to_text(), file=stream, flush=True)
+    if args.sanitize_out:
+        print(f"sanitizer report: {args.sanitize_out}",
+              file=stream, flush=True)
+    return 1 if report.has_hazards else 0
 
+
+def _cmd_run(args) -> int:
+    from repro import analysis, obs
+
+    if args.frontier != "dense" and args.engine != "glp":
+        print(
+            f"repro run: --frontier {args.frontier} requires --engine glp "
+            f"(got {args.engine!r})",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args.graph)
-    engine = _build_engine(args.engine)
+    engine = _build_engine(args.engine, frontier=args.frontier)
     program = _build_program(args.algorithm, args)
     session = _obs_session(args)
+    sanitizer = analysis.enable_sanitizer() if args.sanitize else None
     try:
         result = engine.run(
             graph,
@@ -144,10 +179,12 @@ def _cmd_run(args) -> int:
         )
     finally:
         obs.disable()
+        if sanitizer is not None:
+            analysis.disable_sanitizer()
     if args.json:
         print(result.to_json(indent=2))
         _write_obs_outputs(args, session)
-        return 0
+        return _finish_sanitize(args, sanitizer)
     sizes = result.community_sizes()
     print(f"graph          : {graph.name} "
           f"(V={graph.num_vertices:,}, E={graph.num_edges:,})")
@@ -165,7 +202,31 @@ def _cmd_run(args) -> int:
               f"transactions; lane utilization "
               f"{counters.lane_utilization:.1%}")
     _write_obs_outputs(args, session)
-    return 0
+    return _finish_sanitize(args, sanitizer)
+
+
+def _cmd_check(args) -> int:
+    import os
+
+    from repro import analysis
+
+    paths = list(args.paths)
+    if not paths:
+        import repro.kernels as _kernels
+
+        paths.append(os.path.dirname(_kernels.__file__))
+        if os.path.isdir("examples"):
+            paths.append("examples")
+    report = analysis.lint_paths(paths)
+    if args.out:
+        report.write(args.out)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.to_text())
+        if args.out:
+            print(f"report written : {args.out}", flush=True)
+    return 1 if report.has_hazards else 0
 
 
 def _cmd_profile(args) -> int:
@@ -408,12 +469,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-early-stop", action="store_true",
         help="always run the full iteration budget",
     )
+    run.add_argument(
+        "--frontier", choices=list(FRONTIER_MODES), default="dense",
+        help="frontier execution mode of the GLP engine "
+        "(default: dense full-vertex passes)",
+    )
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help="run every kernel under the race/sync sanitizer and exit "
+        "non-zero on hazards (results stay bitwise identical)",
+    )
+    run.add_argument(
+        "--sanitize-out", metavar="PATH",
+        help="write the sanitizer report JSON here",
+    )
     _add_obs_flags(run)
     run.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable result summary instead of text",
     )
     run.set_defaults(func=_cmd_run)
+
+    check = sub.add_parser(
+        "check",
+        help="statically lint LP programs and kernel code for GPU "
+        "correctness hazards",
+    )
+    check.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: the built-in "
+        "repro.kernels package plus ./examples when present)",
+    )
+    check.add_argument(
+        "--out", metavar="PATH",
+        help="also write the JSON report here",
+    )
+    check.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    check.set_defaults(func=_cmd_check)
 
     datasets = sub.add_parser("datasets", help="list the dataset registry")
     datasets.set_defaults(func=_cmd_datasets)

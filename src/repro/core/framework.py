@@ -292,8 +292,10 @@ class GLPEngine:
     def _account_map_kernel(self, num_vertices: int) -> None:
         """Cost of a trivial per-vertex map (PickLabel / UpdateVertex)."""
         device = self.device
-        device.memory.load_sequential(num_vertices, ELEM_BYTES)
-        device.memory.store_sequential(num_vertices, ELEM_BYTES)
+        # Same offset read and written by the same (synthetic) lane, which
+        # the sanitizer recognizes as a thread updating its own slot.
+        device.memory.load_sequential(num_vertices, ELEM_BYTES, array="labels")
+        device.memory.store_sequential(num_vertices, ELEM_BYTES, array="labels")
         warps = -(-num_vertices // device.spec.warp_size)
         device.counters.warp_instructions += warps * 2
         device.counters.active_lane_sum += num_vertices * 2

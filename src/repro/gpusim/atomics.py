@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.gpusim import hooks
 from repro.gpusim.config import DeviceSpec
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.memory import count_sector_transactions, default_warp_ids
@@ -66,6 +67,8 @@ class AtomicsModel:
         element_indices: np.ndarray,
         element_bytes: int,
         warp_ids: Optional[np.ndarray] = None,
+        *,
+        array: Optional[str] = None,
     ) -> None:
         """Account atomicAdds to global-memory addresses.
 
@@ -85,11 +88,24 @@ class AtomicsModel:
             self._spec.sector_bytes,
         )
         self._counters.global_atomic_serialized_ops += serialized
+        if array is not None:
+            active = hooks.active()
+            if active is not None:
+                active.record(
+                    "global",
+                    array,
+                    element_indices,
+                    kind="atomic",
+                    warp_ids=warp_ids,
+                )
 
     def shared_atomic_add(
         self,
         word_addresses: np.ndarray,
         warp_ids: Optional[np.ndarray] = None,
+        *,
+        array: Optional[str] = None,
+        size: Optional[int] = None,
     ) -> None:
         """Account atomicAdds to shared-memory word addresses."""
         word_addresses = np.asarray(word_addresses)
@@ -101,3 +117,14 @@ class AtomicsModel:
         total, serialized = serialization_cost(word_addresses, warp_ids)
         self._counters.shared_store_ops += total
         self._counters.shared_atomic_serialized_ops += serialized
+        if array is not None:
+            active = hooks.active()
+            if active is not None:
+                active.record(
+                    "shared",
+                    array,
+                    word_addresses,
+                    kind="atomic",
+                    warp_ids=warp_ids,
+                    size=size,
+                )

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import KernelError
+from repro.gpusim import hooks
 from repro.gpusim.config import DeviceSpec
 from repro.gpusim.counters import PerfCounters
 
@@ -55,6 +56,13 @@ def block_reduce_max_cost(
     )
     counters.shared_store_ops += num_blocks * warps
     counters.shared_load_ops += num_blocks * warps
+    # BlockReduce contains a __syncthreads between the per-warp partial
+    # stores and warp 0's final reduction: advance the sanitizer's
+    # happens-before epoch (no cost — already folded into the
+    # instruction counts above).
+    sanitizer = hooks.active()
+    if sanitizer is not None:
+        sanitizer.barrier(expected_warps=warps, arrived_warps=warps)
 
 
 def block_reduce_max(values: np.ndarray, fill) -> float:

@@ -60,6 +60,11 @@ class DeviceSpec:
         round trips; an order of magnitude costlier — the reason the
         ``global`` counting strategy collapses once communities form and
         warps hammer the same counters).
+    sanitize:
+        When ``True``, every :class:`~repro.gpusim.device.Device` built
+        from this spec attaches a :class:`repro.analysis.Sanitizer` to
+        each kernel launch (compute-sanitizer analogue).  Purely
+        observational: counters and timings are unchanged.
     """
 
     name: str = "TitanV-sim"
@@ -77,6 +82,7 @@ class DeviceSpec:
     kernel_launch_overhead: float = 5e-6 * TIME_SCALE
     shared_atomic_cost_cycles: float = 4.0
     global_atomic_cost_cycles: float = 56.0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):

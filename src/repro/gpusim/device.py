@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.errors import DeviceError, OutOfDeviceMemoryError
+from repro.gpusim import hooks
 from repro.gpusim.atomics import AtomicsModel
 from repro.gpusim.config import TITAN_V, DeviceSpec
 from repro.gpusim.counters import PerfCounters
@@ -76,9 +77,21 @@ class LaunchRecord:
 class Device:
     """A simulated GPU."""
 
-    def __init__(self, spec: DeviceSpec = TITAN_V, *, index: int = 0) -> None:
+    def __init__(
+        self,
+        spec: DeviceSpec = TITAN_V,
+        *,
+        index: int = 0,
+        sanitize: Optional[bool] = None,
+        sanitizer=None,
+    ) -> None:
         self.spec = spec
         self.index = index
+        # Sanitizer attachment: device-level default (spec.sanitize or the
+        # constructor override), an explicitly-supplied Sanitizer, or —
+        # resolved per launch — the ambient repro.analysis session.
+        self._sanitize = spec.sanitize if sanitize is None else bool(sanitize)
+        self._sanitizer = sanitizer
         self.counters = PerfCounters()
         self.memory = GlobalMemoryModel(spec, self.counters)
         self.shared = SharedMemoryModel(spec, self.counters)
@@ -221,12 +234,73 @@ class Device:
     # ------------------------------------------------------------------
     # Kernel bookkeeping
     # ------------------------------------------------------------------
+    def _resolve_sanitizer(self, sanitize: Optional[bool]):
+        """The sanitizer this launch should attach to, or ``None``.
+
+        ``sanitize=False`` opts a launch out entirely; otherwise the
+        device's own sanitizer wins, one is created lazily when sanitizing
+        was requested, and the ambient ``repro.analysis`` session is the
+        fallback.
+        """
+        if sanitize is False:
+            return None
+        if self._sanitizer is not None:
+            return self._sanitizer
+        if sanitize or self._sanitize:
+            # Imported lazily: gpusim must stay loadable without the
+            # analysis package.
+            from repro.analysis.sanitizer import Sanitizer
+
+            self._sanitizer = Sanitizer(
+                warp_size=self.spec.warp_size,
+                num_banks=self.spec.num_shared_banks,
+            )
+            return self._sanitizer
+        return hooks.session()
+
+    def sanitizer_report(self):
+        """This device's sanitizer report, or ``None`` if never sanitized."""
+        if self._sanitizer is None:
+            return None
+        return self._sanitizer.report()
+
+    def barrier(
+        self,
+        *,
+        expected_warps: Optional[int] = None,
+        arrived_warps: Optional[int] = None,
+    ) -> None:
+        """Mark a block-wide ``__syncthreads`` for the sanitizer.
+
+        Zero-cost: barriers are already folded into the timing model's
+        per-phase costs, so this only advances the sanitizer's
+        happens-before epoch (and checks divergence when arrival counts
+        are supplied).  A no-op when no sanitizer is attached.
+        """
+        active = hooks.active()
+        if active is not None:
+            active.barrier(
+                expected_warps=expected_warps, arrived_warps=arrived_warps
+            )
+
     @contextlib.contextmanager
-    def launch(self, name: str) -> Iterator[PerfCounters]:
+    def launch(
+        self, name: str, *, sanitize: Optional[bool] = None
+    ) -> Iterator[PerfCounters]:
         """Run a kernel body; time it from the counter delta on exit."""
         snapshot = self.counters.copy()
         self.counters.kernel_launches += 1
-        yield self.counters
+        san = self._resolve_sanitizer(sanitize)
+        previous = hooks.active()
+        if san is not None:
+            san.begin_kernel(name, device_index=self.index)
+        hooks.set_active(san)
+        try:
+            yield self.counters
+        finally:
+            hooks.set_active(previous)
+            if san is not None:
+                san.end_kernel()
         delta = self.counters.delta_since(snapshot)
         timing = kernel_time(delta, self.spec)
         active = obs.tracer()

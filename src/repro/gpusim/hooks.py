@@ -1,0 +1,54 @@
+"""Sanitizer hook registry: where the simulator meets ``repro.analysis``.
+
+The accounting models (:mod:`~repro.gpusim.memory`,
+:mod:`~repro.gpusim.sharedmem`, :mod:`~repro.gpusim.atomics`), the warp
+intrinsics and the block helpers all observe memory and synchronization
+events.  When a sanitizer is attached they forward those events here; with
+no sanitizer attached every forward is one module read plus a ``None``
+check, so counters, labels and timings stay bitwise identical — the same
+contract :mod:`repro.obs` honors.
+
+Two attachment scopes:
+
+* **kernel scope** — :meth:`repro.gpusim.device.Device.launch` installs the
+  resolved sanitizer for the duration of one kernel body
+  (:func:`set_active` / :func:`active`);
+* **session scope** — :func:`repro.analysis.sanitize` installs an ambient
+  sanitizer every subsequent kernel launch on any device attaches to
+  (:func:`set_session` / :func:`session`), which is how
+  ``repro run --sanitize`` covers engines that build their own devices.
+
+This module deliberately imports nothing: the simulator must stay loadable
+without :mod:`repro.analysis`, and the analysis package plugs in through
+these two slots only.
+"""
+
+from __future__ import annotations
+
+#: Sanitizer recording the currently-executing kernel launch (or ``None``).
+_ACTIVE = None
+
+#: Ambient session sanitizer future launches should attach to (or ``None``).
+_SESSION = None
+
+
+def active():
+    """The sanitizer attached to the kernel launch in flight, if any."""
+    return _ACTIVE
+
+
+def set_active(sanitizer) -> None:
+    """Install (or clear, with ``None``) the kernel-scope sanitizer."""
+    global _ACTIVE
+    _ACTIVE = sanitizer
+
+
+def session():
+    """The ambient session sanitizer, if one is installed."""
+    return _SESSION
+
+
+def set_session(sanitizer) -> None:
+    """Install (or clear, with ``None``) the session-scope sanitizer."""
+    global _SESSION
+    _SESSION = sanitizer

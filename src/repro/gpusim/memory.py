@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.gpusim import hooks
 from repro.gpusim.config import DeviceSpec
 from repro.gpusim.counters import PerfCounters
 
@@ -68,19 +69,56 @@ class GlobalMemoryModel:
         self._spec = spec
         self._counters = counters
 
+    def _sanitize(
+        self,
+        array: Optional[str],
+        offsets,
+        kind: str,
+        warp_ids=None,
+    ) -> None:
+        """Forward a *named* access to the attached sanitizer, if any.
+
+        Unnamed traffic (``array=None``) is accounting-only: the sanitizer
+        never sees it, which is what guarantees zero false positives on
+        arrays a kernel has not opted into checking.
+        """
+        if array is None:
+            return
+        active = hooks.active()
+        if active is not None:
+            active.record(
+                "global", array, offsets, kind=kind, warp_ids=warp_ids
+            )
+
     # ------------------------------------------------------------------
     # Streaming (coalesced) access
     # ------------------------------------------------------------------
-    def load_sequential(self, num_elements: int, element_bytes: int) -> int:
+    def load_sequential(
+        self,
+        num_elements: int,
+        element_bytes: int,
+        *,
+        array: Optional[str] = None,
+    ) -> int:
         """Contiguous streaming read by consecutive lanes (fully coalesced)."""
         transactions = self._sequential_transactions(num_elements, element_bytes)
         self._counters.global_load_transactions += transactions
+        if array is not None and num_elements > 0:
+            self._sanitize(array, np.arange(num_elements), "read")
         return transactions
 
-    def store_sequential(self, num_elements: int, element_bytes: int) -> int:
+    def store_sequential(
+        self,
+        num_elements: int,
+        element_bytes: int,
+        *,
+        array: Optional[str] = None,
+    ) -> int:
         """Contiguous streaming write by consecutive lanes."""
         transactions = self._sequential_transactions(num_elements, element_bytes)
         self._counters.global_store_transactions += transactions
+        if array is not None and num_elements > 0:
+            self._sanitize(array, np.arange(num_elements), "write")
         return transactions
 
     def _sequential_transactions(
@@ -99,6 +137,8 @@ class GlobalMemoryModel:
         indices: np.ndarray,
         element_bytes: int,
         warp_ids: Optional[np.ndarray] = None,
+        *,
+        array: Optional[str] = None,
     ) -> int:
         """Gather ``array[indices]`` — transactions from actual addresses.
 
@@ -116,6 +156,7 @@ class GlobalMemoryModel:
             self._spec.sector_bytes,
         )
         self._counters.global_load_transactions += transactions
+        self._sanitize(array, indices, "read", warp_ids=warp_ids)
         return transactions
 
     def store_scatter(
@@ -123,8 +164,17 @@ class GlobalMemoryModel:
         indices: np.ndarray,
         element_bytes: int,
         warp_ids: Optional[np.ndarray] = None,
+        *,
+        array: Optional[str] = None,
+        idempotent: bool = False,
     ) -> int:
-        """Scatter write ``array[indices] = values``."""
+        """Scatter write ``array[indices] = values``.
+
+        ``idempotent=True`` marks stores where every lane writes the same
+        value (frontier-bitmap "set to 1" scatters): the sanitizer treats
+        duplicate idempotent stores as benign, but still flags them
+        against readers and non-idempotent writers.
+        """
         indices = np.asarray(indices)
         if warp_ids is None:
             warp_ids = default_warp_ids(indices.size, self._spec.warp_size)
@@ -134,6 +184,12 @@ class GlobalMemoryModel:
             self._spec.sector_bytes,
         )
         self._counters.global_store_transactions += transactions
+        self._sanitize(
+            array,
+            indices,
+            "idempotent" if idempotent else "write",
+            warp_ids=warp_ids,
+        )
         return transactions
 
     def load_segments(
@@ -141,6 +197,8 @@ class GlobalMemoryModel:
         segment_starts: np.ndarray,
         segment_lengths: np.ndarray,
         element_bytes: int,
+        *,
+        array: Optional[str] = None,
     ) -> int:
         """Per-warp sequential reads of many contiguous segments.
 
@@ -160,4 +218,22 @@ class GlobalMemoryModel:
         last = (np.maximum(end_bytes - 1, start_bytes)) // sector
         transactions = int((last - first + 1)[segment_lengths > 0].sum())
         self._counters.global_load_transactions += transactions
+        if array is not None and hooks.active() is not None:
+            # Expand per-element offsets (one warp per segment) only when
+            # a sanitizer is actually listening — it is O(total length).
+            nonzero = segment_lengths > 0
+            lengths = segment_lengths[nonzero]
+            starts = segment_starts[nonzero]
+            if lengths.size:
+                total = int(lengths.sum())
+                seg_of = np.repeat(np.arange(lengths.size), lengths)
+                within = np.arange(total) - np.repeat(
+                    np.cumsum(lengths) - lengths, lengths
+                )
+                self._sanitize(
+                    array,
+                    starts[seg_of] + within,
+                    "read",
+                    warp_ids=seg_of,
+                )
         return transactions

@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import SharedMemoryError
+from repro.gpusim import hooks
 from repro.gpusim.config import DeviceSpec
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.memory import default_warp_ids
@@ -83,17 +84,28 @@ class SharedMemoryModel:
         self,
         word_addresses: np.ndarray,
         warp_ids: Optional[np.ndarray] = None,
+        *,
+        array: Optional[str] = None,
+        size: Optional[int] = None,
     ) -> None:
-        """Account a shared-memory load for each given 4-byte-word address."""
-        self._access(word_addresses, warp_ids, store=False)
+        """Account a shared-memory load for each given 4-byte-word address.
+
+        Naming the tile (``array=``, with its declared word ``size=``)
+        additionally reports the accesses to an attached sanitizer for
+        race and out-of-bounds checking.
+        """
+        self._access(word_addresses, warp_ids, store=False, array=array, size=size)
 
     def store(
         self,
         word_addresses: np.ndarray,
         warp_ids: Optional[np.ndarray] = None,
+        *,
+        array: Optional[str] = None,
+        size: Optional[int] = None,
     ) -> None:
         """Account a shared-memory store for each given word address."""
-        self._access(word_addresses, warp_ids, store=True)
+        self._access(word_addresses, warp_ids, store=True, array=array, size=size)
 
     def _access(
         self,
@@ -101,6 +113,8 @@ class SharedMemoryModel:
         warp_ids: Optional[np.ndarray],
         *,
         store: bool,
+        array: Optional[str] = None,
+        size: Optional[int] = None,
     ) -> None:
         word_addresses = np.asarray(word_addresses)
         if warp_ids is None:
@@ -115,3 +129,14 @@ class SharedMemoryModel:
         self._counters.shared_bank_conflicts += bank_conflict_replays(
             word_addresses, np.asarray(warp_ids), self._spec.num_shared_banks
         )
+        if array is not None:
+            active = hooks.active()
+            if active is not None:
+                active.record(
+                    "shared",
+                    array,
+                    word_addresses,
+                    kind="write" if store else "read",
+                    warp_ids=warp_ids,
+                    size=size,
+                )

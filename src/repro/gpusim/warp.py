@@ -16,9 +16,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import KernelError
+from repro.gpusim import hooks
 
 #: Powers of two for mask assembly, index = lane id.
 _LANE_BITS = (np.uint64(1) << np.arange(64, dtype=np.uint64))
+
+
+def _notify_sync(intrinsic: str, active: np.ndarray) -> None:
+    """Report a ``*_sync`` execution to an attached sanitizer, if any.
+
+    Synccheck semantics: naming lanes that never reach the intrinsic (a
+    warp with an empty active mask) is undefined behaviour on hardware.
+    """
+    sanitizer = hooks.active()
+    if sanitizer is not None:
+        sanitizer.warp_sync(intrinsic, active)
 
 
 def full_mask(warp_size: int = 32) -> int:
@@ -56,6 +68,7 @@ def ballot_sync(active: np.ndarray, predicate: np.ndarray) -> np.ndarray:
     _check_lane_shape(active)
     if predicate.shape != active.shape:
         raise KernelError("predicate shape must match active shape")
+    _notify_sync("ballot_sync", active)
     warp_size = active.shape[1]
     bits = _LANE_BITS[:warp_size]
     return ((active & predicate) * bits).sum(axis=1, dtype=np.uint64)
@@ -74,6 +87,7 @@ def match_any_sync(active: np.ndarray, values: np.ndarray) -> np.ndarray:
     _check_lane_shape(active)
     if values.shape != active.shape:
         raise KernelError("values shape must match active shape")
+    _notify_sync("match_any_sync", active)
     warp_size = active.shape[1]
     # eq[w, i, j] = lanes i and j of warp w are both active and hold equal
     # values.  warp_size is <= 32 so the (W, 32, 32) temporary is cheap.
@@ -128,6 +142,7 @@ def shfl_sync(
     _check_lane_shape(active)
     if not 0 <= src_lane < active.shape[1]:
         raise KernelError(f"src_lane {src_lane} out of range")
+    _notify_sync("shfl_sync", active)
     out = np.broadcast_to(
         values[:, src_lane : src_lane + 1], values.shape
     ).copy()
@@ -149,6 +164,7 @@ def shfl_down_sync(
     warp_size = active.shape[1]
     if delta < 0:
         raise KernelError("delta must be non-negative")
+    _notify_sync("shfl_down_sync", active)
     out = values.copy()
     if delta and delta < warp_size:
         out[:, : warp_size - delta] = values[:, delta:]
@@ -167,5 +183,8 @@ def warp_reduce_max(
     active = np.asarray(active, dtype=bool)
     values = np.asarray(values)
     _check_lane_shape(active)
+    # Deliberately NOT _notify_sync'd: empty-active warps are part of this
+    # helper's documented semantics (they return ``fill``), unlike the
+    # hardware ``*_sync`` intrinsics above.
     masked = np.where(active, values, fill)
     return masked.max(axis=1)

@@ -167,22 +167,33 @@ def account_common_reads(
     graph = ctx.graph
     vertices = batch.vertices
     if vertices.size:
-        device.memory.load_gather(vertices, ELEM_BYTES)
+        device.memory.load_gather(vertices, ELEM_BYTES, array="csr-offsets")
         if not neighbor_ids_scattered:
             device.memory.load_segments(
-                graph.offsets[vertices], graph.degrees[vertices], ELEM_BYTES
+                graph.offsets[vertices],
+                graph.degrees[vertices],
+                ELEM_BYTES,
+                array="neighbor-ids",
             )
     if batch.num_edges:
         if neighbor_ids_scattered:
             device.memory.load_gather(
-                batch.edge_positions, ELEM_BYTES, warp_ids=label_warp_steps
+                batch.edge_positions,
+                ELEM_BYTES,
+                warp_ids=label_warp_steps,
+                array="neighbor-ids",
             )
         device.memory.load_gather(
-            batch.neighbor_ids, ELEM_BYTES, warp_ids=label_warp_steps
+            batch.neighbor_ids,
+            ELEM_BYTES,
+            warp_ids=label_warp_steps,
+            array="labels",
         )
 
 
 def account_label_writeback(ctx: KernelContext, num_vertices: int) -> None:
     """Account the coalesced store of the per-vertex winning labels."""
     if num_vertices:
-        ctx.device.memory.store_sequential(num_vertices, ELEM_BYTES)
+        ctx.device.memory.store_sequential(
+            num_vertices, ELEM_BYTES, array="best-labels"
+        )

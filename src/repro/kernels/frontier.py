@@ -124,21 +124,32 @@ def expand_frontier(
         return np.empty(0, dtype=np.int64)
     with device.launch("frontier-expand"):
         # Read the changed-id worklist (coalesced stream).
-        device.memory.load_sequential(changed.size, ELEM_BYTES)
+        device.memory.load_sequential(
+            changed.size, ELEM_BYTES, array="frontier-worklist"
+        )
         # Gather each changed vertex's reversed-CSR offset pair, then
         # stream its out-neighbor segment.
-        device.memory.load_gather(changed, ELEM_BYTES)
+        device.memory.load_gather(changed, ELEM_BYTES, array="csr-offsets")
         device.memory.load_segments(
             reversed_graph.offsets[changed],
             reversed_graph.degrees[changed],
             ELEM_BYTES,
+            array="neighbor-ids",
         )
         batch = expand_edges(reversed_graph, changed)
         frontier = np.unique(batch.neighbor_ids.astype(np.int64, copy=False))
         # Scattered byte stores into the bitmap — one per touched edge
         # (duplicates still issue a store; they just coalesce per sector).
+        # Every lane writes the same value (1), which is exactly why the
+        # paper-style byte bitmap needs no atomics: the store is
+        # idempotent, and the sanitizer checks it as such.
         if batch.num_edges:
-            device.memory.store_scatter(batch.neighbor_ids, BITMAP_BYTES)
+            device.memory.store_scatter(
+                batch.neighbor_ids,
+                BITMAP_BYTES,
+                array="frontier-bitmap",
+                idempotent=True,
+            )
         _account_warp_work(device, changed.size + batch.num_edges)
     return frontier
 
@@ -151,16 +162,34 @@ def compact_frontier(
     with device.launch("frontier-compact"):
         # Pass 1: read the bitmap and write per-block set counts; pass 2:
         # exclusive scan of the counts; pass 3: re-read the bitmap and
-        # scatter ids to their scanned positions.  Modeled as two bitmap
-        # streams plus the scan traffic and the compacted writeback.
-        device.memory.load_sequential(num_vertices, BITMAP_BYTES)
-        device.memory.load_sequential(num_vertices, BITMAP_BYTES)
-        device.memory.load_sequential(num_vertices, ELEM_BYTES)
-        device.memory.store_sequential(num_vertices, ELEM_BYTES)
+        # scatter ids to their scanned positions; pass 4: clear the bitmap
+        # for the next round.  Modeled as two bitmap streams plus the scan
+        # traffic and the compacted writeback.  The device.barrier() calls
+        # are the grid syncs separating the passes — zero cost, but they
+        # order the phases for the sanitizer exactly as the hardware
+        # kernel boundaries would.
+        device.memory.load_sequential(
+            num_vertices, BITMAP_BYTES, array="frontier-bitmap"
+        )
+        device.barrier()
+        device.memory.load_sequential(
+            num_vertices, ELEM_BYTES, array="scan-counts"
+        )
+        device.memory.store_sequential(
+            num_vertices, ELEM_BYTES, array="scan-counts"
+        )
+        device.barrier()
+        device.memory.load_sequential(
+            num_vertices, BITMAP_BYTES, array="frontier-bitmap"
+        )
         if frontier.size:
-            device.memory.store_sequential(frontier.size, ELEM_BYTES)
-            # Clearing the bitmap for the next round rides along here.
-            device.memory.store_scatter(frontier, BITMAP_BYTES)
+            device.memory.store_sequential(
+                frontier.size, ELEM_BYTES, array="frontier-out"
+            )
+            device.barrier()
+            device.memory.store_scatter(
+                frontier, BITMAP_BYTES, array="frontier-bitmap"
+            )
         _account_warp_work(device, 2 * num_vertices + frontier.size)
     return frontier
 

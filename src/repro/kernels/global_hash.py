@@ -79,7 +79,7 @@ def run_global_hash(
                 slots, probes = table.add_batch(keys)
                 # One atomic RMW per edge at its resolved slot...
                 device.atomics.global_atomic_add(
-                    slots, ELEM_BYTES, warp_ids=warp_steps
+                    slots, ELEM_BYTES, warp_ids=warp_steps, array="global-ht"
                 )
                 # ...plus one uncoalesced probe load per extra inspection.
                 extra_probes = probes - batch.num_edges
@@ -89,7 +89,10 @@ def run_global_hash(
                 # enumerate candidates (the "label values are repeatedly
                 # loaded" issue of Section 2.2) and re-reads the counters.
                 device.memory.load_gather(
-                    batch.neighbor_ids, ELEM_BYTES, warp_ids=warp_steps
+                    batch.neighbor_ids,
+                    ELEM_BYTES,
+                    warp_ids=warp_steps,
+                    array="labels",
                 )
                 if groups.num_groups:
                     first_of_group = np.concatenate(
@@ -99,7 +102,11 @@ def run_global_hash(
                         )
                     )
                     group_slots = slots[groups.edge_order][first_of_group]
-                    device.memory.load_gather(group_slots, ELEM_BYTES)
+                    # Counter re-read after the counting loop: atomics and
+                    # reads never race (the add is the synchronization).
+                    device.memory.load_gather(
+                        group_slots, ELEM_BYTES, array="global-ht"
+                    )
             finally:
                 device.free(table_mem)
 

@@ -65,6 +65,10 @@ def run_smem_cms_ht(
     ht_bytes = config.ht_capacity * 8
     cms_bytes = config.cms_depth * config.cms_width * 4
     device.shared.check_allocation(ht_bytes + cms_bytes)
+    # Declared word extent of the block's shared allocation for the
+    # sanitizer's OOB check: HT slots occupy [0, 2*capacity) and the CMS
+    # counters [2*capacity, 2*capacity + depth*width).
+    smem_words = config.ht_capacity * 2 + config.cms_depth * config.cms_width
 
     batch = mfl.expand_edges(graph, vertices)
     neighbor_labels = ctx.current_labels[batch.neighbor_ids]
@@ -128,7 +132,10 @@ def run_smem_cms_ht(
                 edge_labels[ht_edges], config.ht_capacity
             )
             device.atomics.shared_atomic_add(
-                addresses, warp_ids=warp_steps[ht_edges]
+                addresses,
+                warp_ids=warp_steps[ht_edges],
+                array="smem-ht-cms",
+                size=smem_words,
             )
         overflow_edges = np.flatnonzero(~edge_resident)
         cms_template = CountMinSketch(config.cms_depth, config.cms_width)
@@ -140,6 +147,8 @@ def run_smem_cms_ht(
                 device.atomics.shared_atomic_add(
                     bucket_rows[row] + config.ht_capacity * 2,
                     warp_ids=warp_steps[overflow_edges],
+                    array="smem-ht-cms",
+                    size=smem_words,
                 )
 
         # ------------------------------------------------------------------
@@ -196,7 +205,10 @@ def run_smem_cms_ht(
                 )
                 slots, probes = table.add_batch(keys)
                 device.atomics.global_atomic_add(
-                    slots, ELEM_BYTES, warp_ids=warp_steps[fb_edges]
+                    slots,
+                    ELEM_BYTES,
+                    warp_ids=warp_steps[fb_edges],
+                    array="global-ht",
                 )
                 device.counters.global_load_transactions += int(
                     probes - fb_edges.size

@@ -259,7 +259,12 @@ def run_warp_shared_ht(
         )
         mixed ^= mixed >> np.uint64(29)
         slot = (mixed % np.uint64(config.ht_capacity)).astype(np.int64)
-        device.atomics.shared_atomic_add(slot, warp_ids=warp_steps)
+        device.atomics.shared_atomic_add(
+            slot,
+            warp_ids=warp_steps,
+            array="warp-ht",
+            size=config.ht_capacity * 2,
+        )
 
         degrees = graph.degrees[vertices]
         steps = -(-degrees // device.spec.warp_size)

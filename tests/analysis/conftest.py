@@ -1,0 +1,15 @@
+"""Analysis test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analysis
+
+
+@pytest.fixture(autouse=True)
+def _no_sanitizer_leakage():
+    """Every test starts and ends without an ambient sanitizer session."""
+    analysis.disable_sanitizer()
+    yield
+    analysis.disable_sanitizer()

@@ -1,0 +1,7 @@
+"""Deliberately broken kernels and hook patterns for the analysis tests.
+
+Each module seeds one hazard class; the sanitizer and linter tests assert
+the exact rule, kernel/array attribution, and location of every finding.
+These files are never linted by ``repro check``'s default paths or the CI
+sanitize-gate — only the tests point the tools at them.
+"""

@@ -1,0 +1,41 @@
+"""Fixture: static-only patterns every linter rule must flag.
+
+This module is parsed, never executed — the bodies only need to be
+syntactically plausible kernel/hook code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.warp import ballot_sync
+from repro.kernels.base import StrategyConfig
+
+
+def update_vertices(self, vertices, labels, best_labels, best_scores):
+    # In-place write to an input the framework still reads elsewhere.
+    labels[vertices] = best_labels
+    return labels
+
+
+def pick_labels(self, vertices, labels):
+    # Writing through an alias of an input is the same defect.
+    view = labels
+    view[vertices] = 0
+    return view
+
+
+def make_undersized_config():
+    # depth 1 voids Lemma 2; width 64 < 2 * high_threshold (128 default).
+    return StrategyConfig(cms_depth=1, cms_width=64)
+
+
+def divergent_ballot(active, values, flags):
+    if flags[0] > 0:
+        return ballot_sync(active, values)
+    return None
+
+
+def read_uninitialized_tile(n):
+    scratch = np.empty(n, dtype=np.int64)
+    return scratch[0] + 1

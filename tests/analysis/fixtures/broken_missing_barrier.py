@@ -1,0 +1,52 @@
+"""Fixture: a producer/consumer shared tile with a missing barrier.
+
+Warp 0 fills a shared tile, warp 1 reads it back — with no
+``device.barrier()`` in between the consumer can observe stale words.
+The sanitizer must flag the unordered cross-warp read
+(``racecheck-read-write``) and the linter the store→load phase pattern
+(``lint-missing-barrier``); the ``fixed`` variant proves the barrier
+silences both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Word extent of the shared tile.
+TILE_WORDS = 32
+
+
+def run_broken_tile_kernel(device) -> None:
+    """Store the tile from warp 0, load it from warp 1, no barrier."""
+    addresses = np.arange(TILE_WORDS, dtype=np.int64)
+    producer_warps = np.zeros(TILE_WORDS, dtype=np.int64)
+    consumer_warps = np.ones(TILE_WORDS, dtype=np.int64)
+    with device.launch("broken-tile"):
+        device.shared.store(
+            addresses, producer_warps, array="tile", size=TILE_WORDS
+        )
+        device.shared.load(
+            addresses, consumer_warps, array="tile", size=TILE_WORDS
+        )
+
+
+def run_fixed_tile_kernel(device) -> None:
+    """Same phases published through a barrier — hazard-free."""
+    addresses = np.arange(TILE_WORDS, dtype=np.int64)
+    producer_warps = np.zeros(TILE_WORDS, dtype=np.int64)
+    consumer_warps = np.ones(TILE_WORDS, dtype=np.int64)
+    with device.launch("fixed-tile"):
+        device.shared.store(
+            addresses, producer_warps, array="tile", size=TILE_WORDS
+        )
+        device.barrier()
+        device.shared.load(
+            addresses, consumer_warps, array="tile", size=TILE_WORDS
+        )
+
+
+def run_oob_tile_kernel(device) -> None:
+    """Index one word past the declared tile extent."""
+    addresses = np.array([TILE_WORDS], dtype=np.int64)
+    with device.launch("oob-tile"):
+        device.shared.store(addresses, array="tile", size=TILE_WORDS)

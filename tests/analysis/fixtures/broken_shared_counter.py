@@ -1,0 +1,31 @@
+"""Fixture: a non-atomic shared-memory counter (the lost-update race).
+
+Every lane bumps the same shared counter word with a plain load + store
+instead of ``shared_atomic_add`` — the canonical CMS/HT counter bug.  The
+sanitizer must flag it dynamically (``racecheck-non-atomic-rmw``) and the
+linter statically (``lint-non-atomic-rmw``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Declared word extent of the shared "counter" allocation.
+COUNTER_WORDS = 8
+
+
+def run_broken_shared_counter(device, num_lanes: int = 64) -> None:
+    """Launch a kernel where ``num_lanes`` lanes RMW shared word 0."""
+    addresses = np.zeros(num_lanes, dtype=np.int64)
+    with device.launch("broken-shared-counter"):
+        device.shared.load(addresses, array="counter", size=COUNTER_WORDS)
+        device.shared.store(addresses, array="counter", size=COUNTER_WORDS)
+
+
+def run_fixed_shared_counter(device, num_lanes: int = 64) -> None:
+    """The correct version: one atomic add per lane — no hazard."""
+    addresses = np.zeros(num_lanes, dtype=np.int64)
+    with device.launch("fixed-shared-counter"):
+        device.atomics.shared_atomic_add(
+            addresses, array="counter", size=COUNTER_WORDS
+        )

@@ -1,0 +1,165 @@
+"""Static linter tests: fixture patterns flagged, shipped code clean.
+
+The fixtures under ``tests/analysis/fixtures/`` seed one instance of each
+rule; the tests pin rule name and ``file:line`` attribution.  The
+zero-findings tests over ``src/repro/kernels`` and ``examples/`` are the
+regression guard behind the CI sanitize-gate.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+from repro import analysis
+from repro.algorithms import ClassicLP
+from repro.analysis.findings import RULES, SCHEMA_VERSION
+
+HERE = os.path.dirname(__file__)
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+
+def _fixture_findings(name):
+    return analysis.lint_file(os.path.join(FIXTURES, name))
+
+
+def _line_of(name, needle, occurrence=1):
+    """1-based line number of the n-th line containing ``needle``."""
+    seen = 0
+    with open(os.path.join(FIXTURES, name)) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if needle in line:
+                seen += 1
+                if seen == occurrence:
+                    return lineno
+    raise AssertionError(f"{needle!r} not found in {name}")
+
+
+def test_non_atomic_counter_pattern_is_flagged():
+    findings = _fixture_findings("broken_shared_counter.py")
+    (finding,) = [f for f in findings if f.rule == "lint-non-atomic-rmw"]
+    assert finding.array == "counter"
+    lineno = _line_of("broken_shared_counter.py", "device.shared.store")
+    assert finding.location.endswith(
+        f"broken_shared_counter.py:{lineno}"
+    )
+
+
+def test_missing_barrier_pattern_is_flagged_only_in_broken_kernel():
+    findings = _fixture_findings("broken_missing_barrier.py")
+    (finding,) = [f for f in findings if f.rule == "lint-missing-barrier"]
+    assert finding.array == "tile"
+    # The flagged load is the broken kernel's (first) one; the barriered
+    # and store-only kernels stay clean.
+    lineno = _line_of("broken_missing_barrier.py", "device.shared.load")
+    assert finding.location.endswith(
+        f"broken_missing_barrier.py:{lineno}"
+    )
+    assert [f.rule for f in findings] == ["lint-missing-barrier"]
+
+
+def test_bad_patterns_cover_the_remaining_rules():
+    findings = _fixture_findings("bad_lint_patterns.py")
+    counts = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    assert counts == {
+        "lint-inplace-output-write": 2,   # direct write + aliased write
+        "lint-sketch-bounds": 2,          # cms_depth=1 and cms_width=64
+        "lint-divergent-warp-sync": 1,
+        "lint-uninitialized-read": 1,
+    }
+    (divergent,) = [
+        f for f in findings if f.rule == "lint-divergent-warp-sync"
+    ]
+    lineno = _line_of("bad_lint_patterns.py", "return ballot_sync")
+    assert divergent.location.endswith(f"bad_lint_patterns.py:{lineno}")
+
+
+def test_line_suppression_silences_a_rule():
+    source = (
+        "def kernel(device, addr):\n"
+        "    device.shared.load(addr, array='t', size=4)\n"
+        "    device.shared.store(addr, array='t', size=4)"
+        "  # lint: disable=lint-non-atomic-rmw\n"
+    )
+    assert analysis.lint_source(source) == []
+    # Without the directive the same source is flagged.
+    assert analysis.lint_source(source.replace(
+        "  # lint: disable=lint-non-atomic-rmw", ""
+    ))
+
+
+def test_file_suppression_silences_a_rule_everywhere():
+    source = (
+        "# lint: disable-file=lint-uninitialized-read\n"
+        "import numpy as np\n"
+        "def kernel(n):\n"
+        "    buf = np.empty(n)\n"
+        "    return buf[0]\n"
+    )
+    assert analysis.lint_source(source) == []
+
+
+def test_shipped_kernels_and_examples_are_clean():
+    report = analysis.lint_paths([
+        os.path.join(REPO_ROOT, "src", "repro", "kernels"),
+        os.path.join(REPO_ROOT, "examples"),
+    ])
+    assert report.checked > 0
+    assert report.findings == [], report.to_text()
+
+
+def test_lint_program_flags_a_bad_hook_and_passes_defaults():
+    class BadProgram(ClassicLP):
+        def update_vertices(
+            self, vertex_ids, best_labels, best_scores, current_labels
+        ):
+            current_labels[vertex_ids] = best_labels
+            return current_labels
+
+    report = analysis.lint_program(BadProgram())
+    assert [f.rule for f in report.findings] == [
+        "lint-inplace-output-write"
+    ]
+    assert analysis.lint_program(ClassicLP()).findings == []
+
+
+def _load_schema_checker():
+    path = os.path.join(REPO_ROOT, "benchmarks", "check_obs_schema.py")
+    spec = importlib.util.spec_from_file_location("check_obs_schema", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_schema_checker_rule_enum_in_sync():
+    checker = _load_schema_checker()
+    assert checker.ANALYSIS_RULES == set(RULES)
+    assert checker.ANALYSIS_SCHEMA_VERSION == SCHEMA_VERSION
+
+
+def test_schema_checker_accepts_a_real_report(tmp_path, capsys):
+    checker = _load_schema_checker()
+    report = analysis.lint_paths([FIXTURES])
+    assert report.has_hazards  # fixtures are not clean by design
+    path = tmp_path / "lint.json"
+    report.write(str(path))
+    checker.check_analysis(str(path))  # sys.exit(1)s on violation
+    assert "OK" in capsys.readouterr().out
+
+
+def test_schema_checker_rejects_unknown_rule(tmp_path):
+    checker = _load_schema_checker()
+    report = analysis.lint_paths([FIXTURES])
+    doc = report.as_dict()
+    doc["findings"][0]["rule"] = "not-a-rule"
+    path = tmp_path / "bad.json"
+    import json
+
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SystemExit):
+        checker.check_analysis(str(path))

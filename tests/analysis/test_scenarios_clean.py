@@ -1,0 +1,23 @@
+"""The shipped kernels are hazard-free on every baseline scenario.
+
+This is the acceptance gate behind ``repro run --sanitize`` in CI: the
+standardized scenario suite (the same one the perf gate replays) must
+produce zero sanitizer findings — any named-array race, sync, or OOB
+hazard introduced into a kernel fails here with full attribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analysis
+from repro.bench.baseline import run_scenario, scenario_names
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_baseline_scenario_is_hazard_free(name):
+    with analysis.sanitize() as session:
+        run_scenario(name)
+    report = session.report()
+    assert report.checked > 0
+    assert report.findings == [], report.to_text()

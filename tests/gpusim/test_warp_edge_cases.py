@@ -1,0 +1,112 @@
+"""Warp-intrinsic edge cases: empty masks, full divergence, single lanes.
+
+The bit-exact intrinsics must keep CUDA's documented semantics on the
+degenerate inputs the MFL packing can produce — and the sanitizer hookups
+added for synccheck must not disturb them when no sanitizer is attached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.gpusim import warp
+
+
+class TestEmptyMasks:
+    def test_ballot_all_inactive_is_zero(self):
+        active = np.zeros((3, 32), dtype=bool)
+        result = warp.ballot_sync(active, np.ones((3, 32), dtype=bool))
+        assert result.dtype == np.uint64
+        assert np.array_equal(result, np.zeros(3, dtype=np.uint64))
+
+    def test_match_any_all_inactive_is_zero(self):
+        active = np.zeros((2, 32), dtype=bool)
+        values = np.arange(64).reshape(2, 32)
+        assert not warp.match_any_sync(active, values).any()
+
+    def test_shfl_down_all_inactive_keeps_values(self):
+        active = np.zeros((1, 32), dtype=bool)
+        values = np.arange(32).reshape(1, 32)
+        out = warp.shfl_down_sync(active, values, 0)
+        assert np.array_equal(out, values)
+
+    def test_warp_reduce_max_empty_rows_return_fill(self):
+        active = np.zeros((2, 32), dtype=bool)
+        active[1, 7] = True
+        values = np.arange(64, dtype=np.int64).reshape(2, 32)
+        out = warp.warp_reduce_max(active, values, -5)
+        assert out[0] == -5
+        assert out[1] == values[1, 7]
+
+    def test_zero_warp_grids_are_legal(self):
+        active = np.zeros((0, 32), dtype=bool)
+        assert warp.ballot_sync(active, active).shape == (0,)
+        assert warp.match_any_sync(active, active).shape == (0, 32)
+
+
+class TestFullDivergence:
+    def test_match_any_distinct_values_gives_singleton_masks(self):
+        # Every lane holds a unique value: each mask is the lane's own bit.
+        active = np.ones((1, 32), dtype=bool)
+        values = np.arange(32).reshape(1, 32)
+        masks = warp.match_any_sync(active, values)
+        expected = np.uint64(1) << np.arange(32, dtype=np.uint64)
+        assert np.array_equal(masks[0], expected)
+        assert np.array_equal(warp.popc(masks)[0], np.ones(32))
+
+    def test_match_any_uniform_values_gives_full_masks(self):
+        active = np.ones((1, 8), dtype=bool)
+        values = np.zeros((1, 8))
+        masks = warp.match_any_sync(active, values)
+        assert np.array_equal(masks, np.full((1, 8), 255, dtype=np.uint64))
+
+    def test_alternating_active_lanes_partition_the_ballot(self):
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, ::2] = True
+        predicate = np.ones((1, 32), dtype=bool)
+        expected = sum(1 << i for i in range(0, 32, 2))
+        assert warp.ballot_sync(active, predicate)[0] == expected
+
+
+class TestSingleLane:
+    def test_single_lane_warp_size_one(self):
+        active = np.ones((4, 1), dtype=bool)
+        values = np.arange(4).reshape(4, 1)
+        assert np.array_equal(
+            warp.ballot_sync(active, active), np.ones(4, dtype=np.uint64)
+        )
+        masks = warp.match_any_sync(active, values)
+        assert np.array_equal(masks, np.ones((4, 1), dtype=np.uint64))
+
+    def test_single_active_lane_matches_itself_only(self):
+        active = np.zeros((1, 32), dtype=bool)
+        active[0, 13] = True
+        values = np.zeros((1, 32))
+        masks = warp.match_any_sync(active, values)
+        assert masks[0, 13] == np.uint64(1) << np.uint64(13)
+        assert masks.sum() == masks[0, 13]
+
+    def test_shfl_sync_broadcasts_single_source(self):
+        active = np.ones((1, 4), dtype=bool)
+        values = np.array([[7, 8, 9, 10]])
+        out = warp.shfl_sync(active, values, 2)
+        assert np.array_equal(out, np.full((1, 4), 9))
+
+    def test_shfl_down_off_the_end_keeps_own_value(self):
+        active = np.ones((1, 4), dtype=bool)
+        values = np.array([[1, 2, 3, 4]])
+        out = warp.shfl_down_sync(active, values, 2)
+        assert np.array_equal(out, np.array([[3, 4, 3, 4]]))
+
+
+class TestShapeChecks:
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(KernelError):
+            warp.ballot_sync(np.ones(32, dtype=bool), np.ones(32, dtype=bool))
+
+    def test_oversized_warp_rejected(self):
+        active = np.ones((1, 65), dtype=bool)
+        with pytest.raises(KernelError):
+            warp.ballot_sync(active, active)

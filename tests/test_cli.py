@@ -163,3 +163,73 @@ class TestObservability:
     def test_profile_rejects_unknown_sort(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "--sort-by", "vibes"])
+
+
+class TestCheckCommand:
+    FIXTURES = "tests/analysis/fixtures"
+
+    def test_check_defaults_are_clean(self, capsys):
+        code = main(["check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_check_fixtures_exit_nonzero_with_attribution(self, capsys):
+        code = main(["check", self.FIXTURES])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "lint-non-atomic-rmw" in out
+        assert "broken_shared_counter.py" in out
+        assert "lint-missing-barrier" in out
+
+    def test_check_json_and_out(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main([
+            "check", self.FIXTURES, "--json", "--out", str(path),
+        ])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == json.loads(path.read_text())
+        assert doc["source"] == "lint"
+        assert doc["num_errors"] > 0
+
+
+class TestSanitizeFlag:
+    def test_sanitized_run_matches_plain_run(self, capsys):
+        base = main(["run", "dblp", "--iterations", "3", "--json"])
+        base_doc = json.loads(capsys.readouterr().out)
+        code = main(["run", "dblp", "--iterations", "3", "--json",
+                     "--sanitize"])
+        captured = capsys.readouterr()
+        assert base == code == 0
+        assert json.loads(captured.out) == base_doc
+        assert "0 error(s)" in captured.err
+
+    def test_sanitize_out_writes_report(self, tmp_path, capsys):
+        path = tmp_path / "san.json"
+        code = main([
+            "run", "dblp", "--iterations", "3",
+            "--sanitize", "--sanitize-out", str(path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sanitizer:" in out
+        doc = json.loads(path.read_text())
+        assert doc["source"] == "sanitizer"
+        assert doc["num_errors"] == 0
+        assert doc["checked"] > 0
+
+    def test_frontier_mode_runs_on_glp(self, capsys):
+        code = main([
+            "run", "youtube", "--iterations", "3",
+            "--frontier", "auto", "--sanitize",
+        ])
+        assert code == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_frontier_mode_rejected_off_glp(self, capsys):
+        code = main([
+            "run", "dblp", "--engine", "gsort", "--frontier", "auto",
+        ])
+        assert code == 2
+        assert "requires --engine glp" in capsys.readouterr().err
