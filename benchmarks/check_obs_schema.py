@@ -12,8 +12,9 @@ metrics registry dump carrying the iteration-time histogram with its
 percentile fields.  With the optional third argument, also checks that
 ``ADVISOR_JSON`` (the output of ``repro advise --json``) carries per-kernel
 verdicts from the known enum and cause breakdowns that sum to each
-kernel's modeled seconds.  Each ``--analysis`` argument names a sanitizer
-or lint report (``repro check --out`` / ``repro run --sanitize-out``) to
+kernel's modeled seconds.  Each ``--analysis`` argument names a sanitizer,
+lint, or chaos report (``repro check --out`` / ``repro run
+--sanitize-out`` / ``repro chaos --out``) to
 validate against the analysis-report schema; ``--analysis`` may also be
 used alone, without the trace/metrics positionals.  Exits non-zero with a
 message on the first violation — this is the CI gate for ``run
@@ -62,8 +63,11 @@ ANALYSIS_RULES = {
     "lint-divergent-warp-sync",
     "lint-sketch-bounds",
     "lint-uninitialized-read",
+    "chaos-run-failed",
+    "chaos-identity-mismatch",
+    "chaos-degraded",
 }
-ANALYSIS_SOURCES = {"sanitizer", "lint"}
+ANALYSIS_SOURCES = {"sanitizer", "lint", "chaos"}
 ANALYSIS_SCHEMA_VERSION = 1
 ANALYSIS_FINDING_KEYS = (
     "rule", "severity", "message", "kernel", "array", "space",

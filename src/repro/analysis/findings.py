@@ -37,6 +37,10 @@ RULES: Dict[str, str] = {
     "lint-divergent-warp-sync": "error",
     "lint-sketch-bounds": "error",
     "lint-uninitialized-read": "error",
+    # --- chaos sweeps (repro.resilience.chaos) -------------------------
+    "chaos-run-failed": "error",
+    "chaos-identity-mismatch": "error",
+    "chaos-degraded": "warning",
 }
 
 SEVERITIES = ("error", "warning")
@@ -111,9 +115,10 @@ class Finding:
 class AnalysisReport:
     """Aggregated findings from one sanitizer session or lint run."""
 
-    source: str  # "sanitizer" | "lint"
+    source: str  # "sanitizer" | "lint" | "chaos"
     findings: List[Finding] = field(default_factory=list)
-    #: Units inspected: kernel launches (sanitizer) or files (lint).
+    #: Units inspected: kernel launches (sanitizer), files (lint), or
+    #: fault plans (chaos).
     checked: int = 0
 
     def add(self, finding: Finding) -> None:
@@ -165,7 +170,10 @@ class AnalysisReport:
             fh.write("\n")
 
     def to_text(self) -> str:
-        unit = "kernel(s)" if self.source == "sanitizer" else "file(s)"
+        unit = {
+            "sanitizer": "kernel(s)",
+            "chaos": "plan(s)",
+        }.get(self.source, "file(s)")
         lines = [
             f"{self.source}: {self.checked} {unit} checked, "
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"

@@ -28,6 +28,17 @@ Commands
     correctness hazards (non-atomic shared writes, missing barriers,
     divergent warp syncs, sketch-sizing violations of Lemma 1/2).
     Exits non-zero when any error-severity finding survives.
+``chaos``
+    Run a seeded fault-injection sweep (see ``docs/resilience.md``):
+    replay deterministic fault plans against one workload, verify every
+    recovered run reproduces the fault-free labels bitwise, and exit
+    non-zero when any run failed or mismatched.
+
+``run`` also takes the resilience flags: ``--inject PLAN`` installs a
+deterministic fault plan (``kind@N[xR][/devD]``), ``--retries N``
+enables bounded checkpoint-based recovery, ``--checkpoint-dir`` persists
+the per-iteration checkpoint, and ``--resume PATH`` resumes a killed run
+from a checkpoint file or directory.
 
 ``run`` and ``pipeline`` accept ``--trace-out`` (Chrome ``trace_event``
 JSON for Perfetto) and ``--metrics-out`` (metrics registry dump); ``run
@@ -155,8 +166,32 @@ def _finish_sanitize(args, sanitizer) -> int:
     return 1 if report.has_hazards else 0
 
 
+#: Engines that run on the simulated device (and accept the resilience
+#: options); the rest are CPU baselines with no faults to inject.
+_DEVICE_ENGINES = ("glp", "gsort", "ghash")
+
+
+def _resilience_kwargs(args) -> dict:
+    """Engine kwargs for the ``run`` resilience flags."""
+    kwargs = {}
+    if getattr(args, "retries", None) is not None:
+        from repro.resilience import RetryPolicy
+
+        kwargs["retry_policy"] = RetryPolicy(
+            max_retries=args.retries, max_resumes=args.retries
+        )
+    if getattr(args, "checkpoint_dir", None):
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
+    if getattr(args, "resume", None):
+        kwargs["resume_from"] = args.resume
+    return kwargs
+
+
 def _cmd_run(args) -> int:
+    import contextlib
+
     from repro import analysis, obs
+    from repro.errors import DeviceFault
 
     if args.frontier != "dense" and args.engine != "glp":
         print(
@@ -165,24 +200,59 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    resilience = _resilience_kwargs(args)
+    if (resilience or args.inject) and args.engine not in _DEVICE_ENGINES:
+        print(
+            "repro run: --inject/--retries/--checkpoint-dir/--resume "
+            f"require a device engine {_DEVICE_ENGINES} "
+            f"(got {args.engine!r})",
+            file=sys.stderr,
+        )
+        return 2
+    inject_cm = contextlib.nullcontext(None)
+    if args.inject:
+        from repro.resilience import FaultPlan, inject
+
+        inject_cm = inject(FaultPlan.parse(args.inject))
     graph = _load_graph(args.graph)
     engine = _build_engine(args.engine, frontier=args.frontier)
     program = _build_program(args.algorithm, args)
     session = _obs_session(args)
     sanitizer = analysis.enable_sanitizer() if args.sanitize else None
+    injector = None
     try:
-        result = engine.run(
-            graph,
-            program,
-            max_iterations=args.iterations,
-            stop_on_convergence=not args.no_early_stop,
+        with inject_cm as injector:
+            result = engine.run(
+                graph,
+                program,
+                max_iterations=args.iterations,
+                stop_on_convergence=not args.no_early_stop,
+                **resilience,
+            )
+    except DeviceFault as fault:
+        print(
+            f"repro run: device fault not recovered: {fault}\n"
+            "repro run: enable recovery with --retries N "
+            "(and --checkpoint-dir to make the run resumable)",
+            file=sys.stderr,
         )
+        return 1
     finally:
         obs.disable()
         if sanitizer is not None:
             analysis.disable_sanitizer()
+    fired = (
+        ", ".join(
+            f"{e.kind}@{e.stream}#{e.index}" for e in injector.events
+        )
+        if injector is not None and injector.events
+        else ""
+    )
     if args.json:
         print(result.to_json(indent=2))
+        if fired:
+            print(f"faults injected: {fired} (recovered)",
+                  file=sys.stderr, flush=True)
         _write_obs_outputs(args, session)
         return _finish_sanitize(args, sanitizer)
     sizes = result.community_sizes()
@@ -201,6 +271,8 @@ def _cmd_run(args) -> int:
         print(f"global traffic : {counters.global_transactions:,} "
               f"transactions; lane utilization "
               f"{counters.lane_utilization:.1%}")
+    if fired:
+        print(f"faults injected: {fired} (recovered)")
     _write_obs_outputs(args, session)
     return _finish_sanitize(args, sanitizer)
 
@@ -227,6 +299,56 @@ def _cmd_check(args) -> int:
         if args.out:
             print(f"report written : {args.out}", flush=True)
     return 1 if report.has_hazards else 0
+
+
+def _cmd_chaos(args) -> int:
+    import json as _json
+
+    from repro.core.framework import GLPEngine
+    from repro.core.hybrid import HybridEngine
+    from repro.core.multigpu import MultiGPUEngine
+    from repro.resilience.chaos import chaos_sweep
+
+    graph = _load_graph(args.dataset)
+    factories = {
+        "glp": lambda: GLPEngine(),
+        "hybrid": lambda: HybridEngine(),
+        "multigpu": lambda: MultiGPUEngine(2),
+        "auto": None,  # run_auto: exercises the degradation ladder
+    }
+    report = chaos_sweep(
+        graph,
+        lambda: _build_program(args.algorithm, args),
+        factories[args.engine],
+        num_plans=args.plans,
+        seed=args.seed,
+        faults_per_plan=args.faults_per_plan,
+        max_iterations=args.iterations,
+    )
+    analysis = report.analysis_report()
+    if args.out:
+        analysis.write(args.out)
+    if args.json:
+        doc = report.as_dict()
+        doc["analysis"] = analysis.as_dict()
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 1 if analysis.has_hazards else 0
+    print(f"graph          : {graph.name} "
+          f"(V={graph.num_vertices:,}, E={graph.num_edges:,})")
+    print(f"reference      : {report.reference_engine} "
+          f"labels={report.reference_hash[:16]}…")
+    print(f"event streams  : " + ", ".join(
+        f"{stream}={count}"
+        for stream, count in sorted(report.stream_totals.items())
+    ))
+    for run in report.runs:
+        fired = ",".join(run.faults_fired) or "-"
+        print(f"  [{run.status:>9}] plan={run.plan:<16} fired={fired:<10} "
+              f"engine={run.engine or '-'}")
+    print(analysis.to_text())
+    if args.out:
+        print(f"report written : {args.out}", flush=True)
+    return 1 if analysis.has_hazards else 0
 
 
 def _cmd_profile(args) -> int:
@@ -483,6 +605,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize-out", metavar="PATH",
         help="write the sanitizer report JSON here",
     )
+    run.add_argument(
+        "--inject", metavar="PLAN",
+        help="deterministic fault plan 'kind@N[xR][/devD]', comma "
+        "separated (kinds: oom, transfer, kernel, ecc; N is the 1-based "
+        "device event index)",
+    )
+    run.add_argument(
+        "--retries", type=int, metavar="N",
+        help="enable checkpoint-based recovery with N retries and N "
+        "resumes (device engines only)",
+    )
+    run.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist the per-iteration run checkpoint here",
+    )
+    run.add_argument(
+        "--resume", metavar="PATH",
+        help="resume from a .ckpt file or a checkpoint directory",
+    )
     _add_obs_flags(run)
     run.add_argument(
         "--json", action="store_true",
@@ -509,6 +650,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON instead of text",
     )
     check.set_defaults(func=_cmd_check)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay seeded fault plans and verify recovery reproduces "
+        "the fault-free labels bitwise",
+    )
+    chaos.add_argument(
+        "--dataset", default="dblp",
+        help="Table 2 dataset name or edge-list file path",
+    )
+    chaos.add_argument(
+        "--engine", choices=["glp", "hybrid", "multigpu", "auto"],
+        default="glp",
+        help="engine under test; 'auto' drives run_auto and exercises "
+        "the GPU->hybrid->CPU degradation ladder",
+    )
+    chaos.add_argument("--algorithm", choices=ALGORITHMS, default="classic")
+    chaos.add_argument("--plans", type=int, default=5, metavar="N",
+                       help="number of seeded random fault plans")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--faults-per-plan", type=int, default=1, metavar="N")
+    chaos.add_argument("--iterations", type=int, default=10)
+    chaos.add_argument("--gamma", type=float, default=1.0,
+                       help="LLP density parameter")
+    chaos.add_argument(
+        "--out", metavar="PATH",
+        help="write the chaos analysis report JSON here",
+    )
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full sweep as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     datasets = sub.add_parser("datasets", help="list the dataset registry")
     datasets.set_defaults(func=_cmd_datasets)

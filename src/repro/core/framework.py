@@ -29,7 +29,7 @@ dense — label trajectories are bitwise identical across all three modes.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from repro import obs
 from repro.core.api import LPProgram, validate_program
 from repro.core.instrument import observe_iteration, observe_run
 from repro.core.results import IterationStats, LPResult
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, DeviceFault
 from repro.graph.csr import CSRGraph
 from repro.gpusim.config import TITAN_V, DeviceSpec
 from repro.gpusim.device import Device
@@ -98,10 +98,33 @@ class GLPEngine:
         max_iterations: int = 20,
         record_history: bool = False,
         stop_on_convergence: bool = True,
+        retry_policy: "Optional[object]" = None,
+        checkpoint_dir: Optional[str] = None,
+        resume_from: Union[object, str, None] = None,
     ) -> LPResult:
-        """Execute ``program`` on ``graph`` for up to ``max_iterations``."""
+        """Execute ``program`` on ``graph`` for up to ``max_iterations``.
+
+        Resilience (all off by default — the fault-free path is bitwise
+        identical to an engine without the recovery layer):
+
+        ``retry_policy``
+            A :class:`~repro.resilience.RetryPolicy`; device faults are
+            recovered by restoring the BSP-boundary checkpoint and
+            re-running (bounded retries for transient faults, bounded
+            resumes for fatal ones).  OOM always propagates — stepping
+            down engines is ``run_auto``'s job.
+        ``checkpoint_dir``
+            Persist the per-iteration :class:`~repro.resilience.
+            RunCheckpoint` here so a killed run can be resumed.
+        ``resume_from``
+            A ``RunCheckpoint``, a checkpoint file, or a directory to
+            resume from; the resumed run's final labels are bitwise
+            identical to an uninterrupted run's.
+        """
         if max_iterations <= 0:
             raise ConvergenceError("max_iterations must be positive")
+        from repro.resilience.recovery import RecoveryContext
+
         device = self.device
         device.reset_timing()
 
@@ -109,6 +132,77 @@ class GLPEngine:
         program.init_state(graph, labels)
         validate_program(program, graph, labels)
 
+        recovery = RecoveryContext.for_run(
+            self.name,
+            retry_policy=retry_policy,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+        )
+        state: Dict[str, object] = {
+            "labels": labels,
+            "frontier_vertices": None,
+            "iteration": 1,
+        }
+        iterations: list = []
+        history: Optional[list] = [] if record_history else None
+        if recovery is not None:
+            ckpt = recovery.resume_checkpoint(graph=graph, program=program)
+            if ckpt is not None:
+                self._restore(state, program, ckpt)
+            else:
+                # Cover faults during residency setup: the pre-run state
+                # is itself a consistent BSP boundary.
+                recovery.checkpoint(
+                    graph=graph,
+                    program=program,
+                    iteration=1,
+                    labels=labels,
+                    engine_state={"frontier_vertices": None},
+                )
+        while True:
+            try:
+                return self._attempt(
+                    graph,
+                    program,
+                    state,
+                    iterations,
+                    history,
+                    recovery,
+                    max_iterations=max_iterations,
+                    stop_on_convergence=stop_on_convergence,
+                )
+            except DeviceFault as fault:
+                if recovery is None:
+                    raise
+                ckpt = recovery.on_fault(fault)
+                with recovery.recovery_span(fault, int(state["iteration"])):
+                    self._restore(state, program, ckpt)
+
+    @staticmethod
+    def _restore(state: Dict[str, object], program: LPProgram, ckpt) -> None:
+        """Reset the mutable run state to a checkpoint."""
+        ckpt.restore_program(program)
+        state["labels"] = ckpt.restored_labels()
+        state["frontier_vertices"] = ckpt.restored_engine_state().get(
+            "frontier_vertices"
+        )
+        state["iteration"] = ckpt.iteration
+
+    def _attempt(
+        self,
+        graph: CSRGraph,
+        program: LPProgram,
+        state: Dict[str, object],
+        iterations: list,
+        history: Optional[list],
+        recovery,
+        *,
+        max_iterations: int,
+        stop_on_convergence: bool,
+    ) -> LPResult:
+        """One execution attempt from the current run state to the end."""
+        device = self.device
+        labels = state["labels"]
         track_frontier = self.frontier.enabled and program.frontier_safe
         reversed_graph = graph.reversed() if track_frontier else None
 
@@ -130,15 +224,31 @@ class GLPEngine:
         # Degrees are static, so the dense pass's degree bins are memoized
         # across iterations (frontier passes bin their subset per round).
         full_bins = None
-        frontier_vertices: Optional[np.ndarray] = None
+        frontier_vertices: Optional[np.ndarray] = state["frontier_vertices"]
 
-        iterations = []
-        history = [] if record_history else None
+        start_iteration = int(state["iteration"])
+        # A fault can fire after an iteration's history append but before
+        # its stats append (frontier advance launches kernels); drop any
+        # records at or past the restore point so re-runs never duplicate.
+        del iterations[start_iteration - 1 :]
+        if history is not None:
+            del history[start_iteration - 1 :]
         converged = False
         active_tracer = obs.tracer()
         run_started = time.perf_counter() if active_tracer else 0.0
         try:
-            for iteration in range(1, max_iterations + 1):
+            for iteration in range(start_iteration, max_iterations + 1):
+                state["iteration"] = iteration
+                if recovery is not None:
+                    recovery.checkpoint(
+                        graph=graph,
+                        program=program,
+                        iteration=iteration,
+                        labels=labels,
+                        engine_state={
+                            "frontier_vertices": frontier_vertices,
+                        },
+                    )
                 iter_started = (
                     time.perf_counter() if active_tracer else 0.0
                 )

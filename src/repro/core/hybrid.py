@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -37,7 +37,11 @@ from repro.baselines.cpumodel import CPUSpec, XEON_W2133
 from repro.core.api import LPProgram, validate_program
 from repro.core.instrument import observe_iteration, observe_run
 from repro.core.results import IterationStats, LPResult
-from repro.errors import ConvergenceError, OutOfDeviceMemoryError
+from repro.errors import (
+    ConvergenceError,
+    DeviceFault,
+    OutOfDeviceMemoryError,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import VertexPartition, partition_by_edge_count
 from repro.gpusim.config import TITAN_V, DeviceSpec
@@ -57,7 +61,13 @@ from repro.types import LABEL_DTYPE, WEIGHT_DTYPE
 
 @dataclass(frozen=True)
 class HybridStats:
-    """Aggregate hybrid-mode measurements over a run."""
+    """Aggregate hybrid-mode measurements over a run.
+
+    ``elapsed_seconds`` is the modeled wall clock: per iteration the GPU
+    kernels and the CPU share run *concurrently*, so the iteration costs
+    ``max(kernel, cpu) + transfer`` — summing the three shares would count
+    overlapped work twice.
+    """
 
     num_chunks: int
     num_resident_chunks: int
@@ -66,18 +76,20 @@ class HybridStats:
     visible_transfer_seconds: float
     kernel_seconds: float
     cpu_seconds: float
+    elapsed_seconds: float = 0.0
 
     @property
     def transfer_fraction(self) -> float:
-        """Visible transfer share of elapsed time (paper: < 10 %)."""
-        total = (
-            self.visible_transfer_seconds
-            + self.kernel_seconds
-            + self.cpu_seconds
-        )
-        if total <= 0:
+        """Visible transfer share of elapsed time (paper: < 10 %).
+
+        The denominator is the modeled elapsed time (``max(kernel, cpu)
+        + transfer`` per iteration), not ``kernel + cpu + transfer`` —
+        the GPU and CPU shares overlap, so the serial sum overstates the
+        run time and understated this fraction.
+        """
+        if self.elapsed_seconds <= 0:
             return 0.0
-        return self.visible_transfer_seconds / total
+        return self.visible_transfer_seconds / self.elapsed_seconds
 
 
 class HybridEngine:
@@ -174,10 +186,22 @@ class HybridEngine:
         max_iterations: int = 20,
         record_history: bool = False,
         stop_on_convergence: bool = True,
+        retry_policy: "Optional[object]" = None,
+        checkpoint_dir: Optional[str] = None,
+        resume_from: Union[object, str, None] = None,
     ) -> LPResult:
-        """Execute ``program`` on a graph larger than device memory."""
+        """Execute ``program`` on a graph larger than device memory.
+
+        The resilience options mirror :meth:`GLPEngine.run`: checkpoints
+        are captured at the top of every BSP iteration (labels + program
+        state + last round's changed set), device faults are recovered by
+        restoring the checkpoint under the ``retry_policy``'s budget, and
+        ``resume_from`` restarts a killed run bitwise identically.
+        """
         if max_iterations <= 0:
             raise ConvergenceError("max_iterations must be positive")
+        from repro.resilience.recovery import RecoveryContext
+
         device = self.device
         device.reset_timing()
 
@@ -185,6 +209,75 @@ class HybridEngine:
         program.init_state(graph, labels)
         validate_program(program, graph, labels)
 
+        recovery = RecoveryContext.for_run(
+            self.name,
+            retry_policy=retry_policy,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+        )
+        state: Dict[str, object] = {
+            "labels": labels,
+            "prev_changed": None,
+            "iteration": 1,
+        }
+        iterations: List[IterationStats] = []
+        history: Optional[list] = [] if record_history else None
+        if recovery is not None:
+            ckpt = recovery.resume_checkpoint(graph=graph, program=program)
+            if ckpt is not None:
+                self._restore(state, program, ckpt)
+            else:
+                recovery.checkpoint(
+                    graph=graph,
+                    program=program,
+                    iteration=1,
+                    labels=labels,
+                    engine_state={"prev_changed": None},
+                )
+        while True:
+            try:
+                return self._attempt(
+                    graph,
+                    program,
+                    state,
+                    iterations,
+                    history,
+                    recovery,
+                    max_iterations=max_iterations,
+                    stop_on_convergence=stop_on_convergence,
+                )
+            except DeviceFault as fault:
+                if recovery is None:
+                    raise
+                ckpt = recovery.on_fault(fault)
+                with recovery.recovery_span(fault, int(state["iteration"])):
+                    self._restore(state, program, ckpt)
+
+    @staticmethod
+    def _restore(state: Dict[str, object], program: LPProgram, ckpt) -> None:
+        """Reset the mutable run state to a checkpoint."""
+        ckpt.restore_program(program)
+        state["labels"] = ckpt.restored_labels()
+        state["prev_changed"] = ckpt.restored_engine_state().get(
+            "prev_changed"
+        )
+        state["iteration"] = ckpt.iteration
+
+    def _attempt(
+        self,
+        graph: CSRGraph,
+        program: LPProgram,
+        state: Dict[str, object],
+        iterations: List[IterationStats],
+        history: Optional[list],
+        recovery,
+        *,
+        max_iterations: int,
+        stop_on_convergence: bool,
+    ) -> LPResult:
+        """One execution attempt from the current run state to the end."""
+        device = self.device
+        labels = state["labels"]
         chunks, resident, overflow = self._plan(graph)
         resident_edges = sum(c.num_edges for c in resident)
         overflow_start = overflow[0].start if overflow else graph.num_vertices
@@ -224,16 +317,26 @@ class HybridEngine:
                         graph.weights[chunk.edge_start : chunk.edge_stop]
                     )
                 )
-        iterations: List[IterationStats] = []
-        history = [] if record_history else None
         converged = False
-        total_cpu_seconds = 0.0
-        prev_changed: Optional[np.ndarray] = None
+        prev_changed: Optional[np.ndarray] = state["prev_changed"]
+        start_iteration = int(state["iteration"])
+        del iterations[start_iteration - 1 :]
+        if history is not None:
+            del history[start_iteration - 1 :]
 
         active_tracer = obs.tracer()
         run_started = time.perf_counter() if active_tracer else 0.0
         try:
-            for iteration in range(1, max_iterations + 1):
+            for iteration in range(start_iteration, max_iterations + 1):
+                state["iteration"] = iteration
+                if recovery is not None:
+                    recovery.checkpoint(
+                        graph=graph,
+                        program=program,
+                        iteration=iteration,
+                        labels=labels,
+                        engine_state={"prev_changed": prev_changed},
+                    )
                 iter_started = (
                     time.perf_counter() if active_tracer else 0.0
                 )
@@ -335,7 +438,6 @@ class HybridEngine:
                         )
                         processed_vertices += int(active.size)
                         processed_edges += int(batch.num_edges)
-                total_cpu_seconds += cpu_seconds
 
                 all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
                 new_labels = program.update_vertices(
@@ -368,7 +470,10 @@ class HybridEngine:
                     changed_vertices=changed,
                     counters=device.counters.delta_since(counters_before),
                     kernel_stats={
-                        "pass_mode": "sparse" if sparse else "dense"
+                        "pass_mode": "sparse" if sparse else "dense",
+                        # Kept per-iteration (not a running total) so a
+                        # fault-retried iteration never double-counts.
+                        "cpu_seconds": cpu_seconds,
                     },
                     frontier_size=processed_vertices,
                     processed_edges=processed_edges,
@@ -420,7 +525,11 @@ class HybridEngine:
             kernel_seconds=sum(
                 stats.kernel_seconds for stats in iterations
             ),
-            cpu_seconds=total_cpu_seconds,
+            cpu_seconds=sum(
+                stats.kernel_stats.get("cpu_seconds", 0.0)
+                for stats in iterations
+            ),
+            elapsed_seconds=sum(stats.seconds for stats in iterations),
         )
         m = obs.metrics()
         if m is not None:
@@ -490,25 +599,94 @@ class HybridEngine:
         return frontier_candidates[lo:hi]
 
 
+def device_footprint(
+    graph: CSRGraph,
+    program: Optional[LPProgram] = None,
+    *,
+    frontier: "FrontierConfig | str" = "dense",
+) -> int:
+    """Bytes :class:`GLPEngine` actually makes device-resident for ``graph``.
+
+    Mirrors the engine's residency list: the CSR arrays plus *both*
+    double-buffered label arrays, and — when frontier execution applies
+    (mode enabled and the program ``frontier_safe``) — the reversed CSR
+    and the one-byte-per-vertex frontier bitmap.
+    """
+    mode = resolve_frontier(frontier)
+    needed = graph.nbytes + 2 * graph.num_vertices * ELEM_BYTES
+    if mode.enabled and (program is None or program.frontier_safe):
+        # The reversed CSR has the same offsets/indices volume as the
+        # forward CSR (weights are not uploaded for it).
+        needed += graph.offsets.nbytes + graph.indices.nbytes
+        needed += graph.num_vertices  # uint8 frontier bitmap
+    return needed
+
+
+def _record_degradation(source: str, target: str, fault: Exception) -> None:
+    m = obs.metrics()
+    if m is not None:
+        m.inc(
+            "resilience_degradations_total",
+            source=source,
+            target=target,
+            kind=getattr(fault, "kind", "oom"),
+        )
+
+
+#: run kwargs understood by the CPU engines (the resilience options and
+#: anything device-specific are GPU-engine-only and must not be forwarded).
+_CPU_RUN_KWARGS = ("max_iterations", "record_history", "stop_on_convergence")
+
+
 def run_auto(
     graph: CSRGraph,
     program: LPProgram,
     *,
     spec: DeviceSpec = TITAN_V,
     config: StrategyConfig = GLP_DEFAULT,
+    frontier: "FrontierConfig | str" = "dense",
+    degrade: bool = True,
     **run_kwargs,
 ):
-    """Pick GLPEngine or HybridEngine based on the graph's device footprint.
+    """Pick an engine by device footprint, degrading on device failure.
+
+    The ladder is GPU -> hybrid -> CPU: the all-resident
+    :class:`~repro.core.framework.GLPEngine` is chosen when the graph's
+    *actual* residency (see :func:`device_footprint`) fits, the
+    :class:`HybridEngine` when it does not, and on device OOM or an
+    unrecovered :class:`~repro.errors.DeviceFault` the run steps down to
+    the next rung (ultimately ``baselines.cpu_serial.SerialEngine``,
+    which needs no device at all).  Set ``degrade=False`` to restore the
+    raise-on-failure behavior.
 
     Returns ``(result, engine)`` — the engine exposes mode-specific stats
     (e.g. ``HybridEngine.last_stats``).
     """
+    from repro.baselines.cpu_serial import SerialEngine
     from repro.core.framework import GLPEngine
 
-    label_bytes = graph.num_vertices * ELEM_BYTES * 2
-    needed = graph.nbytes + label_bytes
+    needed = device_footprint(graph, program, frontier=frontier)
     if needed <= spec.global_mem_bytes * 0.9:
-        engine = GLPEngine(spec=spec, config=config)
-    else:
-        engine = HybridEngine(spec=spec, config=config)
-    return engine.run(graph, program, **run_kwargs), engine
+        engine = GLPEngine(spec=spec, config=config, frontier=frontier)
+        try:
+            return engine.run(graph, program, **run_kwargs), engine
+        except (OutOfDeviceMemoryError, DeviceFault) as fault:
+            if not degrade:
+                raise
+            _record_degradation(engine.name, HybridEngine.name, fault)
+
+    engine = HybridEngine(spec=spec, config=config, frontier=frontier)
+    try:
+        return engine.run(graph, program, **run_kwargs), engine
+    except (OutOfDeviceMemoryError, DeviceFault) as fault:
+        if not degrade:
+            raise
+        _record_degradation(engine.name, SerialEngine.name, fault)
+
+    engine = SerialEngine()
+    cpu_kwargs = {
+        key: value
+        for key, value in run_kwargs.items()
+        if key in _CPU_RUN_KWARGS
+    }
+    return engine.run(graph, program, **cpu_kwargs), engine

@@ -20,7 +20,7 @@ the pass shape), using the total frontier fraction.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro import obs
 from repro.core.api import LPProgram, validate_program
 from repro.core.instrument import observe_iteration, observe_run
 from repro.core.results import IterationStats, LPResult
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, DeviceFault
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import balanced_edge_partition
 from repro.gpusim.config import TITAN_V, DeviceSpec
@@ -80,9 +80,20 @@ class MultiGPUEngine:
         max_iterations: int = 20,
         record_history: bool = False,
         stop_on_convergence: bool = True,
+        retry_policy: "Optional[object]" = None,
+        checkpoint_dir: Optional[str] = None,
+        resume_from: Union[object, str, None] = None,
     ) -> LPResult:
+        """Run ``program``; resilience options mirror :meth:`GLPEngine.run`.
+
+        Checkpoints additionally carry the per-partition frontier lists,
+        so a resumed sparse round re-executes on every device exactly as
+        the uninterrupted run would have.
+        """
         if max_iterations <= 0:
             raise ConvergenceError("max_iterations must be positive")
+        from repro.resilience.recovery import RecoveryContext
+
         for device in self.devices:
             device.reset_timing()
 
@@ -90,6 +101,74 @@ class MultiGPUEngine:
         program.init_state(graph, labels)
         validate_program(program, graph, labels)
 
+        recovery = RecoveryContext.for_run(
+            self.name,
+            retry_policy=retry_policy,
+            checkpoint_dir=checkpoint_dir,
+            resume_from=resume_from,
+        )
+        state: Dict[str, object] = {
+            "labels": labels,
+            "part_frontiers": None,
+            "iteration": 1,
+        }
+        iterations: List[IterationStats] = []
+        history: Optional[list] = [] if record_history else None
+        if recovery is not None:
+            ckpt = recovery.resume_checkpoint(graph=graph, program=program)
+            if ckpt is not None:
+                self._restore(state, program, ckpt)
+            else:
+                recovery.checkpoint(
+                    graph=graph,
+                    program=program,
+                    iteration=1,
+                    labels=labels,
+                    engine_state={"part_frontiers": None},
+                )
+        while True:
+            try:
+                return self._attempt(
+                    graph,
+                    program,
+                    state,
+                    iterations,
+                    history,
+                    recovery,
+                    max_iterations=max_iterations,
+                    stop_on_convergence=stop_on_convergence,
+                )
+            except DeviceFault as fault:
+                if recovery is None:
+                    raise
+                ckpt = recovery.on_fault(fault)
+                with recovery.recovery_span(fault, int(state["iteration"])):
+                    self._restore(state, program, ckpt)
+
+    @staticmethod
+    def _restore(state: Dict[str, object], program: LPProgram, ckpt) -> None:
+        """Reset the mutable run state to a checkpoint."""
+        ckpt.restore_program(program)
+        state["labels"] = ckpt.restored_labels()
+        state["part_frontiers"] = ckpt.restored_engine_state().get(
+            "part_frontiers"
+        )
+        state["iteration"] = ckpt.iteration
+
+    def _attempt(
+        self,
+        graph: CSRGraph,
+        program: LPProgram,
+        state: Dict[str, object],
+        iterations: List[IterationStats],
+        history: Optional[list],
+        recovery,
+        *,
+        max_iterations: int,
+        stop_on_convergence: bool,
+    ) -> LPResult:
+        """One execution attempt from the current run state to the end."""
+        labels = state["labels"]
         parts = balanced_edge_partition(graph, self.num_gpus)
         track_frontier = self.frontier.enabled and program.frontier_safe
         reversed_graph = graph.reversed() if track_frontier else None
@@ -111,15 +190,26 @@ class MultiGPUEngine:
             for vertices in part_vertices
         ]
         # Per-partition active frontier; None means "dense round".
-        part_frontiers: Optional[List[np.ndarray]] = None
+        part_frontiers: Optional[List[np.ndarray]] = state["part_frontiers"]
 
-        iterations: List[IterationStats] = []
-        history = [] if record_history else None
+        start_iteration = int(state["iteration"])
+        del iterations[start_iteration - 1 :]
+        if history is not None:
+            del history[start_iteration - 1 :]
         converged = False
         active_tracer = obs.tracer()
         run_started = time.perf_counter() if active_tracer else 0.0
 
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(start_iteration, max_iterations + 1):
+            state["iteration"] = iteration
+            if recovery is not None:
+                recovery.checkpoint(
+                    graph=graph,
+                    program=program,
+                    iteration=iteration,
+                    labels=labels,
+                    engine_state={"part_frontiers": part_frontiers},
+                )
             iter_started = time.perf_counter() if active_tracer else 0.0
             picked = program.pick_labels(graph, labels, iteration)
             best_labels = picked.astype(LABEL_DTYPE, copy=True)

@@ -29,6 +29,61 @@ class OutOfDeviceMemoryError(DeviceError):
     """An allocation exceeded the simulated device memory capacity."""
 
 
+class DeviceFault(DeviceError):
+    """A runtime device fault (injected or detected mid-run).
+
+    ``transient`` faults (PCIe transfer glitches, aborted kernel launches)
+    are expected to succeed on re-execution, so engines retry the current
+    BSP iteration under their :class:`~repro.resilience.RetryPolicy`.
+    Non-transient faults corrupt device-resident state (the injected "ECC"
+    label corruption), so recovery must restore the last
+    :class:`~repro.resilience.RunCheckpoint` instead of merely retrying.
+    """
+
+    #: Whether plain re-execution (no state restore) can succeed.
+    transient = False
+    #: Short fault-kind tag used by fault plans, metrics and reports.
+    kind = "fault"
+
+
+class TransferFault(DeviceFault):
+    """A PCIe transfer (H2D/D2H) failed; the copy can be re-issued."""
+
+    transient = True
+    kind = "transfer"
+
+
+class KernelAbortFault(DeviceFault):
+    """A kernel launch aborted; the launch can be re-issued."""
+
+    transient = True
+    kind = "kernel"
+
+
+class EccCorruptionFault(DeviceFault):
+    """Detected uncorrectable "ECC" corruption of device-resident labels.
+
+    Device state is suspect: recovery must restore host-side state from
+    the last checkpoint rather than retry in place.
+    """
+
+    transient = False
+    kind = "ecc"
+
+
+class InjectedOOMFault(OutOfDeviceMemoryError, DeviceFault):
+    """An injected device OOM (fault plans: ``oom`` on the nth alloc).
+
+    Derives from :class:`OutOfDeviceMemoryError` so the graceful-
+    degradation ladder (``run_auto``, ``SlidingWindowDetector``) treats it
+    exactly like a genuine capacity failure: step down GPU -> hybrid ->
+    CPU instead of retrying on the same device.
+    """
+
+    transient = False
+    kind = "oom"
+
+
 class KernelError(DeviceError):
     """A kernel was launched with inconsistent configuration or inputs."""
 
@@ -55,3 +110,11 @@ class BenchmarkError(GLPError):
 
 class ObservabilityError(GLPError):
     """Misuse of the tracing / metrics / profiling layer."""
+
+
+class ResilienceError(GLPError):
+    """Invalid fault plan, retry policy or recovery configuration."""
+
+
+class CheckpointError(ResilienceError):
+    """A run checkpoint is missing, malformed or does not match the run."""

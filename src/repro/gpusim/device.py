@@ -129,6 +129,9 @@ class Device:
         return self._register(data)
 
     def _register(self, data: np.ndarray) -> DeviceArray:
+        injector = hooks.faults()
+        if injector is not None:
+            injector.on_alloc(self.index, data.nbytes)
         if data.nbytes > self.free_bytes:
             raise OutOfDeviceMemoryError(
                 f"allocation of {data.nbytes} B exceeds free device memory "
@@ -159,6 +162,9 @@ class Device:
     # ------------------------------------------------------------------
     def h2d(self, host_array: np.ndarray) -> DeviceArray:
         """Copy a host array onto the device (PCIe-timed)."""
+        injector = hooks.faults()
+        if injector is not None:
+            injector.on_transfer(self.index, host_array.nbytes, "h2d")
         host_array = np.ascontiguousarray(host_array)
         handle = self._register(host_array.copy())
         seconds = transfer_time(host_array.nbytes, self.spec)
@@ -172,6 +178,9 @@ class Device:
     def d2h(self, handle: DeviceArray) -> np.ndarray:
         """Copy a device array back to the host (PCIe-timed)."""
         handle._check_alive()
+        injector = hooks.faults()
+        if injector is not None:
+            injector.on_transfer(self.index, handle.nbytes, "d2h")
         seconds = transfer_time(handle.nbytes, self.spec)
         self._record_memcpy("[memcpy DtoH]", handle.nbytes, seconds)
         self.counters.d2h_bytes += handle.nbytes
@@ -200,6 +209,9 @@ class Device:
         bytes cross PCIe (and are timed) but never live in the allocation
         table.
         """
+        injector = hooks.faults()
+        if injector is not None:
+            injector.on_transfer(self.index, nbytes, "h2d")
         seconds = transfer_time(nbytes, self.spec)
         self._record_memcpy("[memcpy HtoD]", nbytes, seconds)
         self.counters.h2d_bytes += nbytes
@@ -209,6 +221,9 @@ class Device:
 
     def stream_to_host(self, nbytes: int) -> None:
         """Account a D2H stream that reads no allocation (label deltas)."""
+        injector = hooks.faults()
+        if injector is not None:
+            injector.on_transfer(self.index, nbytes, "d2h")
         seconds = transfer_time(nbytes, self.spec)
         self._record_memcpy("[memcpy DtoH]", nbytes, seconds)
         self.counters.d2h_bytes += nbytes
@@ -288,6 +303,9 @@ class Device:
         self, name: str, *, sanitize: Optional[bool] = None
     ) -> Iterator[PerfCounters]:
         """Run a kernel body; time it from the counter delta on exit."""
+        injector = hooks.faults()
+        if injector is not None:
+            injector.on_launch(self.index, name)
         snapshot = self.counters.copy()
         self.counters.kernel_launches += 1
         san = self._resolve_sanitizer(sanitize)

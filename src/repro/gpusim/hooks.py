@@ -18,9 +18,18 @@ Two attachment scopes:
   (:func:`set_session` / :func:`session`), which is how
   ``repro run --sanitize`` covers engines that build their own devices.
 
+The same registry carries the **fault-injection** slot used by
+:mod:`repro.resilience`: when a :class:`~repro.resilience.FaultInjector`
+is installed (:func:`set_faults` / :func:`faults`),
+``Device.alloc``/``h2d``/``d2h``/``launch`` forward their events to it and
+it may raise typed :class:`~repro.errors.DeviceFault`\\ s at the planned
+event indices.  With no injector installed every forward is one module
+read plus a ``None`` check — zero perturbation, same contract as the
+sanitizer and :mod:`repro.obs`.
+
 This module deliberately imports nothing: the simulator must stay loadable
-without :mod:`repro.analysis`, and the analysis package plugs in through
-these two slots only.
+without :mod:`repro.analysis` or :mod:`repro.resilience`, and those
+packages plug in through these slots only.
 """
 
 from __future__ import annotations
@@ -52,3 +61,18 @@ def set_session(sanitizer) -> None:
     """Install (or clear, with ``None``) the session-scope sanitizer."""
     global _SESSION
     _SESSION = sanitizer
+
+
+#: Ambient fault injector device events are forwarded to (or ``None``).
+_FAULTS = None
+
+
+def faults():
+    """The installed fault injector, if any."""
+    return _FAULTS
+
+
+def set_faults(injector) -> None:
+    """Install (or clear, with ``None``) the ambient fault injector."""
+    global _FAULTS
+    _FAULTS = injector

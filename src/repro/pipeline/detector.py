@@ -88,11 +88,22 @@ class ClusterDetector:
         self.max_cluster_size = max_cluster_size
 
     def detect(
-        self, window: WindowGraph, seeds: Dict[int, int]
+        self,
+        window: WindowGraph,
+        seeds: Dict[int, int],
+        *,
+        engine=None,
     ) -> DetectionResult:
-        """Run seeded LP on ``window`` and extract suspicious clusters."""
+        """Run seeded LP on ``window`` and extract suspicious clusters.
+
+        ``engine`` overrides the configured engine for this call only —
+        the hook :class:`~repro.pipeline.incremental.SlidingWindowDetector`
+        uses to step down its degradation ladder without rebuilding the
+        detector.
+        """
         if not seeds:
             raise PipelineError("seed store contributed no seeds to window")
+        run_engine = engine if engine is not None else self.engine
         started = time.perf_counter()
         program = SeededFraudLP(seeds, max_hops=self.max_hops)
         with obs.span(
@@ -101,7 +112,7 @@ class ClusterDetector:
             window=window.graph.name,
             seeds=len(seeds),
         ):
-            lp_result = self.engine.run(
+            lp_result = run_engine.run(
                 window.graph, program, max_iterations=self.max_iterations
             )
         labels = lp_result.labels

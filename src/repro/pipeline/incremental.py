@@ -94,6 +94,20 @@ class IncrementalWindowBuilder:
         self.retire_day(oldest)
         self.add_day(newest + 1)
 
+    def snapshot(self) -> dict:
+        """Copy the window state so a failed slide can be rolled back."""
+        return {
+            "pair_keys": self._pair_keys.copy(),
+            "pair_counts": self._pair_counts.copy(),
+            "days": set(self._days),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset the window to a :meth:`snapshot`."""
+        self._pair_keys = snapshot["pair_keys"].copy()
+        self._pair_counts = snapshot["pair_counts"].copy()
+        self._days = set(snapshot["days"])
+
     def _apply(self, day: int, sign: float) -> None:
         """Fold one day's transactions in (+1) or out (-1), vectorized.
 
@@ -192,14 +206,15 @@ def warm_start_seeds(
         int(v): int(l)
         for v, l in zip(current_vertices[present], labels[present])
     }
-    if carry_products:
+    # Guard before indexing: ``&`` does not short-circuit, so folding the
+    # emptiness test into the ``found`` mask still evaluates
+    # ``current.products[positions]`` and raises on an empty window side.
+    if carry_products and current.products.size > 0:
         prev_products = labeled[labeled >= previous.num_users]
         product_ids = previous.products[prev_products - previous.num_users]
         positions = np.searchsorted(current.products, product_ids)
-        positions = np.clip(positions, 0, max(0, current.products.size - 1))
-        found = (current.products.size > 0) & (
-            current.products[positions] == product_ids
-        )
+        positions = np.clip(positions, 0, current.products.size - 1)
+        found = current.products[positions] == product_ids
         product_labels = previous_labels[prev_products]
         for position, label in zip(
             positions[found], product_labels[found]
@@ -228,6 +243,12 @@ class SlidingWindowDetector:
         The LP detection stage (wraps the engine of your choice).
     seed_store:
         Black-list store; defaults to the stream's planted black-list.
+    degrade:
+        Step the detection down the engine ladder (hybrid, then the CPU
+        serial baseline) instead of raising when the configured engine
+        hits device OOM or an unrecovered fault.  The window state and
+        warm-start labels survive a crashed slide either way — a failed
+        ``slide()`` rolls both back so the same slide can be replayed.
     """
 
     def __init__(
@@ -236,6 +257,7 @@ class SlidingWindowDetector:
         detector: ClusterDetector,
         *,
         seed_store: Optional[SeedStore] = None,
+        degrade: bool = True,
     ) -> None:
         self.stream = stream
         self.detector = detector
@@ -243,6 +265,7 @@ class SlidingWindowDetector:
             seed_store if seed_store is not None else SeedStore(stream.blacklist())
         )
         self.builder = IncrementalWindowBuilder(stream)
+        self.degrade = degrade
         self._previous: Optional[Tuple[WindowGraph, np.ndarray]] = None
 
     # ------------------------------------------------------------------
@@ -257,11 +280,26 @@ class SlidingWindowDetector:
         return self._detect()
 
     def slide(self) -> Tuple[WindowGraph, DetectionResult]:
-        """Advance one day and run a warm-started detection."""
+        """Advance one day and run a warm-started detection.
+
+        On failure the builder state and the warm-start labels are rolled
+        back to the pre-slide snapshot, so calling ``slide()`` again
+        replays the same day instead of silently skipping it.
+        """
         if self._previous is None:
             raise PipelineError("call start() before slide()")
+        snapshot = self.builder.snapshot()
+        previous = self._previous
         self.builder.slide()
-        return self._detect()
+        try:
+            return self._detect()
+        except Exception:
+            self.builder.restore(snapshot)
+            self._previous = previous
+            m = obs.metrics()
+            if m is not None:
+                m.inc("pipeline_slide_replays_total")
+            raise
 
     # ------------------------------------------------------------------
     def _detect(self) -> Tuple[WindowGraph, DetectionResult]:
@@ -299,7 +337,7 @@ class SlidingWindowDetector:
                 "pipeline_warm_start_hit_rate",
                 carried / len(seeds) if seeds else 0.0,
             )
-        result = self.detector.detect(window, seeds)
+        result = self._run_detection(window, seeds)
         self._previous = (window, result.lp_result.labels)
         if m is not None:
             m.observe(
@@ -311,3 +349,55 @@ class SlidingWindowDetector:
                 result.lp_result.total_seconds,
             )
         return window, result
+
+    # ------------------------------------------------------------------
+    def _run_detection(
+        self, window: WindowGraph, seeds: Dict[int, int]
+    ) -> DetectionResult:
+        """Detect, stepping down the engine ladder on device failure."""
+        from repro.core.hybrid import _record_degradation
+        from repro.errors import DeviceFault, OutOfDeviceMemoryError
+
+        try:
+            return self.detector.detect(window, seeds)
+        except (OutOfDeviceMemoryError, DeviceFault) as fault:
+            if not self.degrade:
+                raise
+            source = getattr(self.detector.engine, "name", "engine")
+            for fallback in self._fallback_engines():
+                _record_degradation(source, fallback.name, fault)
+                with obs.span(
+                    "detector-degrade",
+                    cat="resilience",
+                    source=source,
+                    target=fallback.name,
+                    kind=getattr(fault, "kind", "oom"),
+                ):
+                    try:
+                        return self.detector.detect(
+                            window, seeds, engine=fallback
+                        )
+                    except (OutOfDeviceMemoryError, DeviceFault) as next_fault:
+                        fault = next_fault
+                        source = fallback.name
+            raise fault
+
+    def _fallback_engines(self) -> list:
+        """The remaining ladder rungs below the configured engine.
+
+        Hybrid handles graphs the all-resident engine cannot; the serial
+        CPU baseline needs no device at all, so the ladder always ends on
+        an engine injected faults cannot reach.
+        """
+        from repro.baselines.cpu_serial import SerialEngine
+        from repro.core.hybrid import HybridEngine
+
+        primary = self.detector.engine
+        fallbacks: list = []
+        if not isinstance(primary, HybridEngine):
+            spec = getattr(getattr(primary, "device", None), "spec", None)
+            fallbacks.append(
+                HybridEngine(spec=spec) if spec is not None else HybridEngine()
+            )
+        fallbacks.append(SerialEngine())
+        return fallbacks

@@ -1,0 +1,57 @@
+"""Fault injection, checkpoint/resume, and chaos sweeps.
+
+The resilience layer has three parts:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault plans
+  injected through the import-free :mod:`repro.gpusim.hooks` registry
+  (zero perturbation when disabled);
+* :mod:`repro.resilience.checkpoint` / :mod:`repro.resilience.recovery`
+  — BSP-boundary :class:`RunCheckpoint` capture plus the bounded
+  :class:`RetryPolicy` the engines use to retry transient faults and
+  resume fatal ones bitwise identically;
+* :mod:`repro.resilience.chaos` — seeded fault campaigns that verify the
+  recovery story end to end (imported lazily: it depends on the engines,
+  which themselves use this package).
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SUFFIX,
+    CHECKPOINT_VERSION,
+    RunCheckpoint,
+    checkpoint_path,
+    latest_checkpoint,
+)
+from repro.resilience.faults import (
+    EVENT_STREAMS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    count_events,
+    inject,
+)
+from repro.resilience.recovery import (
+    DEFAULT_RETRY_POLICY,
+    RecoveryContext,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CHECKPOINT_SUFFIX",
+    "CHECKPOINT_VERSION",
+    "DEFAULT_RETRY_POLICY",
+    "EVENT_STREAMS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryContext",
+    "RetryPolicy",
+    "RunCheckpoint",
+    "checkpoint_path",
+    "count_events",
+    "inject",
+    "latest_checkpoint",
+]

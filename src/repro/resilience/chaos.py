@@ -1,0 +1,243 @@
+"""Chaos sweeps: seeded fault campaigns with recovery verification.
+
+A sweep first measures a fault-free *reference* run (final ``labels_hash``
+plus the device event-stream totals), then replays the same workload under
+a series of deterministic :class:`~repro.resilience.FaultPlan`\\ s and
+classifies every outcome:
+
+``clean``
+    no planned fault actually fired (possible with explicit plans whose
+    indices fall past the run's event counts — seeded plans are calibrated
+    against the reference totals, so they always fire);
+``recovered``
+    faults fired, recovery absorbed them, and the final labels are
+    bitwise identical to the reference — the resume-identity property;
+``degraded``
+    the ladder stepped down to a cheaper engine but still produced the
+    reference labels (only possible in ``run_auto`` ladder mode);
+``mismatch``
+    the run completed but its labels differ from the reference — a
+    correctness bug in the recovery path;
+``failed``
+    the run raised even with recovery enabled (e.g. the fault repeated
+    past the retry budget with no ladder to fall back on).
+
+``mismatch`` and ``failed`` surface as *error* findings on the resulting
+:class:`~repro.analysis.findings.AnalysisReport` (source ``"chaos"``), so
+``repro chaos`` can gate CI exactly like ``repro check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.core.hybrid import run_auto
+from repro.gpusim.config import TITAN_V, DeviceSpec
+from repro.resilience.faults import FaultPlan, count_events, inject
+from repro.resilience.recovery import DEFAULT_RETRY_POLICY, RetryPolicy
+
+#: Fault kinds engines can absorb in place (no ladder required).
+ENGINE_KINDS = ("transfer", "kernel", "ecc")
+
+#: Fault kinds for the run_auto ladder mode (OOM exercises degradation).
+LADDER_KINDS = ("transfer", "kernel", "ecc", "oom")
+
+
+@dataclass(frozen=True)
+class ChaosRun:
+    """The outcome of one fault plan replayed against the workload."""
+
+    plan: str
+    status: str  # clean | recovered | degraded | mismatch | failed
+    engine: str = ""
+    labels_hash: str = ""
+    identical: bool = False
+    faults_fired: Tuple[str, ...] = ()
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("clean", "recovered", "degraded")
+
+    def as_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "status": self.status,
+            "engine": self.engine,
+            "labels_hash": self.labels_hash,
+            "identical": bool(self.identical),
+            "faults_fired": list(self.faults_fired),
+            "error": self.error,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """A full sweep: the reference run plus every plan's outcome."""
+
+    reference_engine: str
+    reference_hash: str
+    stream_totals: dict
+    runs: List[ChaosRun]
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    def as_dict(self) -> dict:
+        return {
+            "reference_engine": self.reference_engine,
+            "reference_hash": self.reference_hash,
+            "stream_totals": dict(self.stream_totals),
+            "runs": [run.as_dict() for run in self.runs],
+        }
+
+    def analysis_report(self) -> AnalysisReport:
+        """The sweep as the shared analysis currency (source ``chaos``)."""
+        report = AnalysisReport(source="chaos", checked=len(self.runs))
+        for run in self.runs:
+            if run.status == "failed":
+                report.add(Finding(
+                    rule="chaos-run-failed",
+                    message=(
+                        f"run under plan {run.plan!r} raised: {run.error}"
+                    ),
+                    location=run.plan,
+                ))
+            elif run.status == "mismatch":
+                report.add(Finding(
+                    rule="chaos-identity-mismatch",
+                    message=(
+                        f"recovered run under plan {run.plan!r} produced "
+                        f"labels {run.labels_hash}, reference is "
+                        f"{self.reference_hash}"
+                    ),
+                    location=run.plan,
+                ))
+            elif run.status == "degraded":
+                report.add(Finding(
+                    rule="chaos-degraded",
+                    message=(
+                        f"plan {run.plan!r} stepped the ladder down from "
+                        f"{self.reference_engine} to {run.engine} "
+                        "(labels identical)"
+                    ),
+                    location=run.plan,
+                ))
+        return report
+
+
+def chaos_sweep(
+    graph,
+    make_program: Callable[[], object],
+    make_engine: Optional[Callable[[], object]] = None,
+    *,
+    plans: Optional[Sequence[FaultPlan]] = None,
+    num_plans: int = 5,
+    seed: int = 0,
+    faults_per_plan: int = 1,
+    kinds: Optional[Sequence[str]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    spec: DeviceSpec = TITAN_V,
+    max_iterations: int = 20,
+    stop_on_convergence: bool = True,
+) -> ChaosReport:
+    """Replay seeded fault plans against one workload and classify them.
+
+    ``make_program`` builds a fresh program per run (programs carry
+    internal state).  With ``make_engine`` the sweep drives that engine
+    directly (its recovery layer must absorb every fault); without it the
+    sweep drives :func:`~repro.core.hybrid.run_auto`, which additionally
+    exercises the GPU -> hybrid -> CPU degradation ladder — and the plan
+    kinds then include ``oom`` by default.
+
+    Plans default to :meth:`FaultPlan.random` seeded ``seed + i``,
+    calibrated against the reference run's event totals so every planned
+    fault lands on an event that exists.
+    """
+    policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+    run_kwargs = dict(
+        max_iterations=max_iterations,
+        stop_on_convergence=stop_on_convergence,
+    )
+
+    # Reference run: fault-free labels + event-stream totals.
+    with count_events() as counter:
+        if make_engine is not None:
+            reference_engine = make_engine()
+            reference = reference_engine.run(
+                graph, make_program(), **run_kwargs
+            )
+        else:
+            reference, reference_engine = run_auto(
+                graph, make_program(), spec=spec, **run_kwargs
+            )
+    reference_hash = reference.labels_hash()
+    stream_totals = dict(counter.counts)
+
+    if plans is None:
+        if kinds is None:
+            kinds = ENGINE_KINDS if make_engine is not None else LADDER_KINDS
+        plans = [
+            FaultPlan.random(
+                seed + i,
+                num_faults=faults_per_plan,
+                kinds=kinds,
+                stream_totals=stream_totals,
+            )
+            for i in range(num_plans)
+        ]
+
+    runs: List[ChaosRun] = []
+    for plan in plans:
+        program = make_program()
+        with inject(plan) as injector:
+            try:
+                if make_engine is not None:
+                    engine = make_engine()
+                    result = engine.run(
+                        graph, program, retry_policy=policy, **run_kwargs
+                    )
+                else:
+                    result, engine = run_auto(
+                        graph,
+                        program,
+                        spec=spec,
+                        retry_policy=policy,
+                        **run_kwargs,
+                    )
+            except Exception as exc:
+                runs.append(ChaosRun(
+                    plan=plan.render(),
+                    status="failed",
+                    faults_fired=tuple(e.kind for e in injector.events),
+                    error=f"{type(exc).__name__}: {exc}",
+                ))
+                continue
+        fired = tuple(e.kind for e in injector.events)
+        labels_hash = result.labels_hash()
+        identical = labels_hash == reference_hash
+        if not identical:
+            status = "mismatch"
+        elif engine.name != reference_engine.name:
+            status = "degraded"
+        elif fired:
+            status = "recovered"
+        else:
+            status = "clean"
+        runs.append(ChaosRun(
+            plan=plan.render(),
+            status=status,
+            engine=engine.name,
+            labels_hash=labels_hash,
+            identical=identical,
+            faults_fired=fired,
+        ))
+    return ChaosReport(
+        reference_engine=reference_engine.name,
+        reference_hash=reference_hash,
+        stream_totals=stream_totals,
+        runs=runs,
+    )

@@ -1,0 +1,163 @@
+"""Run checkpoints captured at BSP iteration boundaries.
+
+The engines are bulk-synchronous: between iterations the *entire* run
+state is a label array, the program's internal state (LLP volumes, SLP
+memories and RNG, seed pins), and a small engine-specific frontier carry
+(the active frontier for GLP, last iteration's changed set for hybrid,
+per-partition frontiers for multi-GPU).  That makes the iteration boundary
+the natural consistency point — exactly where DynLP's batch updates and
+Gunrock's BSP frontiers commit — so a :class:`RunCheckpoint` captured
+there is sufficient to resume a run **bitwise identically**: the simulator
+is deterministic and every source of randomness lives inside the program
+state we snapshot.
+
+Checkpoints deep-copy everything they capture (and deep-copy again on
+restore), so a retried iteration can never scribble on the snapshot it
+may need to restore from.  Serialization is pickle-based — the payload is
+numpy arrays plus plain-python program state.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+#: Bump when the checkpoint payload changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+#: File suffix for serialized checkpoints.
+CHECKPOINT_SUFFIX = ".ckpt"
+
+
+@dataclass
+class RunCheckpoint:
+    """Consistent run state at the top of one BSP iteration.
+
+    ``iteration`` is the iteration *about to run*: restoring the
+    checkpoint re-executes that iteration and everything after it.
+    """
+
+    engine: str
+    graph_name: str
+    num_vertices: int
+    program_name: str
+    iteration: int
+    labels: np.ndarray
+    program_state: Dict[str, object] = field(default_factory=dict)
+    engine_state: Dict[str, object] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        *,
+        engine: str,
+        graph,
+        program,
+        iteration: int,
+        labels: np.ndarray,
+        engine_state: Optional[Dict[str, object]] = None,
+    ) -> "RunCheckpoint":
+        """Snapshot the run state (deep copies — aliasing-safe)."""
+        return cls(
+            engine=engine,
+            graph_name=graph.name,
+            num_vertices=int(graph.num_vertices),
+            program_name=program.name,
+            iteration=int(iteration),
+            labels=labels.copy(),
+            program_state=copy.deepcopy(program.__dict__),
+            engine_state=copy.deepcopy(engine_state or {}),
+        )
+
+    def restore_program(self, program) -> None:
+        """Reset ``program``'s internal state to the snapshot."""
+        program.__dict__.clear()
+        program.__dict__.update(copy.deepcopy(self.program_state))
+
+    def restored_labels(self) -> np.ndarray:
+        """A fresh copy of the checkpointed label array."""
+        return self.labels.copy()
+
+    def restored_engine_state(self) -> Dict[str, object]:
+        """A fresh copy of the engine-specific carry state."""
+        return copy.deepcopy(self.engine_state)
+
+    # ------------------------------------------------------------------
+    def validate(self, *, engine: str, graph, program) -> None:
+        """Refuse to resume a run this checkpoint does not belong to."""
+        if self.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {self.version} != "
+                f"{CHECKPOINT_VERSION}"
+            )
+        if self.engine != engine:
+            raise CheckpointError(
+                f"checkpoint belongs to engine {self.engine!r}, "
+                f"not {engine!r}"
+            )
+        if (
+            self.graph_name != graph.name
+            or self.num_vertices != graph.num_vertices
+        ):
+            raise CheckpointError(
+                f"checkpoint graph {self.graph_name!r} "
+                f"(V={self.num_vertices}) does not match {graph.name!r} "
+                f"(V={graph.num_vertices})"
+            )
+        if self.program_name != program.name:
+            raise CheckpointError(
+                f"checkpoint program {self.program_name!r} does not match "
+                f"{program.name!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Serialize to ``path`` (atomic rename — crash-consistent)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "RunCheckpoint":
+        if not os.path.exists(path):
+            raise CheckpointError(f"no checkpoint at {path}")
+        with open(path, "rb") as fh:
+            loaded = pickle.load(fh)
+        if not isinstance(loaded, cls):
+            raise CheckpointError(
+                f"{path} does not contain a RunCheckpoint"
+            )
+        return loaded
+
+
+def checkpoint_path(directory: str, engine: str) -> str:
+    """Canonical checkpoint file for ``engine`` under ``directory``."""
+    slug = engine.lower().replace(" ", "-").replace("/", "-")
+    return os.path.join(directory, f"{slug}{CHECKPOINT_SUFFIX}")
+
+
+def latest_checkpoint(directory: str) -> Optional[RunCheckpoint]:
+    """Load the most recently written checkpoint in ``directory``."""
+    if not os.path.isdir(directory):
+        return None
+    candidates = [
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(CHECKPOINT_SUFFIX)
+    ]
+    if not candidates:
+        return None
+    return RunCheckpoint.load(max(candidates, key=os.path.getmtime))

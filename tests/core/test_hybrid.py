@@ -132,3 +132,55 @@ class TestRunAuto:
             stop_on_convergence=False,
         )
         assert np.array_equal(result.labels, reference.labels)
+
+
+class TestTransferFractionDenominator:
+    """Regression: the fraction's denominator is the modeled *elapsed*
+    time (``max(kernel, cpu) + transfer`` per iteration), not the serial
+    sum ``kernel + cpu + transfer`` — GPU and CPU shares overlap, so the
+    old sum overstated the run time and understated the fraction."""
+
+    def test_constructed_stats_use_elapsed(self):
+        from repro.core.hybrid import HybridStats
+
+        stats = HybridStats(
+            num_chunks=2,
+            num_resident_chunks=1,
+            resident_edge_fraction=0.5,
+            h2d_bytes=0,
+            visible_transfer_seconds=1.0,
+            kernel_seconds=4.0,
+            cpu_seconds=3.0,
+            elapsed_seconds=5.0,  # max(4, 3) + 1 per the overlap model
+        )
+        assert stats.transfer_fraction == pytest.approx(1.0 / 5.0)
+        # The pre-fix value, for the record: 1 / (4 + 3 + 1) = 0.125.
+        assert stats.transfer_fraction > 1.0 / 8.0
+        zero = HybridStats(
+            num_chunks=1, num_resident_chunks=1,
+            resident_edge_fraction=1.0, h2d_bytes=0,
+            visible_transfer_seconds=0.0, kernel_seconds=0.0,
+            cpu_seconds=0.0, elapsed_seconds=0.0,
+        )
+        assert zero.transfer_fraction == 0.0
+
+    def test_engine_stats_tie_out_to_iterations(self, powerlaw_graph):
+        engine = HybridEngine(spec=small_spec_for(powerlaw_graph, 0.5))
+        result = engine.run(
+            powerlaw_graph, ClassicLP(), max_iterations=5,
+            stop_on_convergence=False,
+        )
+        stats = engine.last_stats
+        assert stats.cpu_seconds > 0  # the split really overflowed
+        assert stats.elapsed_seconds == pytest.approx(result.total_seconds)
+        assert stats.transfer_fraction == pytest.approx(
+            stats.visible_transfer_seconds / stats.elapsed_seconds
+        )
+        # Overlap: elapsed is strictly less than the serial sum the old
+        # denominator used.
+        serial_sum = (
+            stats.kernel_seconds
+            + stats.cpu_seconds
+            + stats.visible_transfer_seconds
+        )
+        assert stats.elapsed_seconds < serial_sum

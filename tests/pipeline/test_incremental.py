@@ -204,3 +204,59 @@ class TestSlidingWindowDetector:
         detector.start(0, 5)
         with pytest.raises(PipelineError):
             detector.start(0, 5)
+
+
+class TestWarmStartEmptyProductSide:
+    """Regression: ``carry_products=True`` with an empty current product
+    side raised IndexError — ``&`` does not short-circuit, so the
+    emptiness test folded into the ``found`` mask still indexed
+    ``current.products``.  The guard must return user-only carryover."""
+
+    def _window(self, users, products):
+        from repro.pipeline.window import WindowGraph
+
+        # warm_start_seeds never touches .graph — id mappings only.
+        return WindowGraph(
+            graph=None,
+            users=np.asarray(users, dtype=np.int64),
+            products=np.asarray(products, dtype=np.int64),
+            start_day=0,
+            num_days=1,
+        )
+
+    def test_empty_current_products_returns_user_carryover(self):
+        from repro.types import NO_LABEL
+
+        previous = self._window([10, 20], [5])
+        # user 10 -> label 7, user 20 unlabeled, product 5 -> label 9.
+        previous_labels = np.array([7, NO_LABEL, 9], dtype=np.int64)
+        current = self._window([10, 20], [])
+        merged = warm_start_seeds(
+            previous, previous_labels, current, {1: 42},
+            carry_products=True,
+        )
+        # User 10 is window vertex 0 in the current window; the labeled
+        # product has nowhere to land and must be silently dropped.
+        assert merged == {0: 7, 1: 42}
+
+    def test_nonempty_products_still_carry(self, stream):
+        store = SeedStore(stream.blacklist())
+        previous = build_window_graph(stream, 0, 10)
+        program = SeededFraudLP(store.window_seeds(previous))
+        prev_result = GLPEngine().run(
+            previous.graph, program, max_iterations=20
+        )
+        current = build_window_graph(stream, 1, 10)
+        base = store.window_seeds(current)
+        user_only = warm_start_seeds(
+            previous, prev_result.labels, current, base
+        )
+        with_products = warm_start_seeds(
+            previous, prev_result.labels, current, base,
+            carry_products=True,
+        )
+        product_seeds = {
+            v for v in with_products if v >= current.num_users
+        }
+        assert product_seeds  # the guard must not disable the feature
+        assert len(with_products) > len(user_only)

@@ -1,0 +1,119 @@
+"""Tests for BSP-boundary run checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP
+from repro.errors import CheckpointError
+from repro.resilience import (
+    RunCheckpoint,
+    checkpoint_path,
+    latest_checkpoint,
+)
+
+
+def make_checkpoint(graph, program, iteration=3):
+    labels = np.arange(graph.num_vertices, dtype=np.int64)
+    program.init_state(graph, labels)
+    return RunCheckpoint.capture(
+        engine="GLP",
+        graph=graph,
+        program=program,
+        iteration=iteration,
+        labels=labels,
+        engine_state={"frontier_vertices": np.array([1, 2], dtype=np.int64)},
+    )
+
+
+class TestCapture:
+    def test_deep_copies_on_capture(self, two_cliques_graph):
+        labels = np.zeros(two_cliques_graph.num_vertices, dtype=np.int64)
+        ckpt = RunCheckpoint.capture(
+            engine="GLP",
+            graph=two_cliques_graph,
+            program=ClassicLP(),
+            iteration=1,
+            labels=labels,
+        )
+        labels[0] = 99
+        assert ckpt.labels[0] == 0
+
+    def test_restore_isolated_from_snapshot(self, two_cliques_graph):
+        ckpt = make_checkpoint(two_cliques_graph, ClassicLP())
+        restored = ckpt.restored_labels()
+        restored[0] = 77
+        assert ckpt.labels[0] != 77
+        engine_state = ckpt.restored_engine_state()
+        engine_state["frontier_vertices"][0] = 55
+        assert ckpt.engine_state["frontier_vertices"][0] == 1
+
+    def test_restore_program_resets_state(self, two_cliques_graph):
+        program = ClassicLP()
+        ckpt = make_checkpoint(two_cliques_graph, program)
+        before = dict(program.__dict__)
+        program.__dict__["_scribble"] = object()
+        ckpt.restore_program(program)
+        assert "_scribble" not in program.__dict__
+        assert set(program.__dict__) == set(before)
+
+
+class TestValidate:
+    def test_accepts_matching_run(self, two_cliques_graph):
+        program = ClassicLP()
+        ckpt = make_checkpoint(two_cliques_graph, program)
+        ckpt.validate(engine="GLP", graph=two_cliques_graph, program=program)
+
+    def test_rejects_wrong_engine(self, two_cliques_graph):
+        ckpt = make_checkpoint(two_cliques_graph, ClassicLP())
+        with pytest.raises(CheckpointError):
+            ckpt.validate(
+                engine="GLP-Hybrid",
+                graph=two_cliques_graph,
+                program=ClassicLP(),
+            )
+
+    def test_rejects_wrong_graph(self, two_cliques_graph, star_graph):
+        ckpt = make_checkpoint(two_cliques_graph, ClassicLP())
+        with pytest.raises(CheckpointError):
+            ckpt.validate(engine="GLP", graph=star_graph, program=ClassicLP())
+
+    def test_rejects_wrong_version(self, two_cliques_graph):
+        ckpt = make_checkpoint(two_cliques_graph, ClassicLP())
+        ckpt.version = 999
+        with pytest.raises(CheckpointError):
+            ckpt.validate(
+                engine="GLP", graph=two_cliques_graph, program=ClassicLP()
+            )
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, two_cliques_graph, tmp_path):
+        ckpt = make_checkpoint(two_cliques_graph, ClassicLP())
+        path = checkpoint_path(str(tmp_path), "GLP")
+        ckpt.save(path)
+        loaded = RunCheckpoint.load(path)
+        assert loaded.iteration == ckpt.iteration
+        assert np.array_equal(loaded.labels, ckpt.labels)
+        assert np.array_equal(
+            loaded.engine_state["frontier_vertices"],
+            ckpt.engine_state["frontier_vertices"],
+        )
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            RunCheckpoint.load(str(tmp_path / "nope.ckpt"))
+
+    def test_checkpoint_path_slug(self, tmp_path):
+        path = checkpoint_path(str(tmp_path), "GLP-2GPU / test")
+        assert path.endswith("glp-2gpu---test.ckpt")
+
+    def test_latest_checkpoint(self, two_cliques_graph, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) is None
+        older = make_checkpoint(two_cliques_graph, ClassicLP(), iteration=2)
+        newer = make_checkpoint(two_cliques_graph, ClassicLP(), iteration=5)
+        older.save(str(tmp_path / "a.ckpt"))
+        newer.save(str(tmp_path / "b.ckpt"))
+        import os
+
+        os.utime(str(tmp_path / "a.ckpt"), (1, 1))
+        assert latest_checkpoint(str(tmp_path)).iteration == 5

@@ -1,0 +1,178 @@
+"""Resume-identity: recovered runs are bitwise identical.
+
+These tests pin down the resilience tentpole's core guarantee — a run
+that hit an injected device fault and recovered (in-place retry or
+checkpoint resume) finishes with exactly the labels an uninterrupted run
+produces, across classic/seeded programs and dense/frontier execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP, GLPEngine, SeededFraudLP
+from repro.core.hybrid import HybridEngine
+from repro.core.multigpu import MultiGPUEngine
+from repro.errors import KernelAbortFault
+from repro.graph.generators import planted_partition_graph
+from repro.resilience import (
+    FaultPlan,
+    RetryPolicy,
+    count_events,
+    inject,
+)
+from tests.core.test_hybrid import small_spec_for
+
+SEEDS = {0: 101, 40: 202, 120: 303}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    graph, _ = planted_partition_graph(240, 6, 8.0, 0.9, seed=7)
+    return graph
+
+
+def make_program(kind):
+    return ClassicLP() if kind == "classic" else SeededFraudLP(dict(SEEDS))
+
+
+def mid_run_plan(engine, graph, program, kind, **run_kwargs):
+    """A plan firing ``kind`` halfway through this workload's stream."""
+    with count_events() as counter:
+        engine.run(graph, program, **run_kwargs)
+    spec_kind = {"transfer": "transfer"}.get(kind, kind)
+    stream = "transfer" if kind == "transfer" else "launch"
+    total = counter.counts[stream]
+    assert total > 1, f"workload has no {stream} events to fault"
+    return FaultPlan.parse(f"{spec_kind}@{max(2, total // 2)}")
+
+
+class TestFaultFreeIdentity:
+    def test_recovery_layer_off_vs_on(self, graph):
+        bare = GLPEngine().run(graph, ClassicLP(), max_iterations=8)
+        guarded = GLPEngine().run(
+            graph, ClassicLP(), max_iterations=8,
+            retry_policy=RetryPolicy(),
+        )
+        assert bare.labels_hash() == guarded.labels_hash()
+        assert bare.total_seconds == guarded.total_seconds
+        assert bare.num_iterations == guarded.num_iterations
+
+
+class TestRecoveredRunIdentity:
+    @pytest.mark.parametrize("program_kind", ["classic", "seeded"])
+    @pytest.mark.parametrize("frontier", ["dense", "auto"])
+    @pytest.mark.parametrize("fault", ["transfer", "kernel", "ecc"])
+    def test_glp_identity(self, graph, program_kind, frontier, fault):
+        kwargs = dict(max_iterations=8, stop_on_convergence=False)
+        reference = GLPEngine(frontier=frontier).run(
+            graph, make_program(program_kind), **kwargs
+        )
+        plan = mid_run_plan(
+            GLPEngine(frontier=frontier), graph,
+            make_program(program_kind), fault, **kwargs
+        )
+        with inject(plan) as injector:
+            recovered = GLPEngine(frontier=frontier).run(
+                graph, make_program(program_kind),
+                retry_policy=RetryPolicy(), **kwargs
+            )
+        assert len(injector.events) == 1
+        assert recovered.labels_hash() == reference.labels_hash()
+        assert recovered.num_iterations == reference.num_iterations
+
+    def test_glp_recovery_history_not_duplicated(self, graph):
+        kwargs = dict(
+            max_iterations=8, stop_on_convergence=False,
+            record_history=True,
+        )
+        reference = GLPEngine().run(graph, ClassicLP(), **kwargs)
+        plan = mid_run_plan(
+            GLPEngine(), graph, ClassicLP(), "kernel", **kwargs
+        )
+        with inject(plan):
+            recovered = GLPEngine().run(
+                graph, ClassicLP(), retry_policy=RetryPolicy(), **kwargs
+            )
+        assert len(recovered.iterations) == len(reference.iterations)
+        assert len(recovered.history) == len(reference.history)
+        for ref, rec in zip(reference.history, recovered.history):
+            assert np.array_equal(ref, rec)
+
+    def test_hybrid_identity(self, graph):
+        spec = small_spec_for(graph, 0.5)
+        kwargs = dict(max_iterations=8, stop_on_convergence=False)
+        reference = HybridEngine(spec=spec).run(
+            graph, ClassicLP(), **kwargs
+        )
+        plan = mid_run_plan(
+            HybridEngine(spec=spec), graph, ClassicLP(), "kernel", **kwargs
+        )
+        with inject(plan) as injector:
+            engine = HybridEngine(spec=spec)
+            recovered = engine.run(
+                graph, ClassicLP(), retry_policy=RetryPolicy(), **kwargs
+            )
+        assert len(injector.events) == 1
+        assert recovered.labels_hash() == reference.labels_hash()
+        # Retry-safe accounting: totals recomputed from surviving
+        # iterations, never double-counted across attempts.
+        stats = engine.last_stats
+        assert stats.elapsed_seconds == pytest.approx(
+            sum(s.seconds for s in recovered.iterations)
+        )
+
+    def test_multigpu_identity(self, graph):
+        kwargs = dict(max_iterations=8, stop_on_convergence=False)
+        reference = MultiGPUEngine(2).run(graph, ClassicLP(), **kwargs)
+        plan = mid_run_plan(
+            MultiGPUEngine(2), graph, ClassicLP(), "kernel", **kwargs
+        )
+        with inject(plan) as injector:
+            recovered = MultiGPUEngine(2).run(
+                graph, ClassicLP(), retry_policy=RetryPolicy(), **kwargs
+            )
+        assert len(injector.events) == 1
+        assert recovered.labels_hash() == reference.labels_hash()
+
+
+class TestCheckpointResume:
+    def test_exhausted_retries_leave_resumable_checkpoint(
+        self, graph, tmp_path
+    ):
+        kwargs = dict(max_iterations=8, stop_on_convergence=False)
+        reference = GLPEngine().run(graph, ClassicLP(), **kwargs)
+
+        # A persistent kernel fault (repeat far past the retry budget)
+        # kills the run mid-flight, like a pulled power cord.
+        with inject(FaultPlan.parse("kernel@12x99")):
+            with pytest.raises(KernelAbortFault):
+                GLPEngine().run(
+                    graph, ClassicLP(),
+                    retry_policy=RetryPolicy(max_retries=2),
+                    checkpoint_dir=str(tmp_path),
+                    **kwargs,
+                )
+        assert list(tmp_path.glob("*.ckpt")), "no checkpoint persisted"
+
+        resumed = GLPEngine().run(
+            graph, ClassicLP(), resume_from=str(tmp_path), **kwargs
+        )
+        assert resumed.labels_hash() == reference.labels_hash()
+
+    def test_resume_skips_completed_iterations(self, graph, tmp_path):
+        kwargs = dict(max_iterations=8, stop_on_convergence=False)
+        with inject(FaultPlan.parse("kernel@12x99")):
+            with pytest.raises(KernelAbortFault):
+                GLPEngine().run(
+                    graph, ClassicLP(),
+                    retry_policy=RetryPolicy(max_retries=0),
+                    checkpoint_dir=str(tmp_path),
+                    **kwargs,
+                )
+        resumed = GLPEngine().run(
+            graph, ClassicLP(), resume_from=str(tmp_path), **kwargs
+        )
+        # The resumed run re-executes only from the checkpointed
+        # iteration; its stats list is the tail, not all 8 rounds.
+        assert resumed.num_iterations < 8
+        assert resumed.iterations[0].iteration > 1

@@ -1,0 +1,133 @@
+"""Tests for the RetryPolicy / RecoveryContext bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro import ClassicLP
+from repro.errors import (
+    EccCorruptionFault,
+    InjectedOOMFault,
+    ResilienceError,
+    TransferFault,
+)
+from repro.resilience import (
+    RecoveryContext,
+    RetryPolicy,
+    RunCheckpoint,
+)
+
+
+def context_with_checkpoint(graph, policy=None):
+    ctx = RecoveryContext("GLP", policy=policy)
+    program = ClassicLP()
+    labels = np.zeros(graph.num_vertices, dtype=np.int64)
+    program.init_state(graph, labels)
+    ctx.checkpoint(graph=graph, program=program, iteration=2, labels=labels)
+    return ctx
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(backoff_seconds=-0.1)
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_seconds=0.1, max_backoff_seconds=0.3)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.3)
+        assert policy.backoff_for(9) == pytest.approx(0.3)
+        assert RetryPolicy().backoff_for(5) == 0.0
+
+
+class TestForRun:
+    def test_disabled_when_no_option_set(self):
+        assert RecoveryContext.for_run("GLP") is None
+
+    def test_enabled_by_any_option(self, tmp_path):
+        assert RecoveryContext.for_run(
+            "GLP", retry_policy=RetryPolicy()
+        ) is not None
+        assert RecoveryContext.for_run(
+            "GLP", checkpoint_dir=str(tmp_path)
+        ) is not None
+
+
+class TestOnFault:
+    def test_oom_always_reraises(self, two_cliques_graph):
+        ctx = context_with_checkpoint(two_cliques_graph)
+        with pytest.raises(InjectedOOMFault):
+            ctx.on_fault(InjectedOOMFault("injected"))
+
+    def test_fault_before_first_checkpoint_reraises(self):
+        ctx = RecoveryContext("GLP")
+        with pytest.raises(TransferFault):
+            ctx.on_fault(TransferFault("early"))
+
+    def test_transient_retries_until_budget(self, two_cliques_graph):
+        ctx = context_with_checkpoint(
+            two_cliques_graph, RetryPolicy(max_retries=2)
+        )
+        assert ctx.on_fault(TransferFault("a")) is ctx.current
+        assert ctx.on_fault(TransferFault("b")) is ctx.current
+        with pytest.raises(TransferFault):
+            ctx.on_fault(TransferFault("c"))
+        assert ctx.retries == 2
+
+    def test_fatal_resumes_on_separate_budget(self, two_cliques_graph):
+        ctx = context_with_checkpoint(
+            two_cliques_graph, RetryPolicy(max_retries=0, max_resumes=1)
+        )
+        assert ctx.on_fault(EccCorruptionFault("x")) is ctx.current
+        assert ctx.resumes == 1
+        with pytest.raises(EccCorruptionFault):
+            ctx.on_fault(EccCorruptionFault("y"))
+
+    def test_backoff_accounted(self, two_cliques_graph):
+        ctx = context_with_checkpoint(
+            two_cliques_graph,
+            RetryPolicy(backoff_seconds=0.25, max_backoff_seconds=1.0),
+        )
+        ctx.on_fault(TransferFault("a"))
+        ctx.on_fault(TransferFault("b"))
+        assert ctx.backoff_total_seconds == pytest.approx(0.75)
+
+    def test_summary(self, two_cliques_graph):
+        ctx = context_with_checkpoint(two_cliques_graph)
+        ctx.on_fault(TransferFault("a"))
+        summary = ctx.summary()
+        assert summary["engine"] == "GLP"
+        assert summary["checkpoints"] == 1
+        assert summary["retries"] == 1
+        assert summary["faults"] == ["transfer"]
+
+
+class TestResumeResolution:
+    def test_resume_from_directory_and_file(self, two_cliques_graph, tmp_path):
+        program = ClassicLP()
+        labels = np.zeros(two_cliques_graph.num_vertices, dtype=np.int64)
+        program.init_state(two_cliques_graph, labels)
+        ckpt = RunCheckpoint.capture(
+            engine="GLP",
+            graph=two_cliques_graph,
+            program=program,
+            iteration=4,
+            labels=labels,
+        )
+        path = str(tmp_path / "glp.ckpt")
+        ckpt.save(path)
+        for resume in (str(tmp_path), path):
+            ctx = RecoveryContext("GLP", resume_from=resume)
+            resolved = ctx.resume_checkpoint(
+                graph=two_cliques_graph, program=ClassicLP()
+            )
+            assert resolved.iteration == 4
+
+    def test_resume_from_empty_directory_raises(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        ctx = RecoveryContext("GLP", resume_from=str(tmp_path))
+        with pytest.raises(CheckpointError):
+            ctx.resume_checkpoint(graph=None, program=None)
