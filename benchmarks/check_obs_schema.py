@@ -4,7 +4,7 @@
 Usage::
 
     python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON \
-        [ADVISOR_JSON] [--analysis REPORT_JSON ...]
+        [ADVISOR_JSON] [--analysis REPORT_JSON ...] [--bench BENCH_JSON ...]
 
 Checks that ``TRACE_JSON`` is a loadable Chrome ``trace_event`` document
 with at least one complete kernel span, and that ``METRICS_JSON`` is a
@@ -16,10 +16,15 @@ kernel's modeled seconds.  Each ``--analysis`` argument names a sanitizer,
 lint, or chaos report (``repro check --out`` / ``repro run
 --sanitize-out`` / ``repro chaos --out``) to
 validate against the analysis-report schema; ``--analysis`` may also be
-used alone, without the trace/metrics positionals.  Exits non-zero with a
+used alone, without the trace/metrics positionals.  Each ``--bench``
+argument names a ``BENCH_<scenario>.json`` baseline payload (``repro bench
+run``) to validate: schema version, required payload fields, counters, and
+advisor verdicts — plus, for ``warm_windows_incremental``, the incremental
+serving gates (labels identical to the full recompute, >=5x fewer
+processed edges, lower modeled seconds).  Exits non-zero with a
 message on the first violation — this is the CI gate for ``run
---trace-out/--metrics-out``, ``advise --json``, and the sanitize-gate
-artifacts.
+--trace-out/--metrics-out``, ``advise --json``, the sanitize-gate
+artifacts, and the perf-gate bench payloads.
 """
 
 from __future__ import annotations
@@ -69,6 +74,21 @@ ANALYSIS_RULES = {
 }
 ANALYSIS_SOURCES = {"sanitizer", "lint", "chaos"}
 ANALYSIS_SCHEMA_VERSION = 1
+
+# Kept in sync with repro.bench.baseline (SCHEMA_VERSION / result_payload)
+# by tests/bench/test_baseline.py.
+BENCH_SCHEMA_VERSION = 1
+BENCH_REQUIRED_KEYS = (
+    "scenario", "engine", "algorithm", "dataset", "num_vertices",
+    "num_edges", "iterations", "converged", "labels_hash",
+    "num_communities", "total_seconds", "seconds_per_iteration",
+    "counters", "advisor",
+)
+BENCH_COUNTER_KEYS = (
+    "global_transactions", "global_atomic_serialized_ops",
+    "shared_atomic_serialized_ops", "shared_bank_conflicts",
+    "lane_utilization", "h2d_bytes", "d2h_bytes",
+)
 ANALYSIS_FINDING_KEYS = (
     "rule", "severity", "message", "kernel", "array", "space",
     "offset", "location", "actors", "count",
@@ -220,6 +240,50 @@ def check_analysis(path: str) -> None:
     )
 
 
+def check_bench(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    for key in BENCH_REQUIRED_KEYS:
+        if key not in doc:
+            fail(f"{path}: bench payload missing {key!r}")
+    counters = doc["counters"]
+    if not isinstance(counters, dict):
+        fail(f"{path}: counters must be a dict")
+    for key in BENCH_COUNTER_KEYS:
+        if key not in counters:
+            fail(f"{path}: counters missing {key!r}")
+    advisor = doc["advisor"]
+    for verdict in advisor.get("verdicts", {}).values():
+        if verdict not in KERNEL_VERDICTS:
+            fail(f"{path}: unknown advisor verdict {verdict!r}")
+    if doc["scenario"] == "warm_windows_incremental":
+        if doc.get("identical_to_full") is not True:
+            fail(f"{path}: incremental labels not identical to full run")
+        ratio = doc.get("processed_edges_ratio")
+        if not isinstance(ratio, (int, float)) or ratio < 5.0:
+            fail(
+                f"{path}: processed_edges_ratio {ratio!r} below the "
+                f"5x incremental gate"
+            )
+        inc = doc.get("incremental_total_seconds")
+        full = doc.get("full_total_seconds")
+        if (
+            not isinstance(inc, (int, float))
+            or not isinstance(full, (int, float))
+            or inc >= full
+        ):
+            fail(
+                f"{path}: incremental modeled seconds ({inc!r}) not below "
+                f"the full recompute ({full!r})"
+            )
+    print(f"check_obs_schema: {path}: OK (scenario {doc['scenario']!r})")
+
+
 def main(argv) -> int:
     args = list(argv[1:])
     analysis_paths = []
@@ -230,7 +294,16 @@ def main(argv) -> int:
             return 2
         analysis_paths.append(args[i + 1])
         del args[i:i + 2]
-    if len(args) not in ((0, 2, 3) if analysis_paths else (2, 3)):
+    bench_paths = []
+    while "--bench" in args:
+        i = args.index("--bench")
+        if i + 1 >= len(args):
+            print(__doc__)
+            return 2
+        bench_paths.append(args[i + 1])
+        del args[i:i + 2]
+    optional_only = analysis_paths or bench_paths
+    if len(args) not in ((0, 2, 3) if optional_only else (2, 3)):
         print(__doc__)
         return 2
     if args:
@@ -240,6 +313,8 @@ def main(argv) -> int:
         check_advisor(args[2])
     for path in analysis_paths:
         check_analysis(path)
+    for path in bench_paths:
+        check_bench(path)
     print("check_obs_schema: all checks passed")
     return 0
 

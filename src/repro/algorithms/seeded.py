@@ -89,6 +89,15 @@ class SeededFraudLP(LPProgram):
         result[self._seed_vertices] = self._seed_labels
         return result
 
+    def pinned_vertices(self, graph: CSRGraph) -> np.ndarray:
+        """Seeds are pinned: their update is a no-op by construction.
+
+        Frontier engines prune them from sparse passes — crucial on warm
+        windows, where carried hub-product seeds would otherwise stream
+        their whole neighbor lists every iteration for nothing.
+        """
+        return np.unique(self._seed_vertices)
+
     def converged(self, old_labels, new_labels, iteration):
         if self.max_hops is not None and iteration >= self.max_hops:
             return True

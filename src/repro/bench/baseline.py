@@ -303,6 +303,104 @@ def _run_warm_windows() -> dict:
     )
 
 
+def _run_warm_windows_incremental() -> dict:
+    from repro.core.framework import GLPEngine
+    from repro.pipeline import (
+        ClusterDetector,
+        SlidingWindowDetector,
+        TransactionStream,
+        TransactionStreamConfig,
+    )
+
+    num_slides = 2
+
+    def serve(incremental: bool):
+        stream = TransactionStream(
+            TransactionStreamConfig(num_days=16, seed=7)
+        )
+        engine = GLPEngine(frontier="auto")
+        detector = ClusterDetector(engine, max_iterations=12, max_hops=6)
+        sliding = SlidingWindowDetector(
+            stream, detector, incremental=incremental
+        )
+        sliding.start(0, 10)
+        slides = []
+        for _ in range(num_slides):
+            window, detection = sliding.slide()
+            slides.append(
+                (window, detection, sliding.last_plan,
+                 sliding.builder.last_diff)
+            )
+        return engine, slides
+
+    _, full_slides = serve(incremental=False)
+    inc_engine, inc_slides = serve(incremental=True)
+
+    full_edges = inc_edges = 0
+    full_seconds = inc_seconds = 0.0
+    affected = diff_pairs = 0
+    identical = True
+    for (_, full_det, _, _), (inc_win, inc_det, plan, diff) in zip(
+        full_slides, inc_slides
+    ):
+        if not plan.incremental:
+            raise BenchmarkError(
+                f"warm_windows_incremental: slide planned "
+                f"{plan.mode}/{plan.reason}, expected incremental"
+            )
+        if (
+            full_det.lp_result.labels_hash()
+            != inc_det.lp_result.labels_hash()
+        ):
+            raise BenchmarkError(
+                "warm_windows_incremental: incremental labels diverged "
+                f"from the full recompute on {inc_win.graph.name}"
+            )
+        full_edges += sum(
+            s.processed_edges for s in full_det.lp_result.iterations
+        )
+        inc_edges += sum(
+            s.processed_edges for s in inc_det.lp_result.iterations
+        )
+        full_seconds += full_det.lp_result.total_seconds
+        inc_seconds += inc_det.lp_result.total_seconds
+        affected += plan.num_affected
+        diff_pairs += diff.num_changed
+    ratio = full_edges / max(1, inc_edges)
+    if ratio < 5.0:
+        raise BenchmarkError(
+            f"warm_windows_incremental: processed-edge ratio {ratio:.2f} "
+            "below the 5x gate"
+        )
+    if inc_seconds >= full_seconds:
+        raise BenchmarkError(
+            "warm_windows_incremental: incremental modeled seconds "
+            f"({inc_seconds:.3e}) not below full recompute "
+            f"({full_seconds:.3e})"
+        )
+    window, detection, plan, _ = inc_slides[-1]
+    return result_payload(
+        "warm_windows_incremental",
+        detection.lp_result,
+        window.graph,
+        inc_engine,
+        algorithm="seeded",
+        extra={
+            "mode": "incremental",
+            "num_slides": num_slides,
+            "full_processed_edges": int(full_edges),
+            "incremental_processed_edges": int(inc_edges),
+            "processed_edges_ratio": float(ratio),
+            "full_total_seconds": float(full_seconds),
+            "incremental_total_seconds": float(inc_seconds),
+            "identical_to_full": identical,
+            "affected_vertices": int(affected),
+            "diff_pairs": int(diff_pairs),
+            "num_clusters": len(detection.clusters),
+        },
+    )
+
+
 SCENARIOS: List[Scenario] = [
     Scenario(
         "dense_classic",
@@ -338,6 +436,11 @@ SCENARIOS: List[Scenario] = [
         "warm_windows",
         "warm-started sliding-window serving loop (frontier engine)",
         _run_warm_windows,
+    ),
+    Scenario(
+        "warm_windows_incremental",
+        "incremental (DynLP-style) window slides vs full warm recompute",
+        _run_warm_windows_incremental,
     ),
 ]
 

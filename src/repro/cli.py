@@ -538,6 +538,9 @@ def _cmd_pipeline(args) -> int:
         TransactionStreamConfig,
     )
 
+    if args.incremental or args.slides:
+        return _cmd_pipeline_sliding(args)
+
     stream = TransactionStream(
         TransactionStreamConfig(num_days=args.days, seed=args.seed)
     )
@@ -561,6 +564,73 @@ def _cmd_pipeline(args) -> int:
           f"of {report.num_clusters} detected")
     print(f"quality        : precision={report.metrics.precision:.2f} "
           f"recall={report.metrics.recall:.2f} f1={report.metrics.f1:.2f}")
+    _write_obs_outputs(args, session)
+    return 0
+
+
+def _cmd_pipeline_sliding(args) -> int:
+    """The sliding-window serving loop (``pipeline --slides/--incremental``)."""
+    from repro import obs
+    from repro.core.framework import GLPEngine
+    from repro.pipeline import (
+        ClusterDetector,
+        SlidingWindowDetector,
+        TransactionStream,
+        TransactionStreamConfig,
+    )
+
+    if args.engine != "glp":
+        print(
+            "error: --incremental/--slides serve through the GLP frontier "
+            "engine",
+            file=sys.stderr,
+        )
+        return 2
+    window_days = min(args.window, args.days - 1)
+    slides = args.slides or 1
+    if args.days < window_days + slides + 1:
+        print(
+            f"error: need at least {window_days + slides + 1} days for "
+            f"{slides} slide(s) over a {window_days}-day window",
+            file=sys.stderr,
+        )
+        return 2
+    stream = TransactionStream(
+        TransactionStreamConfig(num_days=args.days, seed=args.seed)
+    )
+    engine = GLPEngine(frontier="auto")
+    detector = ClusterDetector(engine, max_iterations=20, max_hops=6)
+    sliding = SlidingWindowDetector(
+        stream, detector, incremental=args.incremental
+    )
+    session = _obs_session(args)
+    try:
+        window, detection = sliding.start(0, window_days)
+        lp = detection.lp_result
+        print(
+            f"start          : {window.graph.name} "
+            f"(V={window.graph.num_vertices:,}, "
+            f"E={window.graph.num_edges:,})  "
+            f"clusters={len(detection.clusters)}  "
+            f"modeled={lp.total_seconds * 1e3:.3f} ms"
+        )
+        for i in range(slides):
+            window, detection = sliding.slide()
+            lp = detection.lp_result
+            plan = sliding.last_plan
+            diff = sliding.builder.last_diff
+            edges = sum(s.processed_edges for s in lp.iterations)
+            print(
+                f"slide {i + 1:<8} : mode={plan.mode}/{plan.reason}  "
+                f"diff=+{diff.num_added}/-{diff.num_removed}"
+                f"/~{diff.num_reweighted}  "
+                f"affected={plan.num_affected}  "
+                f"edges={edges:,}  "
+                f"clusters={len(detection.clusters)}  "
+                f"modeled={lp.total_seconds * 1e3:.3f} ms"
+            )
+    finally:
+        obs.disable()
     _write_obs_outputs(args, session)
     return 0
 
@@ -734,6 +804,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="stream length in days")
     pipeline.add_argument("--window", type=int, default=30,
                           help="detection window in days")
+    pipeline.add_argument(
+        "--slides", type=int, default=0,
+        help="serve N window slides through the sliding-window detector "
+        "instead of one batch window",
+    )
+    pipeline.add_argument(
+        "--incremental", action="store_true",
+        help="plan slides DynLP-style: re-converge from the affected-vertex "
+        "frontier instead of a dense warm pass (implies the sliding loop)",
+    )
     pipeline.add_argument("--engine", choices=["glp", "distributed"],
                           default="glp")
     pipeline.add_argument("--seed", type=int, default=0)

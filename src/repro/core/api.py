@@ -125,6 +125,20 @@ class LPProgram:
         result[vertex_ids[adopt]] = best_labels[adopt]
         return result
 
+    def pinned_vertices(self, graph: CSRGraph) -> Optional[np.ndarray]:
+        """Vertices whose labels this program guarantees never to change.
+
+        Frontier-tracking engines prune these from every sparse pass:
+        a pinned vertex's update is a no-op by contract, so skipping it
+        cannot alter any label or the frontier trajectory — but it can
+        avoid streaming a pinned hub's entire neighbor list each round
+        (seeded fraud detection pins black-list and carried seeds, and
+        carried hub products dominate the warm-window frontiers' edge
+        volume).  Return ``None`` (default) when no such guarantee
+        exists; otherwise an array of vertex ids.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Iteration control
     # ------------------------------------------------------------------

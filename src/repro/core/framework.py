@@ -21,9 +21,13 @@ LabelPropagation pass over only that subset.  ``"auto"`` adds the
 Beamer-style direction-optimizing fallback: once the frontier fraction
 exceeds ``FrontierConfig.dense_threshold`` the degree-binned dense pass is
 already the better schedule, so the engine switches back to it for that
-iteration.  Iteration 1 is always dense (every vertex must see its
-neighborhood once).  Programs that are not ``frontier_safe`` silently run
-dense — label trajectories are bitwise identical across all three modes.
+iteration.  Iteration 1 is dense (every vertex must see its neighborhood
+once) — unless the caller seeds an ``initial_frontier`` of the only
+vertices that can change, in which case iteration 1 runs sparse over that
+set and the run re-converges in O(changes) (incremental window slides;
+see ``docs/incremental_lp.md``).  Programs that are not ``frontier_safe``
+silently run dense — label trajectories are bitwise identical across all
+three modes.
 """
 
 from __future__ import annotations
@@ -44,12 +48,37 @@ from repro.gpusim.device import Device
 from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
 from repro.kernels.frontier import (
     FrontierConfig,
+    coerce_initial_frontier,
     next_frontier,
+    prune_pinned,
     resolve_frontier,
     use_sparse_pass,
 )
 from repro.kernels.propagate import propagate_pass, segmented_sort_pass
 from repro.kernels.scheduler import bin_vertices_by_degree
+
+
+def _resolve_pinned(
+    program: LPProgram, graph: CSRGraph
+) -> Optional[np.ndarray]:
+    """The program's pinned-vertex set as sorted unique int64 (or None)."""
+    pinned = program.pinned_vertices(graph)
+    if pinned is None:
+        return None
+    return np.unique(np.asarray(pinned, dtype=np.int64))
+
+
+def _coerce_warm_labels(
+    warm_labels: np.ndarray, graph: CSRGraph, init_labels: np.ndarray
+) -> np.ndarray:
+    """Validate an engine's ``warm_labels=`` argument."""
+    warm = np.asarray(warm_labels)
+    if warm.shape != (graph.num_vertices,):
+        raise ConvergenceError(
+            f"warm_labels must carry one label per vertex "
+            f"({graph.num_vertices}), got shape {warm.shape}"
+        )
+    return warm.astype(init_labels.dtype, copy=True)
 
 
 class GLPEngine:
@@ -72,6 +101,9 @@ class GLPEngine:
     """
 
     name = "GLP"
+    #: Accepts ``initial_frontier``/``warm_labels`` for incremental
+    #: re-convergence (see ``docs/incremental_lp.md``).
+    supports_incremental = True
 
     def __init__(
         self,
@@ -101,8 +133,23 @@ class GLPEngine:
         retry_policy: "Optional[object]" = None,
         checkpoint_dir: Optional[str] = None,
         resume_from: Union[object, str, None] = None,
+        initial_frontier: Optional[np.ndarray] = None,
+        warm_labels: Optional[np.ndarray] = None,
     ) -> LPResult:
         """Execute ``program`` on ``graph`` for up to ``max_iterations``.
+
+        Incremental re-convergence (see ``docs/incremental_lp.md``):
+
+        ``initial_frontier``
+            Vertex ids iteration 1 processes *sparsely* instead of the
+            mandatory dense pass — the affected set of a window slide.
+            Requires frontier mode and a ``frontier_safe`` program;
+            silently ignored otherwise (the dense run is a correct
+            superset).  Only the frontier's edges are charged.
+        ``warm_labels``
+            Prior label state to resume from in place of
+            ``program.init_labels``'s output (the program still
+            initializes its own state and may pin seeds on top).
 
         Resilience (all off by default — the fault-free path is bitwise
         identical to an engine without the recovery layer):
@@ -129,9 +176,20 @@ class GLPEngine:
         device.reset_timing()
 
         labels = program.init_labels(graph)
+        if warm_labels is not None:
+            labels = _coerce_warm_labels(warm_labels, graph, labels)
         program.init_state(graph, labels)
         validate_program(program, graph, labels)
 
+        initial = None
+        if (
+            initial_frontier is not None
+            and self.frontier.enabled
+            and program.frontier_safe
+        ):
+            initial = coerce_initial_frontier(
+                initial_frontier, graph.num_vertices
+            )
         recovery = RecoveryContext.for_run(
             self.name,
             retry_policy=retry_policy,
@@ -140,7 +198,7 @@ class GLPEngine:
         )
         state: Dict[str, object] = {
             "labels": labels,
-            "frontier_vertices": None,
+            "frontier_vertices": initial,
             "iteration": 1,
         }
         iterations: list = []
@@ -157,7 +215,7 @@ class GLPEngine:
                     program=program,
                     iteration=1,
                     labels=labels,
-                    engine_state={"frontier_vertices": None},
+                    engine_state={"frontier_vertices": initial},
                 )
         while True:
             try:
@@ -224,7 +282,10 @@ class GLPEngine:
         # Degrees are static, so the dense pass's degree bins are memoized
         # across iterations (frontier passes bin their subset per round).
         full_bins = None
+        pinned = _resolve_pinned(program, graph) if track_frontier else None
         frontier_vertices: Optional[np.ndarray] = state["frontier_vertices"]
+        if frontier_vertices is not None:
+            frontier_vertices = prune_pinned(frontier_vertices, pinned)
 
         start_iteration = int(state["iteration"])
         # A fault can fire after an iteration's history append but before
@@ -326,11 +387,16 @@ class GLPEngine:
                         else 0.0
                     )
                     # Advance the frontier for the next round (the expand +
-                    # compact kernels are timed on the device).
-                    frontier_vertices = next_frontier(
-                        device,
-                        reversed_graph,
-                        np.flatnonzero(changed_mask),
+                    # compact kernels are timed on the device).  Pinned
+                    # vertices are pruned — their update is a no-op, so
+                    # skipping them changes no label and no trajectory.
+                    frontier_vertices = prune_pinned(
+                        next_frontier(
+                            device,
+                            reversed_graph,
+                            np.flatnonzero(changed_mask),
+                        ),
+                        pinned,
                     )
 
                 stats = IterationStats(
@@ -394,6 +460,7 @@ class GLPEngine:
             converged=converged,
             engine=self.name if self.pass_kind == "binned" else "G-Sort",
             history=history,
+            final_frontier=frontier_vertices if track_frontier else None,
         )
         observe_run(result.engine, result)
         return result

@@ -50,6 +50,8 @@ from repro.kernels import mfl
 from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
 from repro.kernels.frontier import (
     FrontierConfig,
+    coerce_initial_frontier,
+    prune_pinned,
     resolve_frontier,
     use_sparse_pass,
 )
@@ -114,6 +116,9 @@ class HybridEngine:
     """
 
     name = "GLP-Hybrid"
+    #: Accepts ``initial_frontier``/``warm_labels`` for incremental
+    #: re-convergence (see ``docs/incremental_lp.md``).
+    supports_incremental = True
 
     def __init__(
         self,
@@ -189,8 +194,17 @@ class HybridEngine:
         retry_policy: "Optional[object]" = None,
         checkpoint_dir: Optional[str] = None,
         resume_from: Union[object, str, None] = None,
+        initial_frontier: Optional[np.ndarray] = None,
+        warm_labels: Optional[np.ndarray] = None,
     ) -> LPResult:
         """Execute ``program`` on a graph larger than device memory.
+
+        ``initial_frontier``/``warm_labels`` mirror
+        :meth:`GLPEngine.run`'s incremental re-convergence options: with a
+        frontier mode and a ``frontier_safe`` program, iteration 1 runs
+        sparse over the given vertex set on *both* execution shares (the
+        resident GPU slice and the CPU overflow slice) instead of the
+        mandatory dense pass.
 
         The resilience options mirror :meth:`GLPEngine.run`: checkpoints
         are captured at the top of every BSP iteration (labels + program
@@ -206,9 +220,22 @@ class HybridEngine:
         device.reset_timing()
 
         labels = program.init_labels(graph)
+        if warm_labels is not None:
+            from repro.core.framework import _coerce_warm_labels
+
+            labels = _coerce_warm_labels(warm_labels, graph, labels)
         program.init_state(graph, labels)
         validate_program(program, graph, labels)
 
+        initial = None
+        if (
+            initial_frontier is not None
+            and self.frontier.enabled
+            and program.frontier_safe
+        ):
+            initial = coerce_initial_frontier(
+                initial_frontier, graph.num_vertices
+            )
         recovery = RecoveryContext.for_run(
             self.name,
             retry_policy=retry_policy,
@@ -218,6 +245,7 @@ class HybridEngine:
         state: Dict[str, object] = {
             "labels": labels,
             "prev_changed": None,
+            "initial_frontier": initial,
             "iteration": 1,
         }
         iterations: List[IterationStats] = []
@@ -232,7 +260,10 @@ class HybridEngine:
                     program=program,
                     iteration=1,
                     labels=labels,
-                    engine_state={"prev_changed": None},
+                    engine_state={
+                        "prev_changed": None,
+                        "initial_frontier": initial,
+                    },
                 )
         while True:
             try:
@@ -257,10 +288,10 @@ class HybridEngine:
     def _restore(state: Dict[str, object], program: LPProgram, ckpt) -> None:
         """Reset the mutable run state to a checkpoint."""
         ckpt.restore_program(program)
+        engine_state = ckpt.restored_engine_state()
         state["labels"] = ckpt.restored_labels()
-        state["prev_changed"] = ckpt.restored_engine_state().get(
-            "prev_changed"
-        )
+        state["prev_changed"] = engine_state.get("prev_changed")
+        state["initial_frontier"] = engine_state.get("initial_frontier")
         state["iteration"] = ckpt.iteration
 
     def _attempt(
@@ -276,8 +307,19 @@ class HybridEngine:
         stop_on_convergence: bool,
     ) -> LPResult:
         """One execution attempt from the current run state to the end."""
+        from repro.core.framework import _resolve_pinned
+
         device = self.device
         labels = state["labels"]
+        # Pinned vertices are pruned from every sparse worklist (their
+        # update is a no-op); relevant whenever the program is
+        # frontier-safe, since the CPU overflow share sparsifies even in
+        # dense GPU mode.
+        pinned = (
+            _resolve_pinned(program, graph)
+            if program.frontier_safe
+            else None
+        )
         chunks, resident, overflow = self._plan(graph)
         resident_edges = sum(c.num_edges for c in resident)
         overflow_start = overflow[0].start if overflow else graph.num_vertices
@@ -319,6 +361,9 @@ class HybridEngine:
                 )
         converged = False
         prev_changed: Optional[np.ndarray] = state["prev_changed"]
+        # The affected set seeding a sparse iteration 1 (already coerced;
+        # None past iteration 1 or for plain cold/warm-dense runs).
+        initial: Optional[np.ndarray] = state.get("initial_frontier")
         start_iteration = int(state["iteration"])
         del iterations[start_iteration - 1 :]
         if history is not None:
@@ -335,7 +380,12 @@ class HybridEngine:
                         program=program,
                         iteration=iteration,
                         labels=labels,
-                        engine_state={"prev_changed": prev_changed},
+                        engine_state={
+                            "prev_changed": prev_changed,
+                            "initial_frontier": (
+                                initial if iteration == 1 else None
+                            ),
+                        },
                     )
                 iter_started = (
                     time.perf_counter() if active_tracer else 0.0
@@ -348,8 +398,13 @@ class HybridEngine:
 
                 # Host -> device: ship the labels that changed last round
                 # ((id, label) int32 pairs — a stream, not an allocation).
+                # An incremental start only ships the affected set's labels.
                 if iteration == 1:
-                    up_count = graph.num_vertices
+                    up_count = (
+                        int(initial.size)
+                        if initial is not None
+                        else graph.num_vertices
+                    )
                 else:
                     up_count = int(prev_changed.size)
                 if up_count:
@@ -361,12 +416,20 @@ class HybridEngine:
                 )
 
                 # The active frontier (sorted unique out-neighbors of last
-                # round's changed vertices), computed once per iteration on
-                # the host and sliced by both execution shares.
+                # round's changed vertices — or the caller's affected set
+                # at an incremental iteration 1), computed once per
+                # iteration on the host and sliced by both execution shares.
                 frontier_candidates = None
+                incremental_start = initial is not None and iteration == 1
                 if program.frontier_safe and iteration > 1:
                     frontier_candidates = self._changed_out_neighbors(
                         graph, prev_changed
+                    )
+                elif incremental_start:
+                    frontier_candidates = initial
+                if frontier_candidates is not None:
+                    frontier_candidates = prune_pinned(
+                        frontier_candidates, pinned
                     )
 
                 # GPU: resident vertex ranges through the normal kernels —
@@ -376,7 +439,7 @@ class HybridEngine:
                 sparse = False
                 if resident:
                     vertices = resident_vertices
-                    if track_frontier and iteration > 1:
+                    if track_frontier and frontier_candidates is not None:
                         frontier_slice = self._resident_frontier(
                             frontier_candidates, resident_vertices
                         )
@@ -421,6 +484,7 @@ class HybridEngine:
                         frontier_candidates,
                         overflow_start,
                         iteration,
+                        incremental=incremental_start,
                     )
                     if active.size:
                         batch = mfl.expand_edges(graph, active)
@@ -549,6 +613,16 @@ class HybridEngine:
             converged=converged,
             engine=self.name,
             history=history,
+            # The residual frontier: out-neighbors of the final round's
+            # changed vertices (host-side, like every hybrid frontier).
+            final_frontier=(
+                prune_pinned(
+                    self._changed_out_neighbors(graph, prev_changed),
+                    pinned,
+                )
+                if track_frontier
+                else None
+            ),
         )
         observe_run(self.name, result)
         return result
@@ -561,9 +635,17 @@ class HybridEngine:
         frontier_candidates: Optional[np.ndarray],
         overflow_start: int,
         iteration: int,
+        *,
+        incremental: bool = False,
     ) -> np.ndarray:
-        """Overflow vertices the CPU must recompute this iteration."""
-        if iteration == 1 or not program.frontier_safe:
+        """Overflow vertices the CPU must recompute this iteration.
+
+        ``incremental`` marks a seeded sparse iteration 1: the caller's
+        affected set replaces the mandatory dense first pass, so the CPU
+        share sparsifies from the start instead of sweeping the whole
+        overflow range.
+        """
+        if (iteration == 1 and not incremental) or not program.frontier_safe:
             return np.arange(
                 overflow_start, graph.num_vertices, dtype=np.int64
             )

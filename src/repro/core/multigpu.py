@@ -38,8 +38,10 @@ from repro.gpusim.timing import transfer_time
 from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
 from repro.kernels.frontier import (
     FrontierConfig,
+    coerce_initial_frontier,
     expand_frontier,
     compact_frontier,
+    prune_pinned,
     resolve_frontier,
     use_sparse_pass,
 )
@@ -51,6 +53,10 @@ from repro.types import LABEL_DTYPE, WEIGHT_DTYPE
 
 class MultiGPUEngine:
     """Bulk-synchronous LP over several simulated GPUs."""
+
+    #: Accepts ``initial_frontier=``/``warm_labels=`` for incremental
+    #: window slides (see :mod:`repro.pipeline.dynlp`).
+    supports_incremental = True
 
     def __init__(
         self,
@@ -83,23 +89,43 @@ class MultiGPUEngine:
         retry_policy: "Optional[object]" = None,
         checkpoint_dir: Optional[str] = None,
         resume_from: Union[object, str, None] = None,
+        initial_frontier: Optional[np.ndarray] = None,
+        warm_labels: Optional[np.ndarray] = None,
     ) -> LPResult:
         """Run ``program``; resilience options mirror :meth:`GLPEngine.run`.
 
         Checkpoints additionally carry the per-partition frontier lists,
         so a resumed sparse round re-executes on every device exactly as
         the uninterrupted run would have.
+
+        ``initial_frontier``/``warm_labels`` mirror :meth:`GLPEngine.run`:
+        when the program is frontier-safe and frontier machinery is on,
+        iteration 1 runs sparse over the given affected set (split across
+        partitions by vertex ownership) instead of the dense full pass.
         """
         if max_iterations <= 0:
             raise ConvergenceError("max_iterations must be positive")
+        from repro.core.framework import _coerce_warm_labels
         from repro.resilience.recovery import RecoveryContext
 
         for device in self.devices:
             device.reset_timing()
 
         labels = program.init_labels(graph)
+        if warm_labels is not None:
+            labels = _coerce_warm_labels(warm_labels, graph, labels)
         program.init_state(graph, labels)
         validate_program(program, graph, labels)
+
+        initial: Optional[np.ndarray] = None
+        if (
+            initial_frontier is not None
+            and self.frontier.enabled
+            and program.frontier_safe
+        ):
+            initial = coerce_initial_frontier(
+                initial_frontier, graph.num_vertices
+            )
 
         recovery = RecoveryContext.for_run(
             self.name,
@@ -110,6 +136,7 @@ class MultiGPUEngine:
         state: Dict[str, object] = {
             "labels": labels,
             "part_frontiers": None,
+            "initial_frontier": initial,
             "iteration": 1,
         }
         iterations: List[IterationStats] = []
@@ -124,7 +151,10 @@ class MultiGPUEngine:
                     program=program,
                     iteration=1,
                     labels=labels,
-                    engine_state={"part_frontiers": None},
+                    engine_state={
+                        "part_frontiers": None,
+                        "initial_frontier": initial,
+                    },
                 )
         while True:
             try:
@@ -150,9 +180,9 @@ class MultiGPUEngine:
         """Reset the mutable run state to a checkpoint."""
         ckpt.restore_program(program)
         state["labels"] = ckpt.restored_labels()
-        state["part_frontiers"] = ckpt.restored_engine_state().get(
-            "part_frontiers"
-        )
+        engine_state = ckpt.restored_engine_state()
+        state["part_frontiers"] = engine_state.get("part_frontiers")
+        state["initial_frontier"] = engine_state.get("initial_frontier")
         state["iteration"] = ckpt.iteration
 
     def _attempt(
@@ -168,10 +198,14 @@ class MultiGPUEngine:
         stop_on_convergence: bool,
     ) -> LPResult:
         """One execution attempt from the current run state to the end."""
+        from repro.core.framework import _resolve_pinned
+
         labels = state["labels"]
         parts = balanced_edge_partition(graph, self.num_gpus)
         track_frontier = self.frontier.enabled and program.frontier_safe
         reversed_graph = graph.reversed() if track_frontier else None
+        # Pinned vertices never change; prune them from sparse frontiers.
+        pinned = _resolve_pinned(program, graph) if track_frontier else None
 
         # Per-partition vertex ranges and their memoized degree bins
         # (degrees are static, so dense rounds never re-bin).
@@ -193,6 +227,22 @@ class MultiGPUEngine:
         part_frontiers: Optional[List[np.ndarray]] = state["part_frontiers"]
 
         start_iteration = int(state["iteration"])
+        # Incremental start: split the caller's affected set by vertex
+        # ownership so iteration 1 runs sparse on every device.  Once the
+        # loop checkpoints, ``part_frontiers`` carries the split and a
+        # restore re-seeds it without consulting ``initial_frontier``.
+        initial: Optional[np.ndarray] = state.get("initial_frontier")
+        if (
+            track_frontier
+            and part_frontiers is None
+            and initial is not None
+            and start_iteration == 1
+        ):
+            initial = prune_pinned(initial, pinned)
+            part_frontiers = [
+                initial[(initial >= part.start) & (initial < part.stop)]
+                for part in parts
+            ]
         del iterations[start_iteration - 1 :]
         if history is not None:
             del history[start_iteration - 1 :]
@@ -338,7 +388,12 @@ class MultiGPUEngine:
                         else np.empty(0, dtype=np.int64)
                     )
                     part_frontiers.append(
-                        compact_frontier(device, graph.num_vertices, merged)
+                        prune_pinned(
+                            compact_frontier(
+                                device, graph.num_vertices, merged
+                            ),
+                            pinned,
+                        )
                     )
 
             program.on_iteration_end(graph, labels, new_labels, iteration)
@@ -406,6 +461,13 @@ class MultiGPUEngine:
             converged=converged,
             engine=self.name,
             history=history,
+            # Partition frontiers are disjoint (owner-assigned), so the
+            # residual frontier is just their sorted union.
+            final_frontier=(
+                np.unique(np.concatenate(part_frontiers))
+                if track_frontier and part_frontiers is not None
+                else None
+            ),
         )
         observe_run(self.name, result)
         return result

@@ -47,6 +47,12 @@ class LPResult:
         Name of the engine/approach that produced the result (for reports).
     history:
         Optional list of label arrays per iteration (``record_history``).
+    final_frontier:
+        The residual frontier at the end of the run — the vertices whose
+        in-neighbors changed in the last iteration (sorted unique ids).
+        Frontier-tracking engines populate it so incremental window
+        slides can re-converge from exactly the vertices a longer run
+        would have processed next; ``None`` for dense runs.
     """
 
     labels: np.ndarray
@@ -54,6 +60,7 @@ class LPResult:
     converged: bool
     engine: str = "glp"
     history: Optional[List[np.ndarray]] = None
+    final_frontier: Optional[np.ndarray] = None
 
     @property
     def num_iterations(self) -> int:

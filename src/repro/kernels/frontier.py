@@ -110,6 +110,43 @@ def frontier_bitmap_bytes(num_vertices: int) -> int:
     return num_vertices * BITMAP_BYTES
 
 
+def coerce_initial_frontier(
+    frontier, num_vertices: int
+) -> np.ndarray:
+    """Validate an engine's ``initial_frontier=`` argument.
+
+    Incremental callers (the sliding-window serving loop) hand the engines
+    the affected vertex set of a window slide so iteration 1 runs sparse.
+    The engines' frontier machinery assumes sorted unique in-range ids, so
+    coerce here and fail loudly on garbage rather than mislabeling.
+    """
+    frontier = np.unique(np.asarray(frontier, dtype=np.int64))
+    if frontier.size and (
+        frontier[0] < 0 or frontier[-1] >= num_vertices
+    ):
+        raise KernelError(
+            f"initial_frontier ids must be in [0, {num_vertices}); got "
+            f"range [{frontier[0]}, {frontier[-1]}]"
+        )
+    return frontier
+
+
+def prune_pinned(
+    frontier: np.ndarray, pinned: "np.ndarray | None"
+) -> np.ndarray:
+    """Drop pinned vertices from a sparse frontier.
+
+    ``pinned`` is the program's :meth:`~repro.core.api.LPProgram.
+    pinned_vertices` set (sorted unique) — vertices whose update is a
+    guaranteed no-op, so excluding them from the processing set preserves
+    every label and the frontier trajectory while skipping their (often
+    hub-sized) neighbor streams.
+    """
+    if pinned is None or pinned.size == 0 or frontier.size == 0:
+        return frontier
+    return frontier[~np.isin(frontier, pinned, assume_unique=True)]
+
+
 def expand_frontier(
     device: Device, reversed_graph: CSRGraph, changed: np.ndarray
 ) -> np.ndarray:

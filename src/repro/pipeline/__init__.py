@@ -15,6 +15,8 @@ Stages, mirroring the paper's data flow:
    per-stage timing (reproducing the "LP is 75 % of the pipeline" claim).
 7. :mod:`~repro.pipeline.metrics` — detection quality metrics against the
    planted ground truth.
+8. :mod:`~repro.pipeline.dynlp` — DynLP-style incremental re-convergence
+   planning for window slides (edge diff -> affected-vertex frontier).
 """
 
 from repro.pipeline.transactions import TransactionStream, TransactionStreamConfig
@@ -27,6 +29,14 @@ from repro.pipeline.incremental import (
     IncrementalWindowBuilder,
     SlidingWindowDetector,
     warm_start_seeds,
+)
+from repro.pipeline.dynlp import (
+    AffectedSet,
+    IncrementalPlan,
+    WindowDiff,
+    affected_vertices,
+    compute_window_diff,
+    plan_slide,
 )
 
 __all__ = [
@@ -42,4 +52,10 @@ __all__ = [
     "IncrementalWindowBuilder",
     "SlidingWindowDetector",
     "warm_start_seeds",
+    "AffectedSet",
+    "IncrementalPlan",
+    "WindowDiff",
+    "affected_vertices",
+    "compute_window_diff",
+    "plan_slide",
 ]

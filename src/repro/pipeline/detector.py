@@ -93,6 +93,7 @@ class ClusterDetector:
         seeds: Dict[int, int],
         *,
         engine=None,
+        initial_frontier: Optional[np.ndarray] = None,
     ) -> DetectionResult:
         """Run seeded LP on ``window`` and extract suspicious clusters.
 
@@ -100,12 +101,22 @@ class ClusterDetector:
         the hook :class:`~repro.pipeline.incremental.SlidingWindowDetector`
         uses to step down its degradation ladder without rebuilding the
         detector.
+
+        ``initial_frontier`` is the incremental-slide affected set (see
+        :mod:`repro.pipeline.dynlp`); it is forwarded only to engines that
+        advertise ``supports_incremental``, so ladder fallbacks and
+        baselines silently run the usual full detection.
         """
         if not seeds:
             raise PipelineError("seed store contributed no seeds to window")
         run_engine = engine if engine is not None else self.engine
         started = time.perf_counter()
         program = SeededFraudLP(seeds, max_hops=self.max_hops)
+        run_kwargs: Dict[str, object] = {}
+        if initial_frontier is not None and getattr(
+            run_engine, "supports_incremental", False
+        ):
+            run_kwargs["initial_frontier"] = initial_frontier
         with obs.span(
             "lp-detect",
             cat="pipeline",
@@ -113,7 +124,10 @@ class ClusterDetector:
             seeds=len(seeds),
         ):
             lp_result = run_engine.run(
-                window.graph, program, max_iterations=self.max_iterations
+                window.graph,
+                program,
+                max_iterations=self.max_iterations,
+                **run_kwargs,
             )
         labels = lp_result.labels
 

@@ -31,14 +31,20 @@ from repro import obs
 from repro.errors import PipelineError
 from repro.graph.builder import from_edge_arrays
 from repro.pipeline.detector import ClusterDetector, DetectionResult
+from repro.pipeline.dynlp import (
+    MAX_PACKED_USERS,
+    PRODUCT_BITS as _PRODUCT_BITS,
+    PRODUCT_MASK as _PRODUCT_MASK,
+    IncrementalPlan,
+    WindowDiff,
+    compute_window_diff,
+    full_plan,
+    plan_slide,
+)
 from repro.pipeline.seeds import SeedStore
 from repro.pipeline.transactions import TransactionStream
 from repro.pipeline.window import WindowGraph
 from repro.types import NO_LABEL, VERTEX_DTYPE
-
-#: Bit offset packing a (user, product) pair into one int64 key.
-_PRODUCT_BITS = 32
-_PRODUCT_MASK = (1 << _PRODUCT_BITS) - 1
 
 
 class IncrementalWindowBuilder:
@@ -53,10 +59,20 @@ class IncrementalWindowBuilder:
     def __init__(self, stream: TransactionStream) -> None:
         if stream.config.num_products > _PRODUCT_MASK:
             raise PipelineError("too many products for packed pair keys")
+        # The user id occupies the key's high bits; ids at or above
+        # 2**(63-PRODUCT_BITS) would shift into the sign bit and collide
+        # after wrapping, silently merging distinct pairs.
+        if stream.config.num_users > MAX_PACKED_USERS:
+            raise PipelineError(
+                f"too many users ({stream.config.num_users}) for packed "
+                f"int64 pair keys (max {MAX_PACKED_USERS})"
+            )
         self.stream = stream
         self._pair_keys = np.empty(0, dtype=np.int64)
         self._pair_counts = np.empty(0, dtype=np.float64)
         self._days: Set[int] = set()
+        #: The edge diff of the most recent :meth:`slide`.
+        self.last_diff: Optional[WindowDiff] = None
 
     # ------------------------------------------------------------------
     @property
@@ -83,16 +99,31 @@ class IncrementalWindowBuilder:
         self._apply(day, -1.0)
         self._days.remove(day)
 
-    def slide(self) -> None:
-        """Advance the window by one day (retire oldest, add next)."""
+    def slide(self) -> WindowDiff:
+        """Advance the window by one day (retire oldest, add next).
+
+        Returns the slide's explicit edge diff — the added / removed /
+        reweighted (user, product) pairs — which the incremental serving
+        loop turns into an affected-vertex frontier
+        (:mod:`repro.pipeline.dynlp`).
+        """
         if not self._days:
             raise PipelineError("cannot slide an empty window")
         oldest = min(self._days)
         newest = max(self._days)
         if newest + 1 >= self.stream.config.num_days:
             raise PipelineError("stream exhausted")
+        # ``_apply`` replaces the arrays rather than mutating them, so the
+        # pre-slide references stay valid for diffing.
+        before_keys = self._pair_keys
+        before_counts = self._pair_counts
         self.retire_day(oldest)
         self.add_day(newest + 1)
+        diff = compute_window_diff(
+            before_keys, before_counts, self._pair_keys, self._pair_counts
+        )
+        self.last_diff = diff
+        return diff
 
     def snapshot(self) -> dict:
         """Copy the window state so a failed slide can be rolled back."""
@@ -100,6 +131,7 @@ class IncrementalWindowBuilder:
             "pair_keys": self._pair_keys.copy(),
             "pair_counts": self._pair_counts.copy(),
             "days": set(self._days),
+            "last_diff": self.last_diff,
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -107,6 +139,7 @@ class IncrementalWindowBuilder:
         self._pair_keys = snapshot["pair_keys"].copy()
         self._pair_counts = snapshot["pair_counts"].copy()
         self._days = set(snapshot["days"])
+        self.last_diff = snapshot["last_diff"]
 
     def _apply(self, day: int, sign: float) -> None:
         """Fold one day's transactions in (+1) or out (-1), vectorized.
@@ -249,6 +282,19 @@ class SlidingWindowDetector:
         hits device OOM or an unrecovered fault.  The window state and
         warm-start labels survive a crashed slide either way — a failed
         ``slide()`` rolls both back so the same slide can be replayed.
+    incremental:
+        Plan each slide DynLP-style (:mod:`repro.pipeline.dynlp`): compute
+        the affected vertex set from the edge diff and the previous run's
+        residual frontier and hand it to the engine as an initial
+        frontier, so re-convergence costs O(changes) instead of a dense
+        pass.  Falls back to the full warm recompute automatically when
+        the plan cannot prove identity cheaply (cold start, no residual
+        frontier, unsupported engine, or the affected set exceeding
+        ``cutover_ratio``) — and on every degradation-ladder fallback, so
+        an injected fault can never serve stale labels.
+    cutover_ratio:
+        Affected-vertex fraction of the window above which incremental
+        mode cuts over to the full recompute.
     """
 
     def __init__(
@@ -258,6 +304,8 @@ class SlidingWindowDetector:
         *,
         seed_store: Optional[SeedStore] = None,
         degrade: bool = True,
+        incremental: bool = False,
+        cutover_ratio: float = 0.2,
     ) -> None:
         self.stream = stream
         self.detector = detector
@@ -266,7 +314,13 @@ class SlidingWindowDetector:
         )
         self.builder = IncrementalWindowBuilder(stream)
         self.degrade = degrade
+        self.incremental = incremental
+        self.cutover_ratio = cutover_ratio
         self._previous: Optional[Tuple[WindowGraph, np.ndarray]] = None
+        #: Previous detection's residual frontier (previous window ids).
+        self._residual_frontier: Optional[np.ndarray] = None
+        #: The most recent slide's :class:`IncrementalPlan` (or None).
+        self.last_plan: Optional[IncrementalPlan] = None
 
     # ------------------------------------------------------------------
     def start(
@@ -290,19 +344,41 @@ class SlidingWindowDetector:
             raise PipelineError("call start() before slide()")
         snapshot = self.builder.snapshot()
         previous = self._previous
-        self.builder.slide()
+        residual = self._residual_frontier
+        diff = self.builder.slide()
+        m = obs.metrics()
+        if m is not None:
+            m.inc(
+                "pipeline_window_diff_pairs_total",
+                diff.num_added,
+                kind="added",
+            )
+            m.inc(
+                "pipeline_window_diff_pairs_total",
+                diff.num_removed,
+                kind="removed",
+            )
+            m.inc(
+                "pipeline_window_diff_pairs_total",
+                diff.num_reweighted,
+                kind="reweighted",
+            )
+            m.set_gauge("pipeline_window_diff_ratio", diff.change_ratio)
         try:
-            return self._detect()
+            return self._detect(diff=diff)
         except Exception:
             self.builder.restore(snapshot)
             self._previous = previous
+            self._residual_frontier = residual
             m = obs.metrics()
             if m is not None:
                 m.inc("pipeline_slide_replays_total")
             raise
 
     # ------------------------------------------------------------------
-    def _detect(self) -> Tuple[WindowGraph, DetectionResult]:
+    def _detect(
+        self, diff: Optional[WindowDiff] = None
+    ) -> Tuple[WindowGraph, DetectionResult]:
         build_started = time.perf_counter()
         with obs.span("window-build", cat="pipeline"):
             window = self.builder.build()
@@ -337,8 +413,42 @@ class SlidingWindowDetector:
                 "pipeline_warm_start_hit_rate",
                 carried / len(seeds) if seeds else 0.0,
             )
-        result = self._run_detection(window, seeds)
+        plan = full_plan("cold")
+        if self.incremental and diff is not None and self._previous is not None:
+            engine = self.detector.engine
+            engine_ok = (
+                getattr(engine, "supports_incremental", False)
+                and getattr(engine, "frontier", None) is not None
+                and engine.frontier.enabled
+            )
+            with obs.span(
+                "incremental-plan", cat="pipeline", changed=diff.num_changed
+            ):
+                plan = plan_slide(
+                    diff,
+                    self._previous[0],
+                    window,
+                    residual_frontier=self._residual_frontier,
+                    seeds=seeds,
+                    cutover_ratio=self.cutover_ratio,
+                    engine_supported=engine_ok,
+                )
+        self.last_plan = plan
+        if m is not None and self.incremental:
+            m.inc(
+                "pipeline_incremental_total",
+                mode=plan.mode,
+                reason=plan.reason,
+            )
+            m.observe("pipeline_affected_vertices", plan.num_affected)
+            m.set_gauge("pipeline_affected_ratio", plan.affected_ratio)
+        result = self._run_detection(
+            window,
+            seeds,
+            initial_frontier=plan.frontier if plan.incremental else None,
+        )
         self._previous = (window, result.lp_result.labels)
+        self._residual_frontier = result.lp_result.final_frontier
         if m is not None:
             m.observe(
                 "pipeline_serving_latency_seconds",
@@ -352,14 +462,25 @@ class SlidingWindowDetector:
 
     # ------------------------------------------------------------------
     def _run_detection(
-        self, window: WindowGraph, seeds: Dict[int, int]
+        self,
+        window: WindowGraph,
+        seeds: Dict[int, int],
+        initial_frontier: Optional[np.ndarray] = None,
     ) -> DetectionResult:
-        """Detect, stepping down the engine ladder on device failure."""
+        """Detect, stepping down the engine ladder on device failure.
+
+        Only the primary attempt receives ``initial_frontier``: ladder
+        fallbacks rerun the *full* warm detection, so a device fault
+        mid-incremental-slide can degrade the engine but never the
+        answer (no stale labels).
+        """
         from repro.core.hybrid import _record_degradation
         from repro.errors import DeviceFault, OutOfDeviceMemoryError
 
         try:
-            return self.detector.detect(window, seeds)
+            return self.detector.detect(
+                window, seeds, initial_frontier=initial_frontier
+            )
         except (OutOfDeviceMemoryError, DeviceFault) as fault:
             if not self.degrade:
                 raise

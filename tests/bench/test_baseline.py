@@ -51,6 +51,7 @@ class TestRegistry:
             "hybrid_window",
             "multigpu_window",
             "warm_windows",
+            "warm_windows_incremental",
         ):
             assert required in names
 
