@@ -4,7 +4,9 @@
 Usage::
 
     python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON \
-        [ADVISOR_JSON] [--analysis REPORT_JSON ...] [--bench BENCH_JSON ...]
+        [ADVISOR_JSON] [--analysis REPORT_JSON ...] [--bench BENCH_JSON ...] \
+        [--journal JOURNAL_JSONL ...] [--slo SLO_REPORT_JSON ...] \
+        [--postmortem BUNDLE_JSON ...]
 
 Checks that ``TRACE_JSON`` is a loadable Chrome ``trace_event`` document
 with at least one complete kernel span, and that ``METRICS_JSON`` is a
@@ -21,7 +23,13 @@ argument names a ``BENCH_<scenario>.json`` baseline payload (``repro bench
 run``) to validate: schema version, required payload fields, counters, and
 advisor verdicts — plus, for ``warm_windows_incremental``, the incremental
 serving gates (labels identical to the full recompute, >=5x fewer
-processed edges, lower modeled seconds).  Exits non-zero with a
+processed edges, lower modeled seconds).  ``--journal`` validates an
+event-journal JSONL (``repro pipeline --journal-out``): ``journal.meta``
+header, envelope keys, strictly increasing ``seq``, and a consistent
+``run_id``.  ``--slo`` validates an SLO verdict report (``repro pipeline
+--slo-out``) as an analysis report with ``source == "slo"`` plus per-SLO
+verdicts.  ``--postmortem`` validates a flight-recorder bundle
+(``postmortem-NNN.json`` under ``--flight-dir``).  Exits non-zero with a
 message on the first violation — this is the CI gate for ``run
 --trace-out/--metrics-out``, ``advise --json``, the sanitize-gate
 artifacts, and the perf-gate bench payloads.
@@ -71,9 +79,24 @@ ANALYSIS_RULES = {
     "chaos-run-failed",
     "chaos-identity-mismatch",
     "chaos-degraded",
+    "slo-breach",
+    "slo-burn-rate",
+    "slo-missing-metric",
 }
-ANALYSIS_SOURCES = {"sanitizer", "lint", "chaos"}
+ANALYSIS_SOURCES = {"sanitizer", "lint", "chaos", "slo"}
 ANALYSIS_SCHEMA_VERSION = 1
+
+# Kept in sync with repro.obs.journal / repro.obs.flight by
+# tests/obs/test_journal.py and tests/obs/test_flight.py.
+JOURNAL_SCHEMA_VERSION = 1
+JOURNAL_ENVELOPE_KEYS = ("seq", "ts_us", "event", "run_id", "slide_id",
+                         "attempt_id")
+FLIGHT_SCHEMA_VERSION = 1
+POSTMORTEM_KEYS = ("schema_version", "trigger", "run_id", "slide_id",
+                   "attempt_id", "details", "context", "fault_plan",
+                   "metrics", "events")
+TRACE_SCHEMA_VERSION = 1
+METRICS_SCHEMA_VERSION = 1
 
 # Kept in sync with repro.bench.baseline (SCHEMA_VERSION / result_payload)
 # by tests/bench/test_baseline.py.
@@ -103,6 +126,11 @@ def fail(message: str):
 def check_trace(path: str) -> None:
     with open(path) as fh:
         doc = json.load(fh)
+    if doc.get("schema_version") != TRACE_SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail(f"{path}: traceEvents missing or empty")
@@ -127,6 +155,11 @@ def check_trace(path: str) -> None:
 def check_metrics(path: str) -> None:
     with open(path) as fh:
         doc = json.load(fh)
+    if doc.get("schema_version") != METRICS_SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{METRICS_SCHEMA_VERSION}"
+        )
     series = doc.get("metrics")
     if not isinstance(series, list) or not series:
         fail(f"{path}: metrics list missing or empty")
@@ -240,6 +273,106 @@ def check_analysis(path: str) -> None:
     )
 
 
+def check_journal(path: str) -> None:
+    with open(path) as fh:
+        lines = [line for line in fh if line.strip()]
+    if not lines:
+        fail(f"{path}: journal is empty")
+    records = []
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(f"{path}: line {i + 1} is not valid JSON: {error}")
+        if not isinstance(record, dict):
+            fail(f"{path}: line {i + 1} is not a JSON object")
+        records.append(record)
+    meta = records[0]
+    if meta.get("event") != "journal.meta":
+        fail(f"{path}: first line must be the 'journal.meta' header")
+    if meta.get("schema_version") != JOURNAL_SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {meta.get('schema_version')!r} != "
+            f"{JOURNAL_SCHEMA_VERSION}"
+        )
+    run_id = meta.get("run_id")
+    if not run_id or not isinstance(run_id, str):
+        fail(f"{path}: journal.meta header missing run_id")
+    events = records[1:]
+    if not events:
+        fail(f"{path}: no events after the journal.meta header")
+    last_seq = 0
+    for record in events:
+        for key in JOURNAL_ENVELOPE_KEYS:
+            if key not in record:
+                fail(
+                    f"{path}: event {record.get('event')!r} missing "
+                    f"envelope key {key!r}"
+                )
+        if record["run_id"] != run_id:
+            fail(
+                f"{path}: event {record['event']!r} run_id "
+                f"{record['run_id']!r} != header {run_id!r}"
+            )
+        seq = record["seq"]
+        if not isinstance(seq, int) or seq <= last_seq:
+            fail(
+                f"{path}: event {record['event']!r} seq {seq!r} not "
+                f"strictly increasing (last {last_seq})"
+            )
+        last_seq = seq
+        if not isinstance(record["ts_us"], int) or record["ts_us"] < 0:
+            fail(f"{path}: event {record['event']!r} has bad ts_us")
+    slides = {r["slide_id"] for r in events if r["slide_id"]}
+    print(
+        f"check_obs_schema: {path}: OK "
+        f"({len(events)} events, {len(slides)} slide(s), run {run_id})"
+    )
+
+
+def check_slo(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("source") != "slo":
+        fail(f"{path}: source {doc.get('source')!r} != 'slo'")
+    check_analysis(path)
+    verdicts = doc.get("verdicts")
+    if not isinstance(verdicts, list) or not verdicts:
+        fail(f"{path}: verdicts list missing or empty")
+    for verdict in verdicts:
+        for key in ("name", "kind", "objective", "ok", "measured",
+                    "missing", "alerting"):
+            if key not in verdict:
+                fail(
+                    f"{path}: verdict {verdict.get('name')!r} missing "
+                    f"{key!r}"
+                )
+    print(f"check_obs_schema: {path}: OK ({len(verdicts)} SLO verdict(s))")
+
+
+def check_postmortem(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != FLIGHT_SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{FLIGHT_SCHEMA_VERSION}"
+        )
+    for key in POSTMORTEM_KEYS:
+        if key not in doc:
+            fail(f"{path}: post-mortem bundle missing {key!r}")
+    events = doc["events"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: post-mortem carries no flight-recorder events")
+    for event in events:
+        if "event" not in event or "seq" not in event:
+            fail(f"{path}: malformed flight-recorder event: {event}")
+    print(
+        f"check_obs_schema: {path}: OK "
+        f"(trigger {doc['trigger']!r}, {len(events)} events)"
+    )
+
+
 def check_bench(path: str) -> None:
     with open(path) as fh:
         doc = json.load(fh)
@@ -284,25 +417,29 @@ def check_bench(path: str) -> None:
     print(f"check_obs_schema: {path}: OK (scenario {doc['scenario']!r})")
 
 
+def _extract_flag(args: list, flag: str):
+    paths = []
+    while flag in args:
+        i = args.index(flag)
+        if i + 1 >= len(args):
+            print(__doc__)
+            sys.exit(2)
+        paths.append(args[i + 1])
+        del args[i:i + 2]
+    return paths
+
+
 def main(argv) -> int:
     args = list(argv[1:])
-    analysis_paths = []
-    while "--analysis" in args:
-        i = args.index("--analysis")
-        if i + 1 >= len(args):
-            print(__doc__)
-            return 2
-        analysis_paths.append(args[i + 1])
-        del args[i:i + 2]
-    bench_paths = []
-    while "--bench" in args:
-        i = args.index("--bench")
-        if i + 1 >= len(args):
-            print(__doc__)
-            return 2
-        bench_paths.append(args[i + 1])
-        del args[i:i + 2]
-    optional_only = analysis_paths or bench_paths
+    analysis_paths = _extract_flag(args, "--analysis")
+    bench_paths = _extract_flag(args, "--bench")
+    journal_paths = _extract_flag(args, "--journal")
+    slo_paths = _extract_flag(args, "--slo")
+    postmortem_paths = _extract_flag(args, "--postmortem")
+    optional_only = (
+        analysis_paths or bench_paths or journal_paths or slo_paths
+        or postmortem_paths
+    )
     if len(args) not in ((0, 2, 3) if optional_only else (2, 3)):
         print(__doc__)
         return 2
@@ -315,6 +452,12 @@ def main(argv) -> int:
         check_analysis(path)
     for path in bench_paths:
         check_bench(path)
+    for path in journal_paths:
+        check_journal(path)
+    for path in slo_paths:
+        check_slo(path)
+    for path in postmortem_paths:
+        check_postmortem(path)
     print("check_obs_schema: all checks passed")
     return 0
 

@@ -41,6 +41,10 @@ RULES: Dict[str, str] = {
     "chaos-run-failed": "error",
     "chaos-identity-mismatch": "error",
     "chaos-degraded": "warning",
+    # --- SLO monitor (repro.obs.slo) -----------------------------------
+    "slo-breach": "error",
+    "slo-burn-rate": "warning",
+    "slo-missing-metric": "warning",
 }
 
 SEVERITIES = ("error", "warning")
@@ -115,10 +119,10 @@ class Finding:
 class AnalysisReport:
     """Aggregated findings from one sanitizer session or lint run."""
 
-    source: str  # "sanitizer" | "lint" | "chaos"
+    source: str  # "sanitizer" | "lint" | "chaos" | "slo"
     findings: List[Finding] = field(default_factory=list)
-    #: Units inspected: kernel launches (sanitizer), files (lint), or
-    #: fault plans (chaos).
+    #: Units inspected: kernel launches (sanitizer), files (lint),
+    #: fault plans (chaos), or objectives (slo).
     checked: int = 0
 
     def add(self, finding: Finding) -> None:
@@ -173,6 +177,7 @@ class AnalysisReport:
         unit = {
             "sanitizer": "kernel(s)",
             "chaos": "plan(s)",
+            "slo": "objective(s)",
         }.get(self.source, "file(s)")
         lines = [
             f"{self.source}: {self.checked} {unit} checked, "

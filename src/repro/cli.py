@@ -52,6 +52,7 @@ engine's frontier execution mode.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -129,9 +130,24 @@ def _obs_session(args):
     """Activate observability when any obs output flag is set."""
     from repro import obs
 
-    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
-        return obs.enable()
-    return None
+    wanted = any(
+        getattr(args, flag, None)
+        for flag in (
+            "trace_out",
+            "metrics_out",
+            "journal_out",
+            "flight_dir",
+            "slo",
+            "slo_out",
+            "report_out",
+        )
+    )
+    if not wanted:
+        return None
+    session = obs.enable()
+    if getattr(args, "flight_dir", None):
+        session.flight.dump_dir = args.flight_dir
+    return session
 
 
 def _write_obs_outputs(args, session) -> None:
@@ -147,6 +163,62 @@ def _write_obs_outputs(args, session) -> None:
         else:
             session.metrics.write(args.metrics_out)
         print(f"metrics written: {args.metrics_out}", flush=True)
+    if getattr(args, "journal_out", None):
+        session.journal.write(args.journal_out)
+        print(f"journal written: {args.journal_out}", flush=True)
+    if getattr(args, "flight_dir", None) and session.flight.bundles:
+        print(
+            f"post-mortems   : {len(session.flight.bundles)} bundle(s) "
+            f"under {args.flight_dir}",
+            flush=True,
+        )
+
+
+def _finish_serving_outputs(args, session) -> int:
+    """Evaluate SLOs and write the fused run report; exit 1 on breach."""
+    if session is None:
+        return 0
+    slo_report = None
+    if getattr(args, "slo", None):
+        from repro.obs.slo import evaluate_slos, load_slo_spec
+
+        slo_report = evaluate_slos(load_slo_spec(args.slo), session.metrics)
+        print(slo_report.to_text(), flush=True)
+        if getattr(args, "slo_out", None):
+            slo_report.write(args.slo_out)
+            print(f"slo verdicts   : {args.slo_out}", flush=True)
+    if getattr(args, "report_out", None):
+        from repro.obs.report import build_report, render_markdown
+
+        journal_records = None
+        if session.journal is not None:
+            journal_records = [session.journal.meta()] + list(
+                session.journal.events
+            )
+        report = build_report(
+            journal_records=journal_records,
+            metrics_doc=(
+                session.metrics.to_dict()
+                if session.metrics is not None
+                else None
+            ),
+            slo_doc=slo_report.as_dict() if slo_report is not None else None,
+            postmortems=(
+                session.flight.bundles
+                if session.flight is not None
+                else None
+            ),
+        )
+        with open(args.report_out, "w") as fh:
+            if args.report_out.endswith(".json"):
+                json.dump(report, fh, indent=2, sort_keys=True, default=str)
+                fh.write("\n")
+            else:
+                fh.write(render_markdown(report))
+        print(f"run report     : {args.report_out}", flush=True)
+    if slo_report is not None and not slo_report.ok:
+        return 1
+    return 0
 
 
 def _finish_sanitize(args, sanitizer) -> int:
@@ -565,7 +637,7 @@ def _cmd_pipeline(args) -> int:
     print(f"quality        : precision={report.metrics.precision:.2f} "
           f"recall={report.metrics.recall:.2f} f1={report.metrics.f1:.2f}")
     _write_obs_outputs(args, session)
-    return 0
+    return _finish_serving_outputs(args, session)
 
 
 def _cmd_pipeline_sliding(args) -> int:
@@ -632,6 +704,55 @@ def _cmd_pipeline_sliding(args) -> int:
     finally:
         obs.disable()
     _write_obs_outputs(args, session)
+    return _finish_serving_outputs(args, session)
+
+
+def _load_json(path: Optional[str]):
+    if not path:
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _cmd_obs_report(args) -> int:
+    """Fuse journal + metrics + profiler + advisor + SLO into one report."""
+    from repro.obs.journal import read_journal
+    from repro.obs.report import build_report, render_markdown
+    from repro.obs.slo import evaluate_slos, load_slo_spec
+
+    journal_records = read_journal(args.journal) if args.journal else None
+    metrics_doc = _load_json(args.metrics)
+    slo_doc = _load_json(args.slo_report)
+    if slo_doc is None and args.slo:
+        if metrics_doc is None:
+            print(
+                "error: --slo needs --metrics (or use --slo-report)",
+                file=sys.stderr,
+            )
+            return 2
+        slo_doc = evaluate_slos(
+            load_slo_spec(args.slo), metrics_doc
+        ).as_dict()
+    postmortems = [_load_json(path) for path in args.postmortem or []]
+    report = build_report(
+        journal_records=journal_records,
+        metrics_doc=metrics_doc,
+        slo_doc=slo_doc,
+        profile_doc=_load_json(args.profile),
+        advisor_doc=_load_json(args.advisor),
+        postmortems=postmortems,
+    )
+    if args.format == "json":
+        rendered = json.dumps(report, indent=2, sort_keys=True, default=str)
+        rendered += "\n"
+    else:
+        rendered = render_markdown(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered)
+        print(f"report written : {args.out}", flush=True)
+    else:
+        print(rendered, end="", flush=True)
     return 0
 
 
@@ -818,7 +939,52 @@ def build_parser() -> argparse.ArgumentParser:
                           default="glp")
     pipeline.add_argument("--seed", type=int, default=0)
     _add_obs_flags(pipeline)
+    pipeline.add_argument(
+        "--slo", metavar="SPEC.toml",
+        help="evaluate a TOML SLO spec against the run's metrics "
+        "(exit 1 on breach); see benchmarks/serving_slo.toml",
+    )
+    pipeline.add_argument(
+        "--slo-out", metavar="PATH",
+        help="write SLO verdicts as an analysis report (source \"slo\")",
+    )
+    pipeline.add_argument(
+        "--report-out", metavar="PATH",
+        help="write the fused run report (.json for JSON, else markdown)",
+    )
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability artifact tooling (run reports)"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="verb", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="fuse journal + metrics + profiler + advisor + SLO verdicts "
+        "into one run report",
+    )
+    report.add_argument("--journal", metavar="PATH",
+                        help="journal JSONL (--journal-out)")
+    report.add_argument("--metrics", metavar="PATH",
+                        help="metrics JSON dump (--metrics-out)")
+    report.add_argument("--slo", metavar="SPEC.toml",
+                        help="SLO spec to evaluate against --metrics")
+    report.add_argument(
+        "--slo-report", metavar="PATH",
+        help="pre-evaluated SLO verdicts JSON (--slo-out); wins over --slo",
+    )
+    report.add_argument("--profile", metavar="PATH",
+                        help="profiler JSON (profile --json)")
+    report.add_argument("--advisor", metavar="PATH",
+                        help="advisor JSON (advise --json)")
+    report.add_argument(
+        "--postmortem", metavar="PATH", action="append",
+        help="post-mortem bundle JSON (repeatable)",
+    )
+    report.add_argument("--format", choices=["md", "json"], default="md")
+    report.add_argument("--out", metavar="PATH",
+                        help="write the report here instead of stdout")
+    report.set_defaults(func=_cmd_obs_report)
 
     profile = sub.add_parser(
         "profile",
@@ -891,6 +1057,14 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-format", choices=["json", "prometheus"], default="json",
         help="format of --metrics-out (default: json)",
+    )
+    parser.add_argument(
+        "--journal-out", metavar="PATH",
+        help="write the correlation-ID event journal as JSONL",
+    )
+    parser.add_argument(
+        "--flight-dir", metavar="DIR",
+        help="write flight-recorder post-mortem bundles here",
     )
 
 

@@ -104,6 +104,9 @@ class GLPEngine:
     #: Accepts ``initial_frontier``/``warm_labels`` for incremental
     #: re-convergence (see ``docs/incremental_lp.md``).
     supports_incremental = True
+    #: Accepts ``retry_policy``/``checkpoint_dir``/``resume_from``
+    #: (see ``docs/resilience.md``); CPU baselines do not.
+    supports_recovery = True
 
     def __init__(
         self,
@@ -217,24 +220,58 @@ class GLPEngine:
                     labels=labels,
                     engine_state={"frontier_vertices": initial},
                 )
+        attempts = 0
         while True:
-            try:
-                return self._attempt(
-                    graph,
-                    program,
-                    state,
-                    iterations,
-                    history,
-                    recovery,
-                    max_iterations=max_iterations,
-                    stop_on_convergence=stop_on_convergence,
+            attempts += 1
+            with obs.correlate(attempt_id=obs.mint_id("attempt")):
+                obs.emit(
+                    "engine.attempt.start",
+                    engine=self.name,
+                    attempt=attempts,
+                    start_iteration=int(state["iteration"]),
                 )
-            except DeviceFault as fault:
-                if recovery is None:
-                    raise
-                ckpt = recovery.on_fault(fault)
-                with recovery.recovery_span(fault, int(state["iteration"])):
-                    self._restore(state, program, ckpt)
+                try:
+                    result = self._attempt(
+                        graph,
+                        program,
+                        state,
+                        iterations,
+                        history,
+                        recovery,
+                        max_iterations=max_iterations,
+                        stop_on_convergence=stop_on_convergence,
+                    )
+                except DeviceFault as fault:
+                    obs.emit(
+                        "engine.attempt.fault",
+                        engine=self.name,
+                        attempt=attempts,
+                        kind=fault.kind,
+                        transient=fault.transient,
+                        iteration=int(state["iteration"]),
+                    )
+                    if recovery is None:
+                        raise
+                    ckpt = recovery.on_fault(fault)
+                    with recovery.recovery_span(
+                        fault, int(state["iteration"])
+                    ):
+                        self._restore(state, program, ckpt)
+                    obs.emit(
+                        "recovery.restore",
+                        engine=self.name,
+                        iteration=int(ckpt.iteration),
+                        kind=fault.kind,
+                    )
+                    continue
+                obs.emit(
+                    "engine.attempt.end",
+                    engine=self.name,
+                    attempt=attempts,
+                    outcome="ok",
+                    iterations=result.num_iterations,
+                )
+                return result
 
     @staticmethod
     def _restore(state: Dict[str, object], program: LPProgram, ckpt) -> None:

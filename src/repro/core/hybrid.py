@@ -119,6 +119,9 @@ class HybridEngine:
     #: Accepts ``initial_frontier``/``warm_labels`` for incremental
     #: re-convergence (see ``docs/incremental_lp.md``).
     supports_incremental = True
+    #: Accepts ``retry_policy``/``checkpoint_dir``/``resume_from``
+    #: (see ``docs/resilience.md``); CPU baselines do not.
+    supports_recovery = True
 
     def __init__(
         self,
@@ -265,24 +268,58 @@ class HybridEngine:
                         "initial_frontier": initial,
                     },
                 )
+        attempts = 0
         while True:
-            try:
-                return self._attempt(
-                    graph,
-                    program,
-                    state,
-                    iterations,
-                    history,
-                    recovery,
-                    max_iterations=max_iterations,
-                    stop_on_convergence=stop_on_convergence,
+            attempts += 1
+            with obs.correlate(attempt_id=obs.mint_id("attempt")):
+                obs.emit(
+                    "engine.attempt.start",
+                    engine=self.name,
+                    attempt=attempts,
+                    start_iteration=int(state["iteration"]),
                 )
-            except DeviceFault as fault:
-                if recovery is None:
-                    raise
-                ckpt = recovery.on_fault(fault)
-                with recovery.recovery_span(fault, int(state["iteration"])):
-                    self._restore(state, program, ckpt)
+                try:
+                    result = self._attempt(
+                        graph,
+                        program,
+                        state,
+                        iterations,
+                        history,
+                        recovery,
+                        max_iterations=max_iterations,
+                        stop_on_convergence=stop_on_convergence,
+                    )
+                except DeviceFault as fault:
+                    obs.emit(
+                        "engine.attempt.fault",
+                        engine=self.name,
+                        attempt=attempts,
+                        kind=fault.kind,
+                        transient=fault.transient,
+                        iteration=int(state["iteration"]),
+                    )
+                    if recovery is None:
+                        raise
+                    ckpt = recovery.on_fault(fault)
+                    with recovery.recovery_span(
+                        fault, int(state["iteration"])
+                    ):
+                        self._restore(state, program, ckpt)
+                    obs.emit(
+                        "recovery.restore",
+                        engine=self.name,
+                        iteration=int(ckpt.iteration),
+                        kind=fault.kind,
+                    )
+                    continue
+                obs.emit(
+                    "engine.attempt.end",
+                    engine=self.name,
+                    attempt=attempts,
+                    outcome="ok",
+                    iterations=result.num_iterations,
+                )
+                return result
 
     @staticmethod
     def _restore(state: Dict[str, object], program: LPProgram, ckpt) -> None:
@@ -705,14 +742,25 @@ def device_footprint(
 
 
 def _record_degradation(source: str, target: str, fault: Exception) -> None:
+    kind = getattr(fault, "kind", "oom")
     m = obs.metrics()
     if m is not None:
         m.inc(
             "resilience_degradations_total",
             source=source,
             target=target,
-            kind=getattr(fault, "kind", "oom"),
+            kind=kind,
         )
+    obs.emit(
+        "resilience.degradation",
+        source=source,
+        target=target,
+        kind=kind,
+        error=type(fault).__name__,
+    )
+    # A ladder step means the configured engine could not hold the run —
+    # capture the post-mortem while the causal chain is still in the ring.
+    obs.flight_dump("degradation", source=source, target=target, kind=kind)
 
 
 #: run kwargs understood by the CPU engines (the resilience options and

@@ -1,12 +1,19 @@
-"""repro.obs — tracing, metrics and profiling for the whole stack.
+"""repro.obs — tracing, metrics, journal and profiling for the whole stack.
 
-Three integrated layers (see ``docs/observability.md``):
+Integrated layers (see ``docs/observability.md``):
 
 * :mod:`repro.obs.trace` — nested spans with a Chrome ``trace_event``
   exporter (host spans on the wall clock, kernel/memcpy spans on the
   simulator's modeled clock);
 * :mod:`repro.obs.metrics` — named counters / gauges / histograms with
   labeled dimensions, exported as JSON or prometheus text;
+* :mod:`repro.obs.journal` — a structured JSONL event journal with
+  correlation IDs (``run_id`` / ``slide_id`` / ``attempt_id``) threading
+  every slide's plan → attempts → recovery → degradation chain;
+* :mod:`repro.obs.flight` — a bounded ring buffer that dumps post-mortem
+  bundles on unrecovered faults and ladder degradations;
+* :mod:`repro.obs.slo` — declarative TOML SLO specs evaluated over the
+  metrics registry with multi-window burn-rate alerting;
 * :mod:`repro.obs.profile` — an nvprof-style per-kernel report aggregated
   from the device launch timeline.
 
@@ -16,20 +23,23 @@ Observability is **off by default** and activated per-session::
         result = GLPEngine().run(graph, ClassicLP())
     session.tracer.write("trace.json")
     session.metrics.write("metrics.json")
+    session.journal.write("journal.jsonl")
 
 Instrumented code calls the module-level helpers (:func:`span`,
-:func:`metrics`, :func:`tracer`, :func:`session`); with no active session
-they cost one global read and change **nothing** — labels, counters and
-timings are bitwise identical, which ``tests/obs/test_identity.py``
-enforces differentially.
+:func:`metrics`, :func:`tracer`, :func:`emit`, :func:`correlate`,
+:func:`session`); with no active session they cost one global read and
+change **nothing** — labels, counters and timings are bitwise identical,
+which ``tests/obs/test_identity.py`` enforces differentially.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.obs.advisor import AdvisorReport, Finding, KernelDiagnosis
+from repro.obs.flight import FlightRecorder
+from repro.obs.journal import Journal, mint_run_id
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import KernelRow, MemcpyRow, ProfileReport
 from repro.obs.trace import Tracer
@@ -38,8 +48,10 @@ __all__ = [
     "AdvisorReport",
     "Counter",
     "Finding",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "Journal",
     "KernelDiagnosis",
     "KernelRow",
     "MemcpyRow",
@@ -47,9 +59,16 @@ __all__ = [
     "ObsSession",
     "ProfileReport",
     "Tracer",
+    "annotate",
+    "correlate",
     "disable",
+    "emit",
     "enable",
+    "flight",
+    "flight_dump",
+    "journal",
     "metrics",
+    "mint_id",
     "observe",
     "session",
     "span",
@@ -58,13 +77,50 @@ __all__ = [
 
 
 class ObsSession:
-    """One observability session: a tracer plus a metrics registry."""
+    """One observability session: tracer, metrics, journal and flight.
 
-    def __init__(self, *, trace: bool = True, metrics: bool = True) -> None:
+    The session also owns the correlation-ID state: ``run_id`` is minted
+    once at construction; :func:`mint_id` hands out per-kind sequential
+    IDs (``slide-0001``, ``attempt-0003``, ...) and :func:`correlate`
+    scopes them so every :func:`emit` inside the scope carries them.
+    """
+
+    def __init__(
+        self,
+        *,
+        trace: bool = True,
+        metrics: bool = True,
+        journal: bool = True,
+        flight_capacity: int = 256,
+        run_id: Optional[str] = None,
+    ) -> None:
+        self.run_id = run_id if run_id is not None else mint_run_id()
         self.tracer: Optional[Tracer] = Tracer() if trace else None
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if metrics else None
         )
+        self.journal: Optional[Journal] = (
+            Journal(run_id=self.run_id) if journal else None
+        )
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(capacity=flight_capacity) if journal else None
+        )
+        #: Ambient correlation IDs stamped onto every journal event.
+        self.ids: Dict[str, str] = {"slide_id": "", "attempt_id": ""}
+        #: Session context notes included in post-mortem bundles
+        #: (latest checkpoint pointer, slide diff summary, ...).
+        self.context: Dict[str, object] = {}
+        self._id_counters: Dict[str, int] = {}
+
+    def mint_id(self, kind: str) -> str:
+        """The next sequential correlation ID of ``kind``."""
+        n = self._id_counters.get(kind, 0) + 1
+        self._id_counters[kind] = n
+        return f"{kind}-{n:04d}"
+
+    def correlation_ids(self) -> Dict[str, str]:
+        """The ambient IDs, run_id included (for bundles/reports)."""
+        return {"run_id": self.run_id, **self.ids}
 
 
 #: The active session; ``None`` means observability is disabled.
@@ -79,10 +135,21 @@ def session() -> Optional[ObsSession]:
     return _ACTIVE
 
 
-def enable(*, trace: bool = True, metrics: bool = True) -> ObsSession:
+def enable(
+    *,
+    trace: bool = True,
+    metrics: bool = True,
+    journal: bool = True,
+    flight_capacity: int = 256,
+) -> ObsSession:
     """Start a fresh session and make it the active one."""
     global _ACTIVE
-    _ACTIVE = ObsSession(trace=trace, metrics=metrics)
+    _ACTIVE = ObsSession(
+        trace=trace,
+        metrics=metrics,
+        journal=journal,
+        flight_capacity=flight_capacity,
+    )
     return _ACTIVE
 
 
@@ -94,12 +161,21 @@ def disable() -> None:
 
 @contextlib.contextmanager
 def observe(
-    *, trace: bool = True, metrics: bool = True
+    *,
+    trace: bool = True,
+    metrics: bool = True,
+    journal: bool = True,
+    flight_capacity: int = 256,
 ) -> Iterator[ObsSession]:
     """Scoped :func:`enable` / :func:`disable` (restores the previous)."""
     global _ACTIVE
     previous = _ACTIVE
-    current = ObsSession(trace=trace, metrics=metrics)
+    current = ObsSession(
+        trace=trace,
+        metrics=metrics,
+        journal=journal,
+        flight_capacity=flight_capacity,
+    )
     _ACTIVE = current
     try:
         yield current
@@ -119,9 +195,92 @@ def metrics() -> Optional[MetricsRegistry]:
     return s.metrics if s is not None else None
 
 
+def journal() -> Optional[Journal]:
+    """The active journal, or ``None``."""
+    s = _ACTIVE
+    return s.journal if s is not None else None
+
+
+def flight() -> Optional[FlightRecorder]:
+    """The active flight recorder, or ``None``."""
+    s = _ACTIVE
+    return s.flight if s is not None else None
+
+
 def span(name: str, *, cat: str = "host", **args):
     """A host wall-clock span, or a shared no-op context when disabled."""
     s = _ACTIVE
     if s is None or s.tracer is None:
         return _NULL_SPAN
+    if s.journal is not None:
+        ids = s.ids
+        if ids["slide_id"]:
+            args.setdefault("slide_id", ids["slide_id"])
+        if ids["attempt_id"]:
+            args.setdefault("attempt_id", ids["attempt_id"])
     return s.tracer.span(name, cat=cat, args=args or None)
+
+
+# ---------------------------------------------------------------------------
+# Journal / correlation helpers — all no-ops (one global read) when off.
+
+
+def emit(event: str, **fields) -> None:
+    """Append one journal event with the ambient correlation IDs."""
+    s = _ACTIVE
+    if s is None or s.journal is None:
+        return
+    record = s.journal.record(
+        event,
+        slide_id=s.ids["slide_id"],
+        attempt_id=s.ids["attempt_id"],
+        fields=fields,
+    )
+    if s.flight is not None:
+        s.flight.record(record)
+
+
+def mint_id(kind: str) -> str:
+    """Mint a sequential correlation ID, or ``""`` when disabled."""
+    s = _ACTIVE
+    if s is None or s.journal is None:
+        return ""
+    return s.mint_id(kind)
+
+
+@contextlib.contextmanager
+def correlate(**ids: str) -> Iterator[None]:
+    """Scope ambient correlation IDs (``slide_id=`` / ``attempt_id=``)."""
+    s = _ACTIVE
+    if s is None or s.journal is None:
+        yield
+        return
+    previous = {key: s.ids.get(key, "") for key in ids}
+    s.ids.update(ids)
+    try:
+        yield
+    finally:
+        s.ids.update(previous)
+
+
+def annotate(key: str, value: object) -> None:
+    """Attach session context included in post-mortem bundles."""
+    s = _ACTIVE
+    if s is None or s.journal is None:
+        return
+    s.context[key] = value
+
+
+def flight_dump(trigger: str, **details) -> Optional[dict]:
+    """Capture a post-mortem bundle from the active session, if any."""
+    s = _ACTIVE
+    if s is None or s.flight is None:
+        return None
+    emit("flight.dump", trigger=trigger, **details)
+    return s.flight.dump(
+        trigger=trigger,
+        ids=s.correlation_ids(),
+        context=s.context,
+        metrics=s.metrics.to_dict() if s.metrics is not None else None,
+        details=details,
+    )

@@ -25,8 +25,24 @@ from repro.errors import ObservabilityError
 Number = Union[int, float]
 _LabelKey = Tuple[Tuple[str, str], ...]
 
+#: Bump when the JSON export changes incompatibly.
+SCHEMA_VERSION = 1
+
 #: Percentiles every histogram reports.
 PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a prometheus label value per the text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside quoted label values; unescaped they split or
+    corrupt the series line (engine names and fault kinds are free-form
+    strings, so hostile values must round-trip).
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def _label_key(labels: Dict[str, str]) -> _LabelKey:
@@ -79,6 +95,11 @@ class Histogram:
     @property
     def count(self) -> int:
         return len(self._values)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """Raw observations in arrival order (SLO burn-rate windows)."""
+        return tuple(self._values)
 
     @property
     def sum(self) -> float:
@@ -149,6 +170,11 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def series(self):
+        """Live series iterator: ``(kind, name, labels_dict, metric)``."""
+        for (kind, name, labels) in sorted(self._metrics):
+            yield kind, name, dict(labels), self._metrics[(kind, name, labels)]
+
     def to_dict(self) -> dict:
         """Flat export: one entry per (name, labels) series."""
         series = []
@@ -162,7 +188,7 @@ class MetricsRegistry:
                     **metric.snapshot(),
                 }
             )
-        return {"metrics": series}
+        return {"schema_version": SCHEMA_VERSION, "metrics": series}
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -184,7 +210,9 @@ class MetricsRegistry:
             prom_type = "summary" if kind == "histogram" else kind
             lines.append(f"# TYPE {name} {prom_type}")
             for _, labels, metric in entries:
-                base = ",".join(f'{k}="{v}"' for k, v in labels)
+                base = ",".join(
+                    f'{k}="{_escape_label_value(v)}"' for k, v in labels
+                )
                 if kind == "histogram":
                     for q in PERCENTILES:
                         qlabel = f'quantile="{q / 100:g}"'

@@ -30,6 +30,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import ObservabilityError
 from repro.gpusim.counters import PerfCounters
 
+#: Bump when the JSON export changes incompatibly.
+SCHEMA_VERSION = 1
+
 #: Columns ``--sort-by`` accepts, mapped to row attributes.
 SORT_KEYS = {
     "time": "seconds",
@@ -202,6 +205,7 @@ class ProfileReport:
     # ------------------------------------------------------------------
     def to_dict(self, *, sort_by: str = "time") -> dict:
         return {
+            "schema_version": SCHEMA_VERSION,
             "num_devices": self.num_devices,
             "kernel_seconds": self.kernel_seconds,
             "transfer_seconds": self.transfer_seconds,

@@ -1,0 +1,379 @@
+"""Fused run reports: journal + metrics + profiler + advisor + SLOs.
+
+``repro obs report`` turns the machine-readable artifacts one serving run
+leaves behind into a single human-readable (markdown) or machine-readable
+(JSON) report: per-slide causal chains reconstructed from the journal's
+correlation IDs, metric highlights, SLO verdicts, the profiler's top
+kernels and the advisor's findings.
+
+All inputs are the plain exported documents (``Journal`` JSONL records,
+``MetricsRegistry.to_dict()``, ``ProfileReport.to_dict()``,
+``AdvisorReport``/SLO analysis dicts) so the report can be built live at
+the end of a pipeline run or offline from files in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+#: Bump when the JSON report payload changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+#: Counter families surfaced in the highlights section, in order.
+_HIGHLIGHT_COUNTERS = (
+    "pipeline_detections_total",
+    "pipeline_clusters_total",
+    "pipeline_slide_replays_total",
+    "pipeline_incremental_total",
+    "resilience_faults_injected_total",
+    "resilience_retries_total",
+    "resilience_resumes_total",
+    "resilience_degradations_total",
+)
+
+#: Histogram families surfaced in the highlights section, in order.
+_HIGHLIGHT_HISTOGRAMS = (
+    "pipeline_e2e_modeled_seconds",
+    "pipeline_serving_latency_seconds",
+    "pipeline_lp_modeled_seconds",
+    "pipeline_affected_vertices",
+)
+
+
+def summarize_journal(records: Sequence[dict]) -> dict:
+    """Reconstruct per-slide causal chains from journal records.
+
+    ``records`` may include the ``journal.meta`` header; events are
+    grouped by ``slide_id`` and reduced to one summary per slide (plan,
+    attempts, faults, recoveries, degradations, replay, outcome).
+    """
+    meta = next(
+        (r for r in records if r.get("event") == "journal.meta"), None
+    )
+    events = [
+        r
+        for r in records
+        if r.get("event") not in (None, "journal.meta")
+    ]
+    slides: Dict[str, dict] = {}
+    order: List[str] = []
+    for record in events:
+        sid = record.get("slide_id", "")
+        if not sid:
+            continue
+        if sid not in slides:
+            order.append(sid)
+            slides[sid] = {
+                "slide_id": sid,
+                "kind": "",
+                "plan": None,
+                "diff": None,
+                "attempts": [],
+                "faults": 0,
+                "recoveries": 0,
+                "degradations": [],
+                "replayed": False,
+                "detect": None,
+                "end": None,
+                "dumps": 0,
+            }
+        slide = slides[sid]
+        event = record["event"]
+        if event == "slide.start":
+            slide["kind"] = record.get("kind", "")
+        elif event == "slide.plan":
+            slide["plan"] = {
+                "mode": record.get("mode", ""),
+                "reason": record.get("reason", ""),
+                "num_affected": record.get("num_affected", 0),
+                "affected_ratio": record.get("affected_ratio", 0.0),
+            }
+        elif event == "slide.diff":
+            slide["diff"] = {
+                "added": record.get("added", 0),
+                "removed": record.get("removed", 0),
+                "reweighted": record.get("reweighted", 0),
+                "change_ratio": record.get("change_ratio", 0.0),
+            }
+        elif event == "engine.attempt.start":
+            slide["attempts"].append(
+                {
+                    "attempt_id": record.get("attempt_id", ""),
+                    "engine": record.get("engine", ""),
+                    "outcome": "incomplete",
+                }
+            )
+        elif event == "engine.attempt.end":
+            if slide["attempts"]:
+                slide["attempts"][-1]["outcome"] = record.get(
+                    "outcome", "ok"
+                )
+        elif event == "engine.attempt.fault":
+            slide["faults"] += 1
+            if slide["attempts"]:
+                slide["attempts"][-1]["outcome"] = (
+                    f"fault:{record.get('kind', '?')}"
+                )
+        elif event == "recovery.fault":
+            slide["recoveries"] += 1
+        elif event == "resilience.degradation":
+            slide["degradations"].append(
+                f"{record.get('source', '?')}->{record.get('target', '?')}"
+            )
+        elif event == "slide.replay":
+            slide["replayed"] = True
+        elif event == "slide.detect":
+            slide["detect"] = {
+                "engine": record.get("engine", ""),
+                "clusters": record.get("clusters", 0),
+                "iterations": record.get("iterations", 0),
+                "modeled_seconds": record.get("modeled_seconds", 0.0),
+            }
+        elif event == "slide.end":
+            slide["end"] = {
+                "serving_seconds": record.get("serving_seconds", 0.0),
+                "modeled_seconds": record.get("modeled_seconds", 0.0),
+                "clusters": record.get("clusters", 0),
+            }
+        elif event == "flight.dump":
+            slide["dumps"] += 1
+    return {
+        "run_id": (meta or {}).get(
+            "run_id", events[0]["run_id"] if events else ""
+        ),
+        "num_events": len(events),
+        "slides": [slides[sid] for sid in order],
+    }
+
+
+def _metric_entries(metrics_doc: Optional[dict], name: str) -> List[dict]:
+    if not metrics_doc:
+        return []
+    return [
+        entry
+        for entry in metrics_doc.get("metrics", [])
+        if entry.get("name") == name
+    ]
+
+
+def metric_highlights(metrics_doc: Optional[dict]) -> dict:
+    """The counter/latency families the run report surfaces."""
+    counters = []
+    for name in _HIGHLIGHT_COUNTERS:
+        entries = _metric_entries(metrics_doc, name)
+        if entries:
+            counters.append(
+                {
+                    "name": name,
+                    "total": sum(e.get("value", 0) for e in entries),
+                    "series": [
+                        {
+                            "labels": e.get("labels", {}),
+                            "value": e.get("value", 0),
+                        }
+                        for e in entries
+                    ],
+                }
+            )
+    histograms = []
+    for name in _HIGHLIGHT_HISTOGRAMS:
+        entries = _metric_entries(metrics_doc, name)
+        if entries:
+            entry = entries[0]
+            histograms.append(
+                {
+                    "name": name,
+                    "count": entry.get("count", 0),
+                    "p50": entry.get("p50", 0.0),
+                    "p95": entry.get("p95", 0.0),
+                    "p99": entry.get("p99", 0.0),
+                    "max": entry.get("max", 0.0),
+                }
+            )
+    return {"counters": counters, "histograms": histograms}
+
+
+def build_report(
+    *,
+    journal_records: Optional[Sequence[dict]] = None,
+    metrics_doc: Optional[dict] = None,
+    slo_doc: Optional[dict] = None,
+    profile_doc: Optional[dict] = None,
+    advisor_doc: Optional[dict] = None,
+    postmortems: Optional[Sequence[dict]] = None,
+) -> dict:
+    """The fused machine-readable run report."""
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "journal": (
+            summarize_journal(journal_records)
+            if journal_records is not None
+            else None
+        ),
+        "metrics": metric_highlights(metrics_doc),
+        "slo": slo_doc,
+        "profile": profile_doc,
+        "advisor": advisor_doc,
+        "postmortems": [
+            {
+                "trigger": bundle.get("trigger", ""),
+                "slide_id": bundle.get("slide_id", ""),
+                "attempt_id": bundle.get("attempt_id", ""),
+                "details": bundle.get("details", {}),
+                "num_events": len(bundle.get("events", [])),
+            }
+            for bundle in (postmortems or [])
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Markdown rendering.
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{float(value):.3e}"
+
+
+def _render_slides(journal: dict, lines: List[str]) -> None:
+    lines.append("## Slides")
+    lines.append("")
+    lines.append(
+        "| slide | kind | plan | affected | attempts | faults | "
+        "recoveries | degradations | outcome | clusters | modeled s |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|---|---|---|")
+    for slide in journal["slides"]:
+        plan = slide["plan"] or {}
+        plan_str = (
+            f"{plan.get('mode', '-')}/{plan.get('reason', '-')}"
+            if plan
+            else "-"
+        )
+        if slide["replayed"]:
+            outcome = "replayed"
+        elif slide["end"] is not None:
+            outcome = "ok"
+        else:
+            outcome = "failed"
+        engines = " -> ".join(
+            dict.fromkeys(a["engine"] for a in slide["attempts"])
+        )
+        end = slide["end"] or {}
+        lines.append(
+            f"| {slide['slide_id']} | {slide['kind'] or '-'} | {plan_str} "
+            f"| {plan.get('num_affected', '-') if plan else '-'} "
+            f"| {len(slide['attempts'])} ({engines or '-'}) "
+            f"| {slide['faults']} | {slide['recoveries']} "
+            f"| {', '.join(slide['degradations']) or '-'} "
+            f"| {outcome} | {end.get('clusters', '-')} "
+            f"| {_fmt_seconds(end['modeled_seconds']) if end else '-'} |"
+        )
+    lines.append("")
+
+
+def _render_slo(slo_doc: dict, lines: List[str]) -> None:
+    lines.append("## SLO verdicts")
+    lines.append("")
+    verdicts = slo_doc.get("verdicts", [])
+    if verdicts:
+        lines.append("| objective | kind | measured | target | status |")
+        lines.append("|---|---|---|---|---|")
+        for verdict in verdicts:
+            if verdict.get("missing"):
+                status = "missing"
+            elif not verdict.get("ok", True):
+                status = "**BREACH**"
+            elif verdict.get("alerting"):
+                status = "**BURNING**"
+            else:
+                status = "ok"
+            lines.append(
+                f"| {verdict['name']} | {verdict['kind']} "
+                f"| {verdict['measured']:.6g} | {verdict['objective']:.6g} "
+                f"| {status} |"
+            )
+    else:
+        lines.append(
+            f"findings: {slo_doc.get('num_errors', 0)} error(s), "
+            f"{slo_doc.get('num_warnings', 0)} warning(s)"
+        )
+    for finding in slo_doc.get("findings", []):
+        lines.append(
+            f"- `{finding['rule']}` {finding['location']}: "
+            f"{finding['message']}"
+        )
+    lines.append("")
+
+
+def render_markdown(report: dict) -> str:
+    """Render a :func:`build_report` document as markdown."""
+    journal = report.get("journal")
+    lines: List[str] = ["# Serving run report", ""]
+    if journal:
+        lines.append(
+            f"run `{journal['run_id']}` — {journal['num_events']} journal "
+            f"event(s), {len(journal['slides'])} slide(s)"
+        )
+        lines.append("")
+        _render_slides(journal, lines)
+    slo_doc = report.get("slo")
+    if slo_doc:
+        _render_slo(slo_doc, lines)
+    highlights = report.get("metrics") or {}
+    if highlights.get("histograms") or highlights.get("counters"):
+        lines.append("## Metric highlights")
+        lines.append("")
+        if highlights.get("histograms"):
+            lines.append("| histogram | count | p50 | p95 | p99 | max |")
+            lines.append("|---|---|---|---|---|---|")
+            for h in highlights["histograms"]:
+                lines.append(
+                    f"| {h['name']} | {h['count']} "
+                    f"| {_fmt_seconds(h['p50'])} | {_fmt_seconds(h['p95'])} "
+                    f"| {_fmt_seconds(h['p99'])} | {_fmt_seconds(h['max'])} |"
+                )
+            lines.append("")
+        for counter in highlights.get("counters", []):
+            lines.append(f"- `{counter['name']}`: {counter['total']:g}")
+        lines.append("")
+    postmortems = report.get("postmortems") or []
+    if postmortems:
+        lines.append("## Post-mortems")
+        lines.append("")
+        for bundle in postmortems:
+            lines.append(
+                f"- **{bundle['trigger']}** at {bundle['slide_id'] or '?'}"
+                f" ({bundle['num_events']} buffered event(s)):"
+                f" {json.dumps(bundle['details'], sort_keys=True)}"
+            )
+        lines.append("")
+    profile_doc = report.get("profile")
+    if profile_doc:
+        lines.append("## Top kernels (modeled)")
+        lines.append("")
+        lines.append("| kernel | launches | seconds |")
+        lines.append("|---|---|---|")
+        for row in profile_doc.get("kernels", [])[:5]:
+            lines.append(
+                f"| {row.get('name', '?')} | {row.get('launches', 0)} "
+                f"| {_fmt_seconds(row.get('seconds', 0.0))} |"
+            )
+        lines.append("")
+    advisor_doc = report.get("advisor")
+    if advisor_doc:
+        lines.append("## Advisor findings")
+        lines.append("")
+        findings = advisor_doc.get("findings", [])
+        if findings:
+            for finding in findings[:10]:
+                lines.append(
+                    f"- `{finding.get('kernel', '?')}` "
+                    f"[{finding.get('verdict', '?')}]: "
+                    f"{finding.get('message', '')}"
+                )
+        else:
+            lines.append("- none")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

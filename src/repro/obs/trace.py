@@ -27,6 +27,10 @@ import json
 import time
 from typing import Dict, Iterator, List, Optional
 
+#: Bump when the trace export changes incompatibly (extra top-level keys
+#: are legal in the Chrome trace_event "object format").
+SCHEMA_VERSION = 1
+
 #: Synthetic pid of the wall-clock (host) process track.
 HOST_PID = 1
 #: Synthetic pid of the modeled-clock (simulated device) process track.
@@ -202,6 +206,7 @@ class Tracer:
     def chrome_trace(self) -> dict:
         """The full ``trace_event`` document (metadata + events)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "traceEvents": self._metadata_events() + self._events,
             "displayTimeUnit": "ms",
         }

@@ -68,6 +68,11 @@ class ClusterDetector:
         clusters tight and iteration counts low.
     min_cluster_size / max_cluster_size:
         Size band of "small susceptible clusters" handed downstream.
+    retry_policy:
+        Serving-grade in-run recovery: forwarded to engines advertising
+        ``supports_recovery`` so transient device faults retry from the
+        BSP checkpoint instead of failing the whole slide (ladder
+        fallbacks and CPU baselines never see it).
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class ClusterDetector:
         max_hops: Optional[int] = None,
         min_cluster_size: int = 3,
         max_cluster_size: int = 500,
+        retry_policy=None,
     ) -> None:
         if min_cluster_size < 1 or max_cluster_size < min_cluster_size:
             raise PipelineError("invalid cluster size band")
@@ -86,6 +92,7 @@ class ClusterDetector:
         self.max_hops = max_hops
         self.min_cluster_size = min_cluster_size
         self.max_cluster_size = max_cluster_size
+        self.retry_policy = retry_policy
 
     def detect(
         self,
@@ -117,6 +124,10 @@ class ClusterDetector:
             run_engine, "supports_incremental", False
         ):
             run_kwargs["initial_frontier"] = initial_frontier
+        if self.retry_policy is not None and getattr(
+            run_engine, "supports_recovery", False
+        ):
+            run_kwargs["retry_policy"] = self.retry_policy
         with obs.span(
             "lp-detect",
             cat="pipeline",
@@ -162,4 +173,11 @@ class ClusterDetector:
             )
             m.inc("pipeline_detections_total")
             m.inc("pipeline_clusters_total", len(clusters))
+        obs.emit(
+            "slide.detect",
+            engine=getattr(run_engine, "name", type(run_engine).__name__),
+            clusters=len(clusters),
+            iterations=lp_result.num_iterations,
+            modeled_seconds=lp_result.total_seconds,
+        )
         return DetectionResult(clusters=clusters, lp_result=lp_result)

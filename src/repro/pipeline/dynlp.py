@@ -321,6 +321,16 @@ class IncrementalPlan:
     def incremental(self) -> bool:
         return self.mode == "incremental"
 
+    def as_event(self) -> dict:
+        """The plan decision as journal-event payload fields."""
+        return {
+            "mode": self.mode,
+            "reason": self.reason,
+            "num_affected": int(self.num_affected),
+            "num_candidates": int(self.num_candidates),
+            "affected_ratio": float(self.affected_ratio),
+        }
+
 
 def full_plan(reason: str) -> IncrementalPlan:
     """A plan that falls back to the dense warm recompute."""

@@ -331,7 +331,14 @@ class SlidingWindowDetector:
             raise PipelineError("detector already started; use slide()")
         for day in range(start_day, start_day + window_days):
             self.builder.add_day(day)
-        return self._detect()
+        with obs.correlate(slide_id=obs.mint_id("slide"), attempt_id=""):
+            obs.emit(
+                "slide.start",
+                kind="cold",
+                start_day=start_day,
+                window_days=window_days,
+            )
+            return self._detect()
 
     def slide(self) -> Tuple[WindowGraph, DetectionResult]:
         """Advance one day and run a warm-started detection.
@@ -345,35 +352,57 @@ class SlidingWindowDetector:
         snapshot = self.builder.snapshot()
         previous = self._previous
         residual = self._residual_frontier
-        diff = self.builder.slide()
-        m = obs.metrics()
-        if m is not None:
-            m.inc(
-                "pipeline_window_diff_pairs_total",
-                diff.num_added,
-                kind="added",
+        days = self.builder.days
+        with obs.correlate(slide_id=obs.mint_id("slide"), attempt_id=""):
+            obs.emit(
+                "slide.start",
+                kind="slide",
+                retire_day=min(days),
+                add_day=max(days) + 1,
+                window_days=len(days),
             )
-            m.inc(
-                "pipeline_window_diff_pairs_total",
-                diff.num_removed,
-                kind="removed",
-            )
-            m.inc(
-                "pipeline_window_diff_pairs_total",
-                diff.num_reweighted,
-                kind="reweighted",
-            )
-            m.set_gauge("pipeline_window_diff_ratio", diff.change_ratio)
-        try:
-            return self._detect(diff=diff)
-        except Exception:
-            self.builder.restore(snapshot)
-            self._previous = previous
-            self._residual_frontier = residual
+            diff = self.builder.slide()
+            diff_summary = {
+                "added": diff.num_added,
+                "removed": diff.num_removed,
+                "reweighted": diff.num_reweighted,
+                "change_ratio": diff.change_ratio,
+            }
+            obs.emit("slide.diff", **diff_summary)
+            obs.annotate("slide_diff", diff_summary)
             m = obs.metrics()
             if m is not None:
-                m.inc("pipeline_slide_replays_total")
-            raise
+                m.inc(
+                    "pipeline_window_diff_pairs_total",
+                    diff.num_added,
+                    kind="added",
+                )
+                m.inc(
+                    "pipeline_window_diff_pairs_total",
+                    diff.num_removed,
+                    kind="removed",
+                )
+                m.inc(
+                    "pipeline_window_diff_pairs_total",
+                    diff.num_reweighted,
+                    kind="reweighted",
+                )
+                m.set_gauge("pipeline_window_diff_ratio", diff.change_ratio)
+            try:
+                return self._detect(diff=diff)
+            except Exception as error:
+                self.builder.restore(snapshot)
+                self._previous = previous
+                self._residual_frontier = residual
+                m = obs.metrics()
+                if m is not None:
+                    m.inc("pipeline_slide_replays_total")
+                obs.emit(
+                    "slide.replay",
+                    error=type(error).__name__,
+                    kind=getattr(error, "kind", ""),
+                )
+                raise
 
     # ------------------------------------------------------------------
     def _detect(
@@ -434,6 +463,7 @@ class SlidingWindowDetector:
                     engine_supported=engine_ok,
                 )
         self.last_plan = plan
+        obs.emit("slide.plan", **plan.as_event())
         if m is not None and self.incremental:
             m.inc(
                 "pipeline_incremental_total",
@@ -458,6 +488,12 @@ class SlidingWindowDetector:
                 "pipeline_e2e_modeled_seconds",
                 result.lp_result.total_seconds,
             )
+        obs.emit(
+            "slide.end",
+            serving_seconds=time.perf_counter() - build_started,
+            modeled_seconds=result.lp_result.total_seconds,
+            clusters=len(result.clusters),
+        )
         return window, result
 
     # ------------------------------------------------------------------
@@ -482,9 +518,15 @@ class SlidingWindowDetector:
                 window, seeds, initial_frontier=initial_frontier
             )
         except (OutOfDeviceMemoryError, DeviceFault) as fault:
-            if not self.degrade:
-                raise
             source = getattr(self.detector.engine, "name", "engine")
+            if not self.degrade:
+                obs.flight_dump(
+                    "unrecovered-fault",
+                    engine=source,
+                    kind=getattr(fault, "kind", "oom"),
+                    error=type(fault).__name__,
+                )
+                raise
             for fallback in self._fallback_engines():
                 _record_degradation(source, fallback.name, fault)
                 with obs.span(
@@ -501,6 +543,12 @@ class SlidingWindowDetector:
                     except (OutOfDeviceMemoryError, DeviceFault) as next_fault:
                         fault = next_fault
                         source = fallback.name
+            obs.flight_dump(
+                "unrecovered-fault",
+                engine=source,
+                kind=getattr(fault, "kind", "oom"),
+                error=type(fault).__name__,
+            )
             raise fault
 
     def _fallback_engines(self) -> list:

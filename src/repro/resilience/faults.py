@@ -263,6 +263,14 @@ class FaultInjector:
             m = obs.metrics()
             if m is not None:
                 m.inc("resilience_faults_injected_total", kind=spec.kind)
+            obs.emit(
+                "fault.injected",
+                kind=spec.kind,
+                stream=stream,
+                index=index,
+                device=device,
+                detail=detail,
+            )
             exc_class = FAULT_KINDS[spec.kind][1]
             raise exc_class(
                 f"injected {spec.kind} fault at {stream} event {index} "

@@ -170,11 +170,27 @@ class RecoveryContext:
         )
         self.current = ckpt
         self.checkpoints += 1
+        path: Optional[str] = None
         if self.checkpoint_dir is not None:
-            ckpt.save(checkpoint_path(self.checkpoint_dir, self.engine))
+            path = checkpoint_path(self.checkpoint_dir, self.engine)
+            ckpt.save(path)
         m = obs.metrics()
         if m is not None:
             m.inc("resilience_checkpoints_total", engine=self.engine)
+        obs.emit(
+            "recovery.checkpoint",
+            engine=self.engine,
+            iteration=int(iteration),
+            path=path or "",
+        )
+        obs.annotate(
+            "checkpoint",
+            {
+                "engine": self.engine,
+                "iteration": int(iteration),
+                "path": path or "",
+            },
+        )
         return ckpt
 
     # ------------------------------------------------------------------
@@ -192,21 +208,27 @@ class RecoveryContext:
         self.faults.append(fault)
         m = obs.metrics()
         if isinstance(fault, OutOfDeviceMemoryError):
+            self._emit_decision(fault, "escalate")
             raise fault
         if self.current is None:
+            self._emit_decision(fault, "no-checkpoint")
             raise fault
         if fault.transient:
             if self.retries >= self.policy.max_retries:
+                self._emit_decision(fault, "retry-budget-exhausted")
                 raise fault
             self.retries += 1
             attempt = self.retries
             counter = "resilience_retries_total"
+            self._emit_decision(fault, "retry")
         else:
             if self.resumes >= self.policy.max_resumes:
+                self._emit_decision(fault, "resume-budget-exhausted")
                 raise fault
             self.resumes += 1
             attempt = self.resumes
             counter = "resilience_resumes_total"
+            self._emit_decision(fault, "resume")
         backoff = self.policy.backoff_for(attempt)
         self.backoff_total_seconds += backoff
         if backoff > 0 and self.policy.sleep:  # pragma: no cover - timing
@@ -219,6 +241,23 @@ class RecoveryContext:
                 engine=self.engine,
             )
         return self.current
+
+    def _emit_decision(self, fault: DeviceFault, decision: str) -> None:
+        """Journal one recovery decision (no-op when obs is off)."""
+        obs.emit(
+            "recovery.fault",
+            engine=self.engine,
+            kind=fault.kind,
+            transient=fault.transient,
+            decision=decision,
+            retries=self.retries,
+            resumes=self.resumes,
+            checkpoint_iteration=(
+                int(self.current.iteration)
+                if self.current is not None
+                else -1
+            ),
+        )
 
     def recovery_span(self, fault: DeviceFault, iteration: int):
         """An obs span wrapping one restore-and-re-run recovery."""

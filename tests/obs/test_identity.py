@@ -111,3 +111,68 @@ def test_observe_restores_previous_session():
         assert obs.session() is outer
     finally:
         obs.disable()
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        GLPEngine,
+        lambda: __import__(
+            "repro.core.hybrid", fromlist=["HybridEngine"]
+        ).HybridEngine(),
+        lambda: MultiGPUEngine(2),
+    ],
+    ids=["glp", "hybrid", "multigpu"],
+)
+def test_journal_and_flight_change_nothing(powerlaw_graph, factory):
+    """The journal/flight layers must be as invisible as trace/metrics:
+    identical labels with them fully on, fully off, or session-off."""
+    baseline = _run(factory, powerlaw_graph)
+    with obs.observe(journal=True) as on:
+        journaled = _run(factory, powerlaw_graph)
+    with obs.observe(journal=False):
+        unjournaled = _run(factory, powerlaw_graph)
+    _assert_identical(baseline, journaled)
+    _assert_identical(baseline, unjournaled)
+    # The journaled session actually recorded the attempt chain.
+    assert on.journal.events_for(event="engine.attempt.end")
+
+
+def test_sliding_detector_identical_under_full_observability():
+    """Acceptance: journal + SLO + flight enabled vs disabled yields
+    bitwise-identical labels across a dense and an incremental sweep."""
+    from repro.obs.slo import evaluate_slos, load_slo_spec
+
+    def sweep(incremental):
+        from repro.pipeline.incremental import SlidingWindowDetector
+
+        stream = TransactionStream(
+            TransactionStreamConfig(num_days=10, seed=11)
+        )
+        engine = (
+            GLPEngine(frontier="auto") if incremental else GLPEngine()
+        )
+        detector = SlidingWindowDetector(
+            stream,
+            ClusterDetector(engine, max_iterations=10),
+            incremental=incremental,
+        )
+        detector.start(0, 6)
+        hashes = []
+        for _ in range(2):
+            _, result = detector.slide()
+            hashes.append(result.lp_result.labels_hash())
+        return hashes
+
+    for incremental in (False, True):
+        baseline = sweep(incremental)
+        with obs.observe() as session:
+            observed = sweep(incremental)
+            slo_report = evaluate_slos(
+                load_slo_spec("benchmarks/serving_slo.toml"),
+                session.metrics,
+            )
+        assert observed == baseline
+        assert session.journal.events_for(event="slide.end")
+        # Evaluating SLOs reads the registry without touching results.
+        assert len(slo_report.verdicts) == 5

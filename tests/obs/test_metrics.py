@@ -112,3 +112,60 @@ class TestPrometheusText:
         assert 'latency{quantile="0.5"} 2' in text
         assert "latency_count 3" in text
         assert "latency_sum 6" in text
+
+    def test_hostile_label_values_escaped(self):
+        r"""Regression: a label value carrying ``\``, ``"`` or a newline
+        must come out as a single, legally-quoted exposition line —
+        the old exporter emitted the bytes verbatim, corrupting the
+        whole scrape."""
+        registry = MetricsRegistry()
+        registry.inc(
+            "ops_total",
+            path='C:\\tmp\n"quoted"',
+        )
+        text = registry.to_prometheus_text()
+        line = next(
+            l for l in text.splitlines() if l.startswith("ops_total{")
+        )
+        assert line == (
+            'ops_total{path="C:\\\\tmp\\n\\"quoted\\""} 1'
+        )
+        # Still exactly one physical line per series: the newline in the
+        # value must not split the exposition.
+        assert text.count("ops_total{") == 1
+
+    def test_escaping_is_identity_for_clean_values(self):
+        registry = MetricsRegistry()
+        registry.inc("ops_total", engine="GLP-Hybrid")
+        assert 'ops_total{engine="GLP-Hybrid"} 1' in \
+            registry.to_prometheus_text()
+
+
+class TestSchemaVersionAndEmpty:
+    def test_to_dict_carries_schema_version(self):
+        from repro.obs.metrics import SCHEMA_VERSION
+
+        assert MetricsRegistry().to_dict()["schema_version"] == \
+            SCHEMA_VERSION
+
+    def test_empty_registry_snapshot_path(self, tmp_path):
+        """An empty registry (and empty histograms inside one) must
+        export cleanly through every format."""
+        registry = MetricsRegistry()
+        registry.histogram("latency")  # created, never observed
+        assert registry.histogram("latency").percentile(99.0) == 0.0
+        doc = registry.to_dict()
+        hist = next(m for m in doc["metrics"] if m["name"] == "latency")
+        assert hist["count"] == 0
+        assert hist["p50"] == hist["p95"] == hist["p99"] == 0.0
+        path = tmp_path / "metrics.json"
+        registry.write(str(path))
+        assert json.loads(path.read_text())["schema_version"] >= 1
+        assert "latency_count 0" in registry.to_prometheus_text()
+
+    def test_histogram_values_property_is_immutable_copy(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 1.0)
+        values = registry.histogram("latency").values
+        assert values == (1.0,)
+        assert isinstance(values, tuple)

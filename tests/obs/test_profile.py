@@ -138,3 +138,13 @@ class TestCounterSatellites:
         assert "global_transactions=10" in text
         assert "lane_utilization=0.750" in text
         assert "global_store_transactions" not in text
+
+
+class TestSchemaVersion:
+    def test_to_dict_carries_schema_version(self, glp_run):
+        from repro.obs.profile import SCHEMA_VERSION
+
+        engine, _ = glp_run
+        doc = ProfileReport.from_engine(engine).to_dict()
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert json.loads(json.dumps(doc))["schema_version"] >= 1

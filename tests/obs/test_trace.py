@@ -116,3 +116,21 @@ class TestDisabled:
         assert all(
             e["ph"] == "M" for e in tracer.chrome_trace()["traceEvents"]
         )
+
+
+class TestSchemaVersion:
+    def test_chrome_trace_carries_schema_version(self):
+        from repro.obs.trace import SCHEMA_VERSION
+
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.chrome_trace()["schema_version"] == SCHEMA_VERSION
+
+    def test_written_file_carries_schema_version(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        assert json.loads(path.read_text())["schema_version"] >= 1

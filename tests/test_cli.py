@@ -323,3 +323,107 @@ class TestChaosCommand:
               "--iterations", "4", "--seed", "9", "--json"])
         second = json.loads(capsys.readouterr().out)
         assert first["runs"] == second["runs"]
+
+
+class TestServingObservability:
+    def _pipeline(self, tmp_path, *extra):
+        return main([
+            "pipeline", "--days", "12", "--window", "6", "--slides", "2",
+            "--incremental",
+            "--journal-out", str(tmp_path / "journal.jsonl"),
+            "--metrics-out", str(tmp_path / "metrics.json"),
+            *extra,
+        ])
+
+    def test_pipeline_journal_out(self, tmp_path, capsys):
+        code = self._pipeline(tmp_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "journal written" in out
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["event"] == "journal.meta"
+        assert meta["schema_version"] == 1
+        events = [json.loads(l) for l in lines[1:]]
+        assert {"slide.start", "slide.plan", "slide.end"} <= {
+            e["event"] for e in events
+        }
+        # 1 cold start + 2 slides.
+        assert len({e["slide_id"] for e in events if e["slide_id"]}) == 3
+        assert all(e["run_id"] == meta["run_id"] for e in events)
+
+    def test_pipeline_slo_ok(self, tmp_path, capsys):
+        code = self._pipeline(
+            tmp_path,
+            "--slo", "benchmarks/serving_slo.toml",
+            "--slo-out", str(tmp_path / "slo.json"),
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slo: 5 objective(s), 0 breached" in out
+        doc = json.loads((tmp_path / "slo.json").read_text())
+        assert doc["source"] == "slo"
+        assert len(doc["verdicts"]) == 5
+
+    def test_pipeline_slo_breach_exits_nonzero(self, tmp_path, capsys):
+        spec = tmp_path / "strict.toml"
+        spec.write_text(
+            'schema_version = 1\n'
+            '[[slo]]\n'
+            'name = "impossible"\n'
+            'kind = "latency"\n'
+            'metric = "pipeline_e2e_modeled_seconds"\n'
+            'percentile = 95.0\n'
+            'objective = 0.0\n'
+        )
+        code = self._pipeline(tmp_path, "--slo", str(spec))
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "BREACH" in out
+
+    def test_pipeline_report_out(self, tmp_path, capsys):
+        code = self._pipeline(
+            tmp_path,
+            "--slo", "benchmarks/serving_slo.toml",
+            "--report-out", str(tmp_path / "report.md"),
+        )
+        assert code == 0
+        text = (tmp_path / "report.md").read_text()
+        assert "# Serving run report" in text
+        assert "## Slides" in text
+        assert "## SLO verdicts" in text
+
+    def test_obs_report_from_artifacts(self, tmp_path, capsys):
+        self._pipeline(tmp_path)
+        capsys.readouterr()
+        code = main([
+            "obs", "report",
+            "--journal", str(tmp_path / "journal.jsonl"),
+            "--metrics", str(tmp_path / "metrics.json"),
+            "--slo", "benchmarks/serving_slo.toml",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# Serving run report" in out
+        assert "slide-0001" in out
+        assert "slide-e2e-p95" in out
+
+    def test_obs_report_json_format(self, tmp_path, capsys):
+        self._pipeline(tmp_path)
+        capsys.readouterr()
+        code = main([
+            "obs", "report",
+            "--journal", str(tmp_path / "journal.jsonl"),
+            "--format", "json",
+            "--out", str(tmp_path / "report.json"),
+        ])
+        assert code == 0
+        doc = json.loads((tmp_path / "report.json").read_text())
+        assert doc["schema_version"] >= 1
+        assert len(doc["journal"]["slides"]) == 3
+
+    def test_obs_report_slo_requires_metrics(self, capsys):
+        code = main([
+            "obs", "report", "--slo", "benchmarks/serving_slo.toml",
+        ])
+        assert code == 2
