@@ -6,7 +6,7 @@ Usage::
     python benchmarks/check_obs_schema.py TRACE_JSON METRICS_JSON \
         [ADVISOR_JSON] [--analysis REPORT_JSON ...] [--bench BENCH_JSON ...] \
         [--journal JOURNAL_JSONL ...] [--slo SLO_REPORT_JSON ...] \
-        [--postmortem BUNDLE_JSON ...]
+        [--postmortem BUNDLE_JSON ...] [--memory MEMORY_JSON ...]
 
 Checks that ``TRACE_JSON`` is a loadable Chrome ``trace_event`` document
 with at least one complete kernel span, and that ``METRICS_JSON`` is a
@@ -29,7 +29,11 @@ header, envelope keys, strictly increasing ``seq``, and a consistent
 ``run_id``.  ``--slo`` validates an SLO verdict report (``repro pipeline
 --slo-out``) as an analysis report with ``source == "slo"`` plus per-SLO
 verdicts.  ``--postmortem`` validates a flight-recorder bundle
-(``postmortem-NNN.json`` under ``--flight-dir``).  Exits non-zero with a
+(``postmortem-NNN.json`` under ``--flight-dir``).  ``--memory`` validates
+a device-memory watermark report (``--mem-out``): category enum, exact
+per-event reconciliation of live bytes against ``Device.allocated_bytes``,
+a peak explained by the event timeline, and the embedded planner-accuracy
+rows.  Exits non-zero with a
 message on the first violation — this is the CI gate for ``run
 --trace-out/--metrics-out``, ``advise --json``, the sanitize-gate
 artifacts, and the perf-gate bench payloads.
@@ -82,8 +86,11 @@ ANALYSIS_RULES = {
     "slo-breach",
     "slo-burn-rate",
     "slo-missing-metric",
+    "memory-planner-underestimate",
+    "memory-planner-overestimate",
+    "memory-unreconciled",
 }
-ANALYSIS_SOURCES = {"sanitizer", "lint", "chaos", "slo"}
+ANALYSIS_SOURCES = {"sanitizer", "lint", "chaos", "slo", "memory"}
 ANALYSIS_SCHEMA_VERSION = 1
 
 # Kept in sync with repro.obs.journal / repro.obs.flight by
@@ -94,9 +101,29 @@ JOURNAL_ENVELOPE_KEYS = ("seq", "ts_us", "event", "run_id", "slide_id",
 FLIGHT_SCHEMA_VERSION = 1
 POSTMORTEM_KEYS = ("schema_version", "trigger", "run_id", "slide_id",
                    "attempt_id", "details", "context", "fault_plan",
-                   "metrics", "events")
+                   "metrics", "memory", "events")
 TRACE_SCHEMA_VERSION = 1
 METRICS_SCHEMA_VERSION = 1
+
+# Kept in sync with repro.obs.memory by tests/obs/test_memory.py.
+MEMORY_SCHEMA_VERSION = 1
+MEMORY_CATEGORIES = {
+    "csr", "reversed-csr", "labels", "frontier", "exchange",
+    "checkpoint", "scratch",
+}
+MEMORY_DEVICE_KEYS = (
+    "device", "capacity_bytes", "live_bytes", "peak_bytes", "peak_ts",
+    "peak_fraction", "categories_at_peak", "category_peaks", "num_events",
+    "reconciled", "mismatches", "transfers", "events",
+)
+MEMORY_EVENT_KEYS = (
+    "ts", "op", "device", "live_bytes", "device_allocated_bytes",
+    "reconciled",
+)
+MEMORY_ACCURACY_KEYS = (
+    "engine", "device", "source", "predicted_bytes",
+    "measured_peak_bytes", "error_ratio", "within_threshold",
+)
 
 # Kept in sync with repro.bench.baseline (SCHEMA_VERSION / result_payload)
 # by tests/bench/test_baseline.py.
@@ -373,6 +400,90 @@ def check_postmortem(path: str) -> None:
     )
 
 
+def check_memory(path: str) -> None:
+    """Validate a ``--mem-out`` device-memory watermark report.
+
+    The reconciliation contract is load-bearing: per-category live bytes
+    must equal ``Device.allocated_bytes`` at every tracked event, and the
+    tracked peak must be reachable from the event timeline.  The embedded
+    planner-accuracy gate re-validates as an analysis report.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema_version") != MEMORY_SCHEMA_VERSION:
+        fail(
+            f"{path}: schema_version {doc.get('schema_version')!r} != "
+            f"{MEMORY_SCHEMA_VERSION}"
+        )
+    categories = doc.get("categories")
+    if not isinstance(categories, list) or set(categories) != (
+        MEMORY_CATEGORIES
+    ):
+        fail(f"{path}: categories enum out of sync: {categories!r}")
+    if doc.get("reconciled") is not True:
+        fail(f"{path}: watermark report is not reconciled")
+    devices = doc.get("devices")
+    if not isinstance(devices, list) or not devices:
+        fail(f"{path}: devices list missing or empty")
+    total_events = 0
+    for dev in devices:
+        for key in MEMORY_DEVICE_KEYS:
+            if key not in dev:
+                fail(f"{path}: device entry missing {key!r}")
+        idx = dev["device"]
+        if dev["reconciled"] is not True or dev["mismatches"] != 0:
+            fail(f"{path}: gpu{idx} has unreconciled events")
+        for block in (dev["categories_at_peak"], dev["category_peaks"]):
+            unknown = set(block) - MEMORY_CATEGORIES
+            if unknown:
+                fail(f"{path}: gpu{idx} has unknown categories {unknown}")
+        events = dev["events"]
+        if not isinstance(events, list):
+            fail(f"{path}: gpu{idx} events must be a list")
+        last_ts = float("-inf")
+        seen_peak = 0
+        for event in events:
+            for key in MEMORY_EVENT_KEYS:
+                if key not in event:
+                    fail(
+                        f"{path}: gpu{idx} event {event.get('op')!r} "
+                        f"missing {key!r}"
+                    )
+            if event["ts"] < last_ts:
+                fail(f"{path}: gpu{idx} event timeline not monotone in ts")
+            last_ts = event["ts"]
+            if event["live_bytes"] != event["device_allocated_bytes"]:
+                fail(
+                    f"{path}: gpu{idx} {event['op']!r} event: live "
+                    f"{event['live_bytes']} != device "
+                    f"{event['device_allocated_bytes']}"
+                )
+            seen_peak = max(seen_peak, event["live_bytes"])
+        total_events += dev["num_events"]
+        if events and len(events) == dev["num_events"]:
+            # Untruncated timeline: the peak must be explained by it.
+            if seen_peak != dev["peak_bytes"]:
+                fail(
+                    f"{path}: gpu{idx} peak {dev['peak_bytes']} not "
+                    f"reached by its event timeline (max {seen_peak})"
+                )
+    planner = doc.get("planner")
+    if not isinstance(planner, dict) or "accuracy" not in planner:
+        fail(f"{path}: planner accuracy block missing")
+    for row in planner["accuracy"]:
+        for key in MEMORY_ACCURACY_KEYS:
+            if key not in row:
+                fail(f"{path}: planner accuracy row missing {key!r}")
+    analysis = doc.get("analysis")
+    if not isinstance(analysis, dict) or analysis.get("source") != "memory":
+        fail(f"{path}: embedded analysis report missing or wrong source")
+    num_rows = len(planner["accuracy"])
+    print(
+        f"check_obs_schema: {path}: OK ({len(devices)} device(s), "
+        f"{total_events} events, {num_rows} planner prediction(s))"
+    )
+
+
 def check_bench(path: str) -> None:
     with open(path) as fh:
         doc = json.load(fh)
@@ -436,9 +547,10 @@ def main(argv) -> int:
     journal_paths = _extract_flag(args, "--journal")
     slo_paths = _extract_flag(args, "--slo")
     postmortem_paths = _extract_flag(args, "--postmortem")
+    memory_paths = _extract_flag(args, "--memory")
     optional_only = (
         analysis_paths or bench_paths or journal_paths or slo_paths
-        or postmortem_paths
+        or postmortem_paths or memory_paths
     )
     if len(args) not in ((0, 2, 3) if optional_only else (2, 3)):
         print(__doc__)
@@ -458,6 +570,8 @@ def main(argv) -> int:
         check_slo(path)
     for path in postmortem_paths:
         check_postmortem(path)
+    for path in memory_paths:
+        check_memory(path)
     print("check_obs_schema: all checks passed")
     return 0
 

@@ -45,6 +45,13 @@ RULES: Dict[str, str] = {
     "slo-breach": "error",
     "slo-burn-rate": "warning",
     "slo-missing-metric": "warning",
+    # --- memory telemetry (repro.obs.memory) ----------------------------
+    # device_footprint underestimating the measured peak means the
+    # GPU->hybrid->CPU ladder can pick an engine that will OOM mid-run;
+    # overestimating forces needless hybrid/CPU fallbacks.
+    "memory-planner-underestimate": "error",
+    "memory-planner-overestimate": "warning",
+    "memory-unreconciled": "error",
 }
 
 SEVERITIES = ("error", "warning")
@@ -119,7 +126,7 @@ class Finding:
 class AnalysisReport:
     """Aggregated findings from one sanitizer session or lint run."""
 
-    source: str  # "sanitizer" | "lint" | "chaos" | "slo"
+    source: str  # "sanitizer" | "lint" | "chaos" | "slo" | "memory"
     findings: List[Finding] = field(default_factory=list)
     #: Units inspected: kernel launches (sanitizer), files (lint),
     #: fault plans (chaos), or objectives (slo).
@@ -178,6 +185,7 @@ class AnalysisReport:
             "sanitizer": "kernel(s)",
             "chaos": "plan(s)",
             "slo": "objective(s)",
+            "memory": "device(s)",
         }.get(self.source, "file(s)")
         lines = [
             f"{self.source}: {self.checked} {unit} checked, "

@@ -460,9 +460,30 @@ def get_scenario(name: str) -> Scenario:
         ) from None
 
 
-def run_scenario(name: str) -> dict:
-    """Run one registered scenario and return its baseline payload."""
-    return get_scenario(name).run()
+def run_scenario(name: str, *, mem_profile: bool = False) -> dict:
+    """Run one registered scenario and return its baseline payload.
+
+    With ``mem_profile`` the run executes under the device-memory
+    tracker and the payload gains a ``memory`` block: reconciliation
+    status, the planner-accuracy rows (``device_footprint`` predictions
+    vs measured peaks) and any ``memory-planner-*`` findings.  The block
+    is additive — :func:`compare_payloads` only diffs the known fields,
+    so profiled and unprofiled payloads gate identically.
+    """
+    scenario = get_scenario(name)
+    if not mem_profile:
+        return scenario.run()
+    from repro.obs.memory import track
+
+    with track() as tracker:
+        payload = scenario.run()
+        report = tracker.report()
+    payload["memory"] = {
+        "reconciled": report["reconciled"],
+        "planner": report["planner"],
+        "findings": report["analysis"]["findings"],
+    }
+    return payload
 
 
 # ----------------------------------------------------------------------

@@ -43,7 +43,9 @@ from a checkpoint file or directory.
 ``run`` and ``pipeline`` accept ``--trace-out`` (Chrome ``trace_event``
 JSON for Perfetto) and ``--metrics-out`` (metrics registry dump); ``run
 --json`` emits the machine-readable result summary instead of the human
-report.  ``run --sanitize`` executes every kernel under the dynamic
+report.  ``--mem-profile`` tracks per-device live bytes and watermarks
+by allocation category (``--mem-out`` writes the watermark report JSON;
+``repro obs memory --report PATH`` re-renders and gates on it).  ``run --sanitize`` executes every kernel under the dynamic
 race/sync sanitizer (see ``docs/analysis.md``) and exits non-zero on
 hazards; ``run --frontier {dense,frontier,auto}`` selects the GLP
 engine's frontier execution mode.
@@ -142,12 +144,52 @@ def _obs_session(args):
             "report_out",
         )
     )
-    if not wanted:
+    if not wanted and not _memory_wanted(args):
         return None
     session = obs.enable()
     if getattr(args, "flight_dir", None):
         session.flight.dump_dir = args.flight_dir
     return session
+
+
+def _memory_wanted(args) -> bool:
+    return bool(
+        getattr(args, "mem_profile", False) or getattr(args, "mem_out", None)
+    )
+
+
+def _memory_tracker(args):
+    """Install the device-memory tracker when ``--mem-profile`` is set."""
+    if not _memory_wanted(args):
+        return None
+    from repro.gpusim import hooks
+    from repro.obs.memory import MemoryTracker
+
+    tracker = MemoryTracker()
+    hooks.set_memory(tracker)
+    return tracker
+
+
+def _uninstall_memory(tracker) -> None:
+    if tracker is None:
+        return
+    from repro.gpusim import hooks
+
+    if hooks.memory() is tracker:
+        hooks.set_memory(None)
+
+
+def _write_memory_outputs(args, tracker) -> None:
+    """Write ``--mem-out`` or print the watermark report."""
+    if tracker is None:
+        return
+    if getattr(args, "mem_out", None):
+        tracker.write(args.mem_out)
+        print(f"memory report  : {args.mem_out}", flush=True)
+    else:
+        from repro.obs.memory import render_memory_report
+
+        print(render_memory_report(tracker.report()), flush=True)
 
 
 def _write_obs_outputs(args, session) -> None:
@@ -174,7 +216,7 @@ def _write_obs_outputs(args, session) -> None:
         )
 
 
-def _finish_serving_outputs(args, session) -> int:
+def _finish_serving_outputs(args, session, tracker=None) -> int:
     """Evaluate SLOs and write the fused run report; exit 1 on breach."""
     if session is None:
         return 0
@@ -208,6 +250,7 @@ def _finish_serving_outputs(args, session) -> int:
                 if session.flight is not None
                 else None
             ),
+            memory_doc=tracker.report() if tracker is not None else None,
         )
         with open(args.report_out, "w") as fh:
             if args.report_out.endswith(".json"):
@@ -290,6 +333,7 @@ def _cmd_run(args) -> int:
     engine = _build_engine(args.engine, frontier=args.frontier)
     program = _build_program(args.algorithm, args)
     session = _obs_session(args)
+    tracker = _memory_tracker(args)
     sanitizer = analysis.enable_sanitizer() if args.sanitize else None
     injector = None
     try:
@@ -311,6 +355,7 @@ def _cmd_run(args) -> int:
         return 1
     finally:
         obs.disable()
+        _uninstall_memory(tracker)
         if sanitizer is not None:
             analysis.disable_sanitizer()
     fired = (
@@ -326,6 +371,7 @@ def _cmd_run(args) -> int:
             print(f"faults injected: {fired} (recovered)",
                   file=sys.stderr, flush=True)
         _write_obs_outputs(args, session)
+        _write_memory_outputs(args, tracker)
         return _finish_sanitize(args, sanitizer)
     sizes = result.community_sizes()
     print(f"graph          : {graph.name} "
@@ -346,6 +392,7 @@ def _cmd_run(args) -> int:
     if fired:
         print(f"faults injected: {fired} (recovered)")
     _write_obs_outputs(args, session)
+    _write_memory_outputs(args, tracker)
     return _finish_sanitize(args, sanitizer)
 
 
@@ -495,9 +542,22 @@ def _cmd_bench_run(args) -> int:
     payloads = {}
     for name in names:
         print(f"running scenario {name} ...", flush=True)
-        payloads[name] = run_scenario(name)
+        payloads[name] = run_scenario(name, mem_profile=args.mem_profile)
         path = write_baseline(out_dir, payloads[name])
         print(f"  wrote {path}", flush=True)
+        memory = payloads[name].get("memory")
+        if memory is not None:
+            if not memory["reconciled"]:
+                print("  memory: UNRECONCILED", flush=True)
+            for row in memory["planner"].get("accuracy", []):
+                status = "ok" if row["within_threshold"] else "MISS"
+                print(
+                    f"  planner {row['engine']}@gpu{row['device']}: "
+                    f"predicted {row['predicted_bytes']:,} B, measured "
+                    f"{row['measured_peak_bytes']:,} B "
+                    f"({row['error_ratio']:+.1%}) {status}",
+                    flush=True,
+                )
     if args.json:
         import json as _json
 
@@ -622,10 +682,12 @@ def _cmd_pipeline(args) -> int:
     detector = ClusterDetector(engine, max_iterations=20, max_hops=6)
     pipeline = FraudDetectionPipeline(stream, detector)
     session = _obs_session(args)
+    tracker = _memory_tracker(args)
     try:
         report = pipeline.run_window(min(args.window, args.days))
     finally:
         obs.disable()
+        _uninstall_memory(tracker)
     print(f"window         : {report.window_days} days "
           f"(V={report.num_vertices:,}, E={report.num_edges:,})")
     print(f"stage times    : build={report.construction_seconds * 1e3:.2f} ms"
@@ -637,7 +699,8 @@ def _cmd_pipeline(args) -> int:
     print(f"quality        : precision={report.metrics.precision:.2f} "
           f"recall={report.metrics.recall:.2f} f1={report.metrics.f1:.2f}")
     _write_obs_outputs(args, session)
-    return _finish_serving_outputs(args, session)
+    _write_memory_outputs(args, tracker)
+    return _finish_serving_outputs(args, session, tracker)
 
 
 def _cmd_pipeline_sliding(args) -> int:
@@ -676,6 +739,7 @@ def _cmd_pipeline_sliding(args) -> int:
         stream, detector, incremental=args.incremental
     )
     session = _obs_session(args)
+    tracker = _memory_tracker(args)
     try:
         window, detection = sliding.start(0, window_days)
         lp = detection.lp_result
@@ -703,8 +767,10 @@ def _cmd_pipeline_sliding(args) -> int:
             )
     finally:
         obs.disable()
+        _uninstall_memory(tracker)
     _write_obs_outputs(args, session)
-    return _finish_serving_outputs(args, session)
+    _write_memory_outputs(args, tracker)
+    return _finish_serving_outputs(args, session, tracker)
 
 
 def _load_json(path: Optional[str]):
@@ -715,15 +781,36 @@ def _load_json(path: Optional[str]):
 
 
 def _cmd_obs_report(args) -> int:
-    """Fuse journal + metrics + profiler + advisor + SLO into one report."""
+    """Fuse journal + metrics + profiler + advisor + SLO into one report.
+
+    Inputs that were named but are missing or empty on disk degrade to
+    explicit "not collected" report sections instead of raising — a
+    crashed serving run should still yield a (partial) report.
+    """
     from repro.obs.journal import read_journal
     from repro.obs.report import build_report, render_markdown
     from repro.obs.slo import evaluate_slos, load_slo_spec
 
-    journal_records = read_journal(args.journal) if args.journal else None
-    metrics_doc = _load_json(args.metrics)
-    slo_doc = _load_json(args.slo_report)
-    if slo_doc is None and args.slo:
+    not_collected = []
+
+    def _optional(kind, path, loader):
+        if not path:
+            return None
+        try:
+            doc = loader(path)
+        except (OSError, ValueError):
+            # FileNotFoundError, truncated/invalid JSON, empty JSONL.
+            not_collected.append(kind)
+            return None
+        if not doc:
+            not_collected.append(kind)
+            return None
+        return doc
+
+    journal_records = _optional("journal", args.journal, read_journal)
+    metrics_doc = _optional("metrics", args.metrics, _load_json)
+    slo_doc = _optional("slo", args.slo_report, _load_json)
+    if slo_doc is None and args.slo and "slo" not in not_collected:
         if metrics_doc is None:
             print(
                 "error: --slo needs --metrics (or use --slo-report)",
@@ -733,14 +820,21 @@ def _cmd_obs_report(args) -> int:
         slo_doc = evaluate_slos(
             load_slo_spec(args.slo), metrics_doc
         ).as_dict()
-    postmortems = [_load_json(path) for path in args.postmortem or []]
+    postmortems = [
+        bundle
+        for path in args.postmortem or []
+        for bundle in [_optional("postmortem", path, _load_json)]
+        if bundle is not None
+    ]
     report = build_report(
         journal_records=journal_records,
         metrics_doc=metrics_doc,
         slo_doc=slo_doc,
-        profile_doc=_load_json(args.profile),
-        advisor_doc=_load_json(args.advisor),
+        profile_doc=_optional("profile", args.profile, _load_json),
+        advisor_doc=_optional("advisor", args.advisor, _load_json),
+        memory_doc=_optional("memory", args.memory, _load_json),
         postmortems=postmortems,
+        not_collected=not_collected,
     )
     if args.format == "json":
         rendered = json.dumps(report, indent=2, sort_keys=True, default=str)
@@ -754,6 +848,33 @@ def _cmd_obs_report(args) -> int:
     else:
         print(rendered, end="", flush=True)
     return 0
+
+
+def _cmd_obs_memory(args) -> int:
+    """Render a ``--mem-out`` watermark report; gate on its findings."""
+    from repro.obs.memory import render_memory_report
+
+    try:
+        doc = _load_json(args.report)
+    except (OSError, ValueError):
+        doc = None
+    if doc is None:
+        print(
+            f"error: no memory report at {args.report!r} "
+            "(produce one with --mem-profile --mem-out)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_memory_report(doc))
+    errors = [
+        f
+        for f in (doc.get("analysis") or {}).get("findings", [])
+        if f.get("severity") == "error"
+    ]
+    return 1 if (not doc.get("reconciled", False) or errors) else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -913,6 +1034,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir` wrote here instead of re-running the scenarios",
     )
     bench.add_argument(
+        "--mem-profile", action="store_true",
+        help="`bench run` executes each scenario under the device-memory "
+        "tracker and attaches planner-accuracy rows to its payload",
+    )
+    bench.add_argument(
         "--json", action="store_true",
         help="emit machine-readable payloads / gate outcome",
     )
@@ -981,10 +1107,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--postmortem", metavar="PATH", action="append",
         help="post-mortem bundle JSON (repeatable)",
     )
+    report.add_argument(
+        "--memory", metavar="PATH",
+        help="device-memory watermark report JSON (--mem-out)",
+    )
     report.add_argument("--format", choices=["md", "json"], default="md")
     report.add_argument("--out", metavar="PATH",
                         help="write the report here instead of stdout")
     report.set_defaults(func=_cmd_obs_report)
+
+    memory = obs_sub.add_parser(
+        "memory",
+        help="render a --mem-out watermark report; exit 1 on unreconciled "
+        "totals or error-severity planner findings",
+    )
+    memory.add_argument(
+        "--report", metavar="PATH", required=True,
+        help="memory report JSON written by --mem-profile --mem-out",
+    )
+    memory.add_argument(
+        "--json", action="store_true",
+        help="echo the report JSON instead of the text rendering",
+    )
+    memory.set_defaults(func=_cmd_obs_memory)
 
     profile = sub.add_parser(
         "profile",
@@ -1065,6 +1210,16 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--flight-dir", metavar="DIR",
         help="write flight-recorder post-mortem bundles here",
+    )
+    parser.add_argument(
+        "--mem-profile", action="store_true",
+        help="track per-device live bytes and watermarks by allocation "
+        "category (results stay bitwise identical)",
+    )
+    parser.add_argument(
+        "--mem-out", metavar="PATH",
+        help="write the device-memory watermark report JSON here "
+        "(implies --mem-profile)",
     )
 
 

@@ -43,6 +43,7 @@ from repro.core.instrument import observe_iteration, observe_run
 from repro.core.results import IterationStats, LPResult
 from repro.errors import ConvergenceError, DeviceFault
 from repro.graph.csr import CSRGraph
+from repro.gpusim import hooks
 from repro.gpusim.config import TITAN_V, DeviceSpec
 from repro.gpusim.device import Device
 from repro.kernels.base import ELEM_BYTES, GLP_DEFAULT, KernelContext, StrategyConfig
@@ -303,18 +304,36 @@ class GLPEngine:
 
         # Device residency: CSR arrays + the double-buffered label arrays,
         # plus — in frontier mode — the reversed CSR and the frontier bitmap.
-        resident = [
-            device.h2d(graph.offsets),
-            device.h2d(graph.indices),
-            device.h2d(labels),
-            device.alloc(labels.shape, labels.dtype),
-        ]
+        # Each upload is tagged with its semantic category so the memory
+        # tracker (when installed) attributes the watermark correctly.
+        tracker = hooks.memory()
+        if tracker is not None:
+            from repro.core.hybrid import device_footprint
+
+            tracker.note_prediction(
+                self.name,
+                device,
+                device_footprint(graph, program, frontier=self.frontier),
+            )
+        with obs.alloc_scope("csr", "glp.residency"):
+            resident = [
+                device.h2d(graph.offsets),
+                device.h2d(graph.indices),
+            ]
+        with obs.alloc_scope("labels", "glp.residency"):
+            resident.append(device.h2d(labels))
+            resident.append(device.alloc(labels.shape, labels.dtype))
         if graph.weights is not None:
-            resident.append(device.h2d(graph.weights))
+            with obs.alloc_scope("csr", "glp.residency"):
+                resident.append(device.h2d(graph.weights))
         if track_frontier:
-            resident.append(device.h2d(reversed_graph.offsets))
-            resident.append(device.h2d(reversed_graph.indices))
-            resident.append(device.alloc((graph.num_vertices,), np.uint8))
+            with obs.alloc_scope("reversed-csr", "glp.residency"):
+                resident.append(device.h2d(reversed_graph.offsets))
+                resident.append(device.h2d(reversed_graph.indices))
+            with obs.alloc_scope("frontier", "glp.residency"):
+                resident.append(
+                    device.alloc((graph.num_vertices,), np.uint8)
+                )
 
         # Degrees are static, so the dense pass's degree bins are memoized
         # across iterations (frontier passes bin their subset per round).

@@ -31,6 +31,7 @@ from repro.core.results import IterationStats, LPResult
 from repro.errors import ConvergenceError, DeviceFault
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import balanced_edge_partition
+from repro.gpusim import hooks
 from repro.gpusim.config import TITAN_V, DeviceSpec
 from repro.gpusim.counters import PerfCounters
 from repro.gpusim.device import Device
@@ -458,6 +459,14 @@ class MultiGPUEngine:
             observe_iteration(
                 self.name, stats, graph.num_vertices, track_frontier
             )
+            # The exchange is modeled straight on the transfer clock (no
+            # DeviceArray ever exists), so the memory tracker is told
+            # about the traffic explicitly.
+            tracker = hooks.memory()
+            if tracker is not None and exchange_bytes:
+                tracker.on_exchange(
+                    self.devices[0], exchange_bytes, exchange_seconds
+                )
             m = obs.metrics()
             if m is not None:
                 m.inc(

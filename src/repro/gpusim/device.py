@@ -43,6 +43,11 @@ class DeviceArray:
     data: np.ndarray
     device: "Device" = field(repr=False)
     freed: bool = False
+    #: Semantic allocation category (csr, labels, frontier, ...) captured
+    #: from the ambient :func:`repro.gpusim.hooks.memscope` at allocation.
+    category: str = "scratch"
+    #: The engine scope that made the allocation (e.g. ``glp.residency``).
+    origin: str = ""
 
     @property
     def nbytes(self) -> int:
@@ -58,7 +63,12 @@ class DeviceArray:
 
     def _check_alive(self) -> None:
         if self.freed:
-            raise DeviceError("use of freed DeviceArray")
+            where = f" from {self.origin}" if self.origin else ""
+            raise DeviceError(
+                f"use of freed DeviceArray "
+                f"(category={self.category!r}{where}, "
+                f"{self.nbytes} B, shape={tuple(self.shape)})"
+            )
 
 
 @dataclass(frozen=True)
@@ -97,14 +107,20 @@ class Device:
         self.shared = SharedMemoryModel(spec, self.counters)
         self.atomics = AtomicsModel(spec, self.counters)
         self._allocated_bytes = 0
+        self._peak_allocated_bytes = 0
         self._live_arrays: Dict[int, DeviceArray] = {}
         self.timeline: List[LaunchRecord] = []
         self._transfer_seconds = 0.0
         # Per-direction transfer accounting for the nvprof-style report
-        # (raw modeled seconds, before any hybrid overlap credit).
+        # (raw modeled seconds, before any hybrid overlap credit).  Bytes
+        # are accumulated here too — not read back from PerfCounters — so
+        # counts, bytes and seconds always reset together and
+        # transfer_summary() stays internally consistent.
         self._h2d_count = 0
+        self._h2d_bytes = 0
         self._h2d_seconds = 0.0
         self._d2h_count = 0
+        self._d2h_bytes = 0
         self._d2h_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -113,6 +129,11 @@ class Device:
     @property
     def allocated_bytes(self) -> int:
         return self._allocated_bytes
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        """High-water mark of :attr:`allocated_bytes` since the last reset."""
+        return self._peak_allocated_bytes
 
     @property
     def free_bytes(self) -> int:
@@ -128,18 +149,32 @@ class Device:
         data = np.zeros(shape, dtype=dtype)
         return self._register(data)
 
-    def _register(self, data: np.ndarray) -> DeviceArray:
+    def _register(self, data: np.ndarray, *, kind: str = "alloc") -> DeviceArray:
         injector = hooks.faults()
         if injector is not None:
             injector.on_alloc(self.index, data.nbytes)
         if data.nbytes > self.free_bytes:
+            tracker = hooks.memory()
+            if tracker is not None:
+                tracker.on_oom(self, data.nbytes)
             raise OutOfDeviceMemoryError(
                 f"allocation of {data.nbytes} B exceeds free device memory "
                 f"({self.free_bytes} of {self.spec.global_mem_bytes} B)"
             )
-        handle = DeviceArray(data=data, device=self)
+        scope = hooks.memscope()
+        if scope is not None:
+            handle = DeviceArray(
+                data=data, device=self, category=scope[0], origin=scope[1]
+            )
+        else:
+            handle = DeviceArray(data=data, device=self)
         self._allocated_bytes += data.nbytes
+        if self._allocated_bytes > self._peak_allocated_bytes:
+            self._peak_allocated_bytes = self._allocated_bytes
         self._live_arrays[id(handle)] = handle
+        tracker = hooks.memory()
+        if tracker is not None:
+            tracker.on_alloc(self, handle, kind)
         return handle
 
     def free(self, handle: DeviceArray) -> None:
@@ -151,11 +186,26 @@ class Device:
         del self._live_arrays[id(handle)]
         self._allocated_bytes -= handle.nbytes
         handle.freed = True
+        tracker = hooks.memory()
+        if tracker is not None:
+            tracker.on_free(self, handle)
 
-    def free_all(self) -> None:
-        """Release every live allocation (end-of-run cleanup)."""
+    def live_allocations(self) -> List[DeviceArray]:
+        """Snapshot of the live allocation table (insertion order)."""
+        return list(self._live_arrays.values())
+
+    def free_all(self) -> int:
+        """Release every live allocation; return the bytes it freed."""
+        released = 0
+        count = 0
         for handle in list(self._live_arrays.values()):
+            released += handle.nbytes
+            count += 1
             self.free(handle)
+        tracker = hooks.memory()
+        if tracker is not None:
+            tracker.on_free_all(self, released, count)
+        return released
 
     # ------------------------------------------------------------------
     # Transfers
@@ -166,13 +216,19 @@ class Device:
         if injector is not None:
             injector.on_transfer(self.index, host_array.nbytes, "h2d")
         host_array = np.ascontiguousarray(host_array)
-        handle = self._register(host_array.copy())
+        handle = self._register(host_array.copy(), kind="h2d")
         seconds = transfer_time(host_array.nbytes, self.spec)
         self._record_memcpy("[memcpy HtoD]", host_array.nbytes, seconds)
         self.counters.h2d_bytes += host_array.nbytes
         self._transfer_seconds += seconds
         self._h2d_count += 1
+        self._h2d_bytes += host_array.nbytes
         self._h2d_seconds += seconds
+        tracker = hooks.memory()
+        if tracker is not None:
+            tracker.on_transfer(
+                self, "h2d", host_array.nbytes, seconds, streamed=False
+            )
         return handle
 
     def d2h(self, handle: DeviceArray) -> np.ndarray:
@@ -186,7 +242,13 @@ class Device:
         self.counters.d2h_bytes += handle.nbytes
         self._transfer_seconds += seconds
         self._d2h_count += 1
+        self._d2h_bytes += handle.nbytes
         self._d2h_seconds += seconds
+        tracker = hooks.memory()
+        if tracker is not None:
+            tracker.on_transfer(
+                self, "d2h", handle.nbytes, seconds, streamed=False
+            )
         return handle.data.copy()
 
     def _record_memcpy(self, name: str, nbytes: int, seconds: float) -> None:
@@ -217,7 +279,11 @@ class Device:
         self.counters.h2d_bytes += nbytes
         self._transfer_seconds += seconds
         self._h2d_count += 1
+        self._h2d_bytes += nbytes
         self._h2d_seconds += seconds
+        tracker = hooks.memory()
+        if tracker is not None:
+            tracker.on_transfer(self, "h2d", nbytes, seconds, streamed=True)
 
     def stream_to_host(self, nbytes: int) -> None:
         """Account a D2H stream that reads no allocation (label deltas)."""
@@ -229,19 +295,31 @@ class Device:
         self.counters.d2h_bytes += nbytes
         self._transfer_seconds += seconds
         self._d2h_count += 1
+        self._d2h_bytes += nbytes
         self._d2h_seconds += seconds
+        tracker = hooks.memory()
+        if tracker is not None:
+            tracker.on_transfer(self, "d2h", nbytes, seconds, streamed=True)
 
     def transfer_summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-direction transfer totals (count, bytes, raw seconds)."""
+        """Per-direction transfer totals (count, bytes, raw seconds).
+
+        All three fields per direction are accumulated by the same
+        code paths and reset together by :meth:`reset_timing`, so they
+        reconcile exactly against any external transfer journal (bytes
+        used to be read from :class:`PerfCounters`, which resets on a
+        different schedule — ``reset_timing(reset_counters=False)`` left
+        counts and bytes describing different sets of transfers).
+        """
         return {
             "h2d": {
                 "count": self._h2d_count,
-                "bytes": self.counters.h2d_bytes,
+                "bytes": self._h2d_bytes,
                 "seconds": self._h2d_seconds,
             },
             "d2h": {
                 "count": self._d2h_count,
-                "bytes": self.counters.d2h_bytes,
+                "bytes": self._d2h_bytes,
                 "seconds": self._d2h_seconds,
             },
         }
@@ -373,9 +451,14 @@ class Device:
         self.timeline.clear()
         self._transfer_seconds = 0.0
         self._h2d_count = 0
+        self._h2d_bytes = 0
         self._h2d_seconds = 0.0
         self._d2h_count = 0
+        self._d2h_bytes = 0
         self._d2h_seconds = 0.0
+        # A fresh run measures its own high-water mark on top of whatever
+        # is still resident (normally nothing — engines free on exit).
+        self._peak_allocated_bytes = self._allocated_bytes
         if reset_counters:
             self.counters.reset()
 

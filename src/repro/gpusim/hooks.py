@@ -27,6 +27,17 @@ event indices.  With no injector installed every forward is one module
 read plus a ``None`` check — zero perturbation, same contract as the
 sanitizer and :mod:`repro.obs`.
 
+The registry also carries the **memory-telemetry** slots used by
+:mod:`repro.obs.memory`: an ambient :class:`~repro.obs.memory.MemoryTracker`
+(:func:`set_memory` / :func:`memory`) that ``Device.alloc``/``free``/
+``free_all``/``h2d``/``d2h``/``stream_to_device``/``stream_to_host``
+forward allocation and transfer events to, and an ambient allocation
+scope tag (:func:`set_memscope` / :func:`memscope`) engines set around
+their residency uploads so every allocation is attributed to a semantic
+category (``csr``, ``labels``, ``frontier``, ...).  Same zero-perturbation
+contract: with no tracker installed each forward is one module read plus
+a ``None`` check.
+
 This module deliberately imports nothing: the simulator must stay loadable
 without :mod:`repro.analysis` or :mod:`repro.resilience`, and those
 packages plug in through these slots only.
@@ -76,3 +87,34 @@ def set_faults(injector) -> None:
     """Install (or clear, with ``None``) the ambient fault injector."""
     global _FAULTS
     _FAULTS = injector
+
+
+#: Ambient device-memory tracker (:class:`repro.obs.memory.MemoryTracker`)
+#: alloc/free/h2d/d2h/stream events are forwarded to (or ``None``).
+_MEMORY = None
+
+#: Ambient allocation scope tag — a ``(category, origin)`` tuple naming
+#: the semantic meaning of allocations made while it is set (or ``None``).
+_MEMSCOPE = None
+
+
+def memory():
+    """The installed memory tracker, if any."""
+    return _MEMORY
+
+
+def set_memory(tracker) -> None:
+    """Install (or clear, with ``None``) the ambient memory tracker."""
+    global _MEMORY
+    _MEMORY = tracker
+
+
+def memscope():
+    """The ambient ``(category, origin)`` allocation tag, if any."""
+    return _MEMSCOPE
+
+
+def set_memscope(scope) -> None:
+    """Set (or clear, with ``None``) the ambient allocation tag."""
+    global _MEMSCOPE
+    _MEMSCOPE = scope

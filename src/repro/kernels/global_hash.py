@@ -19,6 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.kernels import mfl
 from repro.kernels.base import (
     ELEM_BYTES,
@@ -66,7 +67,8 @@ def run_global_hash(
             table = GlobalHashTable.for_expected_keys(
                 max(1, groups.num_groups), load_factor=0.5
             )
-            table_mem = device.alloc((table.capacity,), np.int64)
+            with obs.alloc_scope("scratch", "kernels.ghash.table"):
+                table_mem = device.alloc((table.capacity,), np.int64)
             try:
                 neighbor_labels = ctx.current_labels[batch.neighbor_ids]
                 edge_labels, _ = ctx.program.load_neighbor(

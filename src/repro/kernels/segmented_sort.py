@@ -20,6 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.kernels import mfl
 from repro.kernels.base import (
     ELEM_BYTES,
@@ -65,7 +66,8 @@ def run_segmented_sort(
 
     # The NL array is a graph-sized device allocation (the paper's memory-
     # overhead criticism); it lives for the duration of the pass.
-    nl_array = device.alloc((max(1, num_edges),), np.int64)
+    with obs.alloc_scope("scratch", "kernels.gsort.nl"):
+        nl_array = device.alloc((max(1, num_edges),), np.int64)
     try:
         with device.launch("gsort-gather"):
             warp_steps = warp_steps_one_warp_per_vertex(graph, batch)

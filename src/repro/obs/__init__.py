@@ -15,7 +15,11 @@ Integrated layers (see ``docs/observability.md``):
 * :mod:`repro.obs.slo` — declarative TOML SLO specs evaluated over the
   metrics registry with multi-window burn-rate alerting;
 * :mod:`repro.obs.profile` — an nvprof-style per-kernel report aggregated
-  from the device launch timeline.
+  from the device launch timeline;
+* :mod:`repro.obs.memory` — device-memory telemetry: a per-device
+  allocation timeline with semantic categories, Chrome-trace counter
+  tracks, watermark reports and a ``device_footprint`` planner-accuracy
+  gate, installed through the :mod:`repro.gpusim.hooks` registry.
 
 Observability is **off by default** and activated per-session::
 
@@ -40,6 +44,8 @@ from typing import Dict, Iterator, Optional
 from repro.obs.advisor import AdvisorReport, Finding, KernelDiagnosis
 from repro.obs.flight import FlightRecorder
 from repro.obs.journal import Journal, mint_run_id
+from repro.obs.memory import MemoryTracker, alloc_scope
+from repro.obs.memory import track as track_memory
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import KernelRow, MemcpyRow, ProfileReport
 from repro.obs.trace import Tracer
@@ -55,10 +61,12 @@ __all__ = [
     "KernelDiagnosis",
     "KernelRow",
     "MemcpyRow",
+    "MemoryTracker",
     "MetricsRegistry",
     "ObsSession",
     "ProfileReport",
     "Tracer",
+    "alloc_scope",
     "annotate",
     "correlate",
     "disable",
@@ -73,6 +81,7 @@ __all__ = [
     "session",
     "span",
     "tracer",
+    "track_memory",
 ]
 
 

@@ -32,6 +32,11 @@ hints — and a machine-readable *verdict* per kernel (``memory-bound`` /
 ``compute-bound`` / ``latency-bound``).  PCIe transfers are diagnosed
 separately (``transfer-bound`` finding above a configurable share), so
 the kernel section still reconciles against the run's kernel time.
+Device-memory pressure likewise gets its own finding-level
+``memory-capacity-bound`` verdict (with spill/shard hints) when a
+device's peak residency exceeds :data:`MEMORY_PRESSURE_THRESHOLD` of
+capacity — close enough to ``run_auto``'s 0.9 admission line that the
+next growth step would force a ladder degradation.
 """
 
 from __future__ import annotations
@@ -104,6 +109,12 @@ HINTS = {
         "deltas instead of full arrays and overlap copies with kernels "
         "(hybrid streaming, Section 3.1; paper's <10% target)"
     ),
+    "memory-capacity-bound": (
+        "device memory is nearly full: spill cold CSR chunks to the host "
+        "(hybrid overflow streaming, Section 3.1), shard the graph across "
+        "devices (multi-GPU edge partitioning), or drop the reversed CSR "
+        "by running dense instead of frontier mode"
+    ),
 }
 
 #: Findings below this share of total kernel time are noise, not advice.
@@ -112,6 +123,12 @@ FINDING_MIN_SHARE = 0.01
 #: Transfer share of elapsed time above which a transfer finding fires
 #: (the paper's Section 5.4 "<10% visible transfer overhead" target).
 TRANSFER_SHARE_THRESHOLD = 0.10
+
+#: Peak-allocation share of device capacity above which a
+#: ``memory-capacity-bound`` finding fires (run_auto's ladder admits
+#: GLP residency up to 0.9 of capacity, so 0.8 flags runs one growth
+#: step away from a forced degradation).
+MEMORY_PRESSURE_THRESHOLD = 0.80
 
 
 def attribute_launch(
@@ -260,6 +277,7 @@ class AdvisorReport:
         *,
         transfer_summary: Optional[dict] = None,
         num_devices: int = 1,
+        memory_summary: Optional[List[dict]] = None,
     ) -> None:
         self.kernels = sorted(
             kernels, key=lambda k: k.seconds, reverse=True
@@ -269,6 +287,9 @@ class AdvisorReport:
             "d2h": {"count": 0, "bytes": 0, "seconds": 0.0},
         }
         self.num_devices = num_devices
+        #: Per-device peak residency rows: ``{"device", "peak_bytes",
+        #: "capacity_bytes"}`` — drives the memory-capacity-bound finding.
+        self.memory_summary = memory_summary or []
         self.findings = self._rank_findings()
 
     # ------------------------------------------------------------------
@@ -282,6 +303,7 @@ class AdvisorReport:
             "h2d": {"count": 0, "bytes": 0, "seconds": 0.0},
             "d2h": {"count": 0, "bytes": 0, "seconds": 0.0},
         }
+        memory_summary = []
         for device in devices:
             for record in device.timeline:
                 diag = kernels.get(record.name)
@@ -294,10 +316,18 @@ class AdvisorReport:
             for direction in ("h2d", "d2h"):
                 for key in transfers[direction]:
                     transfers[direction][key] += summary[direction][key]
+            memory_summary.append(
+                {
+                    "device": device.index,
+                    "peak_bytes": int(device.peak_allocated_bytes),
+                    "capacity_bytes": int(device.spec.global_mem_bytes),
+                }
+            )
         return cls(
             list(kernels.values()),
             transfer_summary=transfers,
             num_devices=len(devices),
+            memory_summary=memory_summary,
         )
 
     @classmethod
@@ -393,6 +423,28 @@ class AdvisorReport:
                     hint=HINTS["transfer-bound"],
                 )
             )
+        for row in self.memory_summary:
+            capacity = row.get("capacity_bytes", 0)
+            if not capacity:
+                continue
+            fraction = row.get("peak_bytes", 0) / capacity
+            if fraction <= MEMORY_PRESSURE_THRESHOLD:
+                continue
+            findings.append(
+                Finding(
+                    kernel=f"[gpu{row.get('device', 0)} memory]",
+                    verdict="memory-capacity-bound",
+                    seconds=0.0,
+                    severity=fraction,
+                    message=(
+                        f"peak device residency "
+                        f"{row['peak_bytes']} B is {fraction:.0%} of "
+                        f"capacity ({capacity} B); the next growth step "
+                        f"forces a ladder degradation"
+                    ),
+                    hint=HINTS["memory-capacity-bound"],
+                )
+            )
         findings.sort(key=lambda f: f.severity, reverse=True)
         return findings
 
@@ -404,6 +456,7 @@ class AdvisorReport:
             "transfer_seconds": self.transfer_seconds,
             "transfer_fraction": self.transfer_fraction,
             "total_causes": self.total_causes(),
+            "memory": [dict(row) for row in self.memory_summary],
             "kernels": [k.as_dict() for k in self.kernels],
             "findings": [f.as_dict() for f in self.findings],
         }

@@ -14,6 +14,9 @@ when something unrecoverable happens, :meth:`dump` captures a
 * a full metrics snapshot,
 * the active fault plan and every fault it has fired so far
   (via the import-free :mod:`repro.gpusim.hooks` registry),
+* the live device-memory allocation table (per-category live bytes and
+  watermarks) when a :class:`repro.obs.memory.MemoryTracker` is
+  installed — on an OOM this is the table at the moment of death,
 * session context annotations — the latest checkpoint pointer and slide
   diff summary the resilience/pipeline layers registered via
   :func:`repro.obs.annotate`.
@@ -57,6 +60,25 @@ def _active_fault_plan() -> Optional[dict]:
         "plan": plan.render() if plan is not None else "",
         "fired": [event.as_dict() for event in events],
     }
+
+
+def _active_memory_snapshot() -> Optional[dict]:
+    """The installed memory tracker's allocation table, if any.
+
+    Duck-typed like :func:`_active_fault_plan`: when a
+    :class:`repro.obs.memory.MemoryTracker` is installed, an OOM
+    post-mortem carries exactly what was device-resident (per-category
+    live bytes and watermarks) at the moment the allocation failed.
+    """
+    from repro.gpusim import hooks
+
+    tracker = hooks.memory()
+    if tracker is None:
+        return None
+    snapshot = getattr(tracker, "allocation_snapshot", None)
+    if snapshot is None:
+        return None
+    return snapshot()
 
 
 class FlightRecorder:
@@ -109,6 +131,7 @@ class FlightRecorder:
             "details": dict(details or {}),
             "context": dict(context or {}),
             "fault_plan": _active_fault_plan(),
+            "memory": _active_memory_snapshot(),
             "metrics": metrics if metrics is not None else {"metrics": []},
             "events": self.tail(),
         }

@@ -4,7 +4,9 @@
 leaves behind into a single human-readable (markdown) or machine-readable
 (JSON) report: per-slide causal chains reconstructed from the journal's
 correlation IDs, metric highlights, SLO verdicts, the profiler's top
-kernels and the advisor's findings.
+kernels, the advisor's findings and the device-memory watermark report
+(``--mem-out``).  Inputs that were requested but missing or empty render
+as explicit "not collected" rows rather than failing the build.
 
 All inputs are the plain exported documents (``Journal`` JSONL records,
 ``MetricsRegistry.to_dict()``, ``ProfileReport.to_dict()``,
@@ -194,6 +196,32 @@ def metric_highlights(metrics_doc: Optional[dict]) -> dict:
     return {"counters": counters, "histograms": histograms}
 
 
+def memory_highlights(memory_doc: Optional[dict]) -> Optional[dict]:
+    """The watermark-report slice the run report surfaces.
+
+    Per-device peaks plus the planner-accuracy rows; the event timeline
+    stays in the full ``--mem-out`` document.
+    """
+    if not memory_doc:
+        return None
+    return {
+        "reconciled": memory_doc.get("reconciled", False),
+        "devices": [
+            {
+                "device": dev.get("device"),
+                "peak_bytes": dev.get("peak_bytes", 0),
+                "capacity_bytes": dev.get("capacity_bytes", 0),
+                "peak_fraction": dev.get("peak_fraction", 0.0),
+                "categories_at_peak": dev.get("categories_at_peak", {}),
+                "oom_count": dev.get("oom_count", 0),
+            }
+            for dev in memory_doc.get("devices", [])
+        ],
+        "planner": memory_doc.get("planner", {}),
+        "findings": (memory_doc.get("analysis") or {}).get("findings", []),
+    }
+
+
 def build_report(
     *,
     journal_records: Optional[Sequence[dict]] = None,
@@ -202,8 +230,15 @@ def build_report(
     profile_doc: Optional[dict] = None,
     advisor_doc: Optional[dict] = None,
     postmortems: Optional[Sequence[dict]] = None,
+    memory_doc: Optional[dict] = None,
+    not_collected: Optional[Sequence[str]] = None,
 ) -> dict:
-    """The fused machine-readable run report."""
+    """The fused machine-readable run report.
+
+    ``not_collected`` names inputs that were requested but missing or
+    empty on disk; they render as explicit "not collected" rows instead
+    of silently vanishing (or crashing the report build).
+    """
     return {
         "schema_version": REPORT_SCHEMA_VERSION,
         "journal": (
@@ -215,6 +250,7 @@ def build_report(
         "slo": slo_doc,
         "profile": profile_doc,
         "advisor": advisor_doc,
+        "memory": memory_highlights(memory_doc),
         "postmortems": [
             {
                 "trigger": bundle.get("trigger", ""),
@@ -225,6 +261,7 @@ def build_report(
             }
             for bundle in (postmortems or [])
         ],
+        "not_collected": sorted(set(not_collected or [])),
     }
 
 
@@ -307,6 +344,56 @@ def _render_slo(slo_doc: dict, lines: List[str]) -> None:
     lines.append("")
 
 
+def _render_memory(memory: dict, lines: List[str]) -> None:
+    lines.append("## Device memory")
+    lines.append("")
+    lines.append(
+        "reconciled: "
+        + ("yes" if memory.get("reconciled", False) else "**NO**")
+    )
+    lines.append("")
+    devices = memory.get("devices", [])
+    if devices:
+        lines.append("| device | peak | capacity | used | at peak | OOMs |")
+        lines.append("|---|---|---|---|---|---|")
+        for dev in devices:
+            at_peak = ", ".join(
+                f"{cat}={size:,} B"
+                for cat, size in sorted(
+                    (dev.get("categories_at_peak") or {}).items()
+                )
+            )
+            lines.append(
+                f"| gpu{dev.get('device', '?')} "
+                f"| {dev.get('peak_bytes', 0):,} B "
+                f"| {dev.get('capacity_bytes', 0):,} B "
+                f"| {dev.get('peak_fraction', 0.0):.1%} "
+                f"| {at_peak or '-'} | {dev.get('oom_count', 0)} |"
+            )
+        lines.append("")
+    accuracy = (memory.get("planner") or {}).get("accuracy", [])
+    if accuracy:
+        lines.append("| engine | device | predicted | measured | error |")
+        lines.append("|---|---|---|---|---|")
+        for row in accuracy:
+            flag = "" if row.get("within_threshold", True) else " ⚠"
+            lines.append(
+                f"| {row.get('engine', '?')} | gpu{row.get('device', '?')} "
+                f"| {row.get('predicted_bytes', 0):,} B "
+                f"| {row.get('measured_peak_bytes', 0):,} B "
+                f"| {row.get('error_ratio', 0.0):+.1%}{flag} |"
+            )
+        lines.append("")
+    for finding in memory.get("findings", []):
+        lines.append(
+            f"- `{finding.get('rule', '?')}` "
+            f"{finding.get('location', '?')}: "
+            f"{finding.get('message', '')}"
+        )
+    if memory.get("findings"):
+        lines.append("")
+
+
 def render_markdown(report: dict) -> str:
     """Render a :func:`build_report` document as markdown."""
     journal = report.get("journal")
@@ -375,5 +462,15 @@ def render_markdown(report: dict) -> str:
                 )
         else:
             lines.append("- none")
+        lines.append("")
+    memory = report.get("memory")
+    if memory:
+        _render_memory(memory, lines)
+    not_collected = report.get("not_collected") or []
+    if not_collected:
+        lines.append("## Not collected")
+        lines.append("")
+        for kind in not_collected:
+            lines.append(f"- {kind}: not collected (file missing or empty)")
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"

@@ -156,6 +156,38 @@ class Tracer:
             }
         )
 
+    def counter_event(
+        self,
+        device_index: int,
+        ts_seconds: float,
+        values: Dict[str, int],
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        """One sample of a modeled-clock counter track (``ph: "C"``).
+
+        Chrome/Perfetto key counter tracks by ``(pid, name)``, so every
+        device gets exactly one track — ``gpu{i} device memory`` on the
+        modeled-clock process — rendered as a stacked area chart of the
+        per-category byte series in ``values``.  Samples arrive in
+        modeled-clock order (the clock only advances), so ``ts`` is
+        monotone within each track.
+        """
+        if not self.enabled:
+            return
+        self._device_tids[device_index] = True
+        self._events.append(
+            {
+                "ph": "C",
+                "name": name or f"gpu{device_index} device memory",
+                "cat": "memory",
+                "pid": DEVICE_PID,
+                "tid": device_index,
+                "ts": ts_seconds * 1e6,
+                "args": {key: int(v) for key, v in values.items()},
+            }
+        )
+
     def instant(self, name: str, *, cat: str = "host", args=None) -> None:
         """A zero-duration marker on the host track."""
         if not self.enabled:

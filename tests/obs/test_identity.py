@@ -138,6 +138,68 @@ def test_journal_and_flight_change_nothing(powerlaw_graph, factory):
     assert on.journal.events_for(event="engine.attempt.end")
 
 
+@pytest.mark.parametrize(
+    "factory",
+    [
+        GLPEngine,
+        lambda: GLPEngine(frontier="auto"),
+        lambda: __import__(
+            "repro.core.hybrid", fromlist=["HybridEngine"]
+        ).HybridEngine(),
+        lambda: MultiGPUEngine(2),
+    ],
+    ids=["glp-dense", "glp-frontier", "hybrid", "multigpu"],
+)
+def test_memory_tracking_changes_nothing(powerlaw_graph, factory):
+    """--mem-profile on vs off must yield bitwise-identical results on
+    every engine: the tracker only reads device state."""
+    from repro.obs.memory import track
+
+    baseline = _run(factory, powerlaw_graph)
+    with obs.observe(), track() as tracker:
+        tracked = _run(factory, powerlaw_graph)
+    untracked = _run(factory, powerlaw_graph)
+    _assert_identical(baseline, tracked)
+    _assert_identical(baseline, untracked)
+    assert tracker.reconciled
+
+
+def test_sliding_sweeps_identical_under_memory_tracking():
+    """Acceptance: memory profiling on vs off yields bitwise-identical
+    labels hashes across a dense and an incremental window sweep."""
+    from repro.obs.memory import track
+
+    def sweep(incremental):
+        from repro.pipeline.incremental import SlidingWindowDetector
+
+        stream = TransactionStream(
+            TransactionStreamConfig(num_days=10, seed=11)
+        )
+        engine = (
+            GLPEngine(frontier="auto") if incremental else GLPEngine()
+        )
+        detector = SlidingWindowDetector(
+            stream,
+            ClusterDetector(engine, max_iterations=10),
+            incremental=incremental,
+        )
+        detector.start(0, 6)
+        hashes = []
+        for _ in range(2):
+            _, result = detector.slide()
+            hashes.append(result.lp_result.labels_hash())
+        return hashes
+
+    for incremental in (False, True):
+        baseline = sweep(incremental)
+        with obs.observe(), track() as tracker:
+            tracked = sweep(incremental)
+        assert tracked == baseline
+        report = tracker.report()
+        assert report["reconciled"] is True
+        assert report["devices"]  # the sweep was actually tracked
+
+
 def test_sliding_detector_identical_under_full_observability():
     """Acceptance: journal + SLO + flight enabled vs disabled yields
     bitwise-identical labels across a dense and an incremental sweep."""
