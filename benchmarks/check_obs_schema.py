@@ -42,7 +42,33 @@ artifacts, and the perf-gate bench payloads.
 from __future__ import annotations
 
 import json
+import os
 import sys
+
+#: Derived enum file written by ``python -m repro.analysis.consistency
+#: --write``; the single source of truth for rule/source/severity/category/
+#: event enums.  The script stays standalone (stdlib only): the enums are
+#: *derived from* the code by the consistency analyzer, committed next to
+#: this script, and kept fresh by the CI static-gate.
+_ENUMS_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "obs_schema_enums.json"
+)
+
+
+def _load_enums() -> dict:
+    try:
+        with open(_ENUMS_PATH) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as error:
+        print(
+            f"check_obs_schema: FAIL: cannot load derived enums "
+            f"{_ENUMS_PATH}: {error}",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+
+_ENUMS = _load_enums()
 
 # Kept in sync with repro.obs.advisor by tests/obs/test_advisor.py; the
 # script stays standalone (no repo imports) so CI can run it anywhere.
@@ -64,34 +90,16 @@ CAUSE_KEYS = {
 }
 FINDING_KEYS = ("kernel", "verdict", "seconds", "severity", "message", "hint")
 
-# Kept in sync with repro.analysis.findings.RULES by
-# tests/analysis/test_lint.py::test_schema_checker_rule_enum_in_sync.
-ANALYSIS_RULES = {
-    "racecheck-write-write",
-    "racecheck-read-write",
-    "racecheck-non-atomic-rmw",
-    "racecheck-oob-shared",
-    "synccheck-barrier-divergence",
-    "synccheck-empty-mask",
-    "perf-bank-conflict-hotspot",
-    "lint-inplace-output-write",
-    "lint-missing-barrier",
-    "lint-non-atomic-rmw",
-    "lint-divergent-warp-sync",
-    "lint-sketch-bounds",
-    "lint-uninitialized-read",
-    "chaos-run-failed",
-    "chaos-identity-mismatch",
-    "chaos-degraded",
-    "slo-breach",
-    "slo-burn-rate",
-    "slo-missing-metric",
-    "memory-planner-underestimate",
-    "memory-planner-overestimate",
-    "memory-unreconciled",
-}
-ANALYSIS_SOURCES = {"sanitizer", "lint", "chaos", "slo", "memory"}
+# Derived from repro.analysis.findings via obs_schema_enums.json; the
+# consistency analyzer (``repro check --all``) fails CI when these drift.
+ANALYSIS_RULES = set(_ENUMS["analysis"]["rules"])
+ANALYSIS_SOURCES = set(_ENUMS["analysis"]["sources"])
+ANALYSIS_SEVERITIES = tuple(_ENUMS["analysis"]["severities"])
 ANALYSIS_SCHEMA_VERSION = 1
+
+# Journal event names any pipeline run may emit (plus the meta header),
+# derived from the obs.emit() call sites.
+JOURNAL_EVENTS = set(_ENUMS["journal"]["events"])
 
 # Kept in sync with repro.obs.journal / repro.obs.flight by
 # tests/obs/test_journal.py and tests/obs/test_flight.py.
@@ -105,12 +113,9 @@ POSTMORTEM_KEYS = ("schema_version", "trigger", "run_id", "slide_id",
 TRACE_SCHEMA_VERSION = 1
 METRICS_SCHEMA_VERSION = 1
 
-# Kept in sync with repro.obs.memory by tests/obs/test_memory.py.
+# Category enum derived from repro.obs.memory via obs_schema_enums.json.
 MEMORY_SCHEMA_VERSION = 1
-MEMORY_CATEGORIES = {
-    "csr", "reversed-csr", "labels", "frontier", "exchange",
-    "checkpoint", "scratch",
-}
+MEMORY_CATEGORIES = set(_ENUMS["memory"]["categories"])
 MEMORY_DEVICE_KEYS = (
     "device", "capacity_bytes", "live_bytes", "peak_bytes", "peak_ts",
     "peak_fraction", "categories_at_peak", "category_peaks", "num_events",
@@ -262,7 +267,7 @@ def check_analysis(path: str) -> None:
     findings = doc.get("findings")
     if not isinstance(findings, list):
         fail(f"{path}: findings list missing")
-    severities = {"error": 0, "warning": 0}
+    severities = {severity: 0 for severity in ANALYSIS_SEVERITIES}
     for finding in findings:
         for key in ANALYSIS_FINDING_KEYS:
             if key not in finding:
@@ -280,11 +285,13 @@ def check_analysis(path: str) -> None:
             not isinstance(a, list) or len(a) != 2 for a in actors
         ):
             fail(f"{path}: malformed actors for {finding['rule']!r}")
-    for key, expected in (
-        ("num_errors", severities["error"]),
-        ("num_warnings", severities["warning"]),
+    for key, severity in (
+        ("num_errors", "error"),
+        ("num_warnings", "warning"),
+        ("num_infos", "info"),
     ):
-        if doc.get(key) != expected:
+        expected = severities.get(severity, 0)
+        if doc.get(key, 0) != expected:
             fail(
                 f"{path}: {key}={doc.get(key)!r} does not match the "
                 f"findings list ({expected})"
@@ -340,6 +347,11 @@ def check_journal(path: str) -> None:
             fail(
                 f"{path}: event {record['event']!r} run_id "
                 f"{record['run_id']!r} != header {run_id!r}"
+            )
+        if record["event"] not in JOURNAL_EVENTS:
+            fail(
+                f"{path}: event name {record['event']!r} is not in the "
+                "derived journal-event enum"
             )
         seq = record["seq"]
         if not isinstance(seq, int) or seq <= last_seq:

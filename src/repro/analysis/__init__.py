@@ -16,7 +16,16 @@ Two layers, one finding currency (:mod:`repro.analysis.findings`):
 * :mod:`repro.analysis.lint` — a *static* AST checker over LP-program
   hooks and simulator-API kernel code (``repro check`` on the CLI).
 
-Both are off by default and, like observability, never perturb labels,
+Three further static layers ride behind ``repro check --all``:
+
+* :mod:`repro.analysis.dataflow` — interval abstract interpretation
+  proving shared-memory accesses in-bounds for every launch geometry;
+* :mod:`repro.analysis.contracts` — engine-capability / hook-signature /
+  registry-callback / CLI-wiring contract checks;
+* :mod:`repro.analysis.consistency` — cross-module literal-drift lint
+  deriving the schema enums ``check_obs_schema.py`` validates against.
+
+All are off by default and, like observability, never perturb labels,
 hashes, counters, or modeled timings.
 """
 
@@ -25,9 +34,14 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
+from repro.analysis.consistency import check_consistency, derive_enums
+from repro.analysis.contracts import check_contracts
+from repro.analysis.dataflow import check_dataflow
 from repro.analysis.findings import (
     RULES,
     SCHEMA_VERSION,
+    SEVERITIES,
+    SOURCES,
     AnalysisReport,
     Finding,
 )
@@ -46,11 +60,17 @@ from repro.gpusim import hooks as _hooks
 __all__ = [
     "RULES",
     "SCHEMA_VERSION",
+    "SEVERITIES",
+    "SOURCES",
     "AnalysisReport",
     "Finding",
     "HOOK_NAMES",
     "Sanitizer",
     "SanitizerConfig",
+    "check_consistency",
+    "check_contracts",
+    "check_dataflow",
+    "derive_enums",
     "disable_sanitizer",
     "enable_sanitizer",
     "iter_python_files",

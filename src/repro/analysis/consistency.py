@@ -1,0 +1,520 @@
+"""Cross-module literal-drift lint: one derived source of truth.
+
+The observability stack names things with string literals at their emit
+sites — metric names (``metrics().inc("engine_runs_total")``), journal
+event names (``obs.emit("slide.start")``), allocation categories
+(``alloc_scope("csr")``), finding rule IDs (``Finding(rule=...)``) and
+``SCHEMA_VERSION`` constants — while the declared enums lived in three
+hand-synced lists (``findings.RULES``, ``check_obs_schema.py``, docs).
+This module extracts every literal at its emit site (with local constant
+propagation, so ``counter = "resilience_retries_total"``/``m.inc(counter)``
+resolves) and diffs the result against the declared enums.  The derived
+enum set is written to ``benchmarks/obs_schema_enums.json`` (via
+``python -m repro.analysis.consistency --write``), which
+``check_obs_schema.py`` loads instead of maintaining its own copies.
+
+Rules: ``consistency-metric-drift``, ``consistency-event-drift``,
+``consistency-rule-drift``, ``consistency-category-drift``,
+``consistency-schema-version-drift`` (all errors, each anchored at the
+drifting emit site or at the stale enum file) and
+``consistency-doc-stale`` (warning: docs mentioning a rule ID that no
+longer exists).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis import findings as findings_mod
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.lint import _attr_chain, iter_python_files
+
+#: Registry methods whose first argument names a metric.
+_METRIC_METHODS = {"inc", "set_gauge", "observe", "counter", "gauge", "histogram"}
+
+#: Files excluded from metric extraction: the registry itself forwards
+#: caller-supplied names through these same method names.
+_METRIC_EXCLUDE = ("obs", "metrics.py")
+
+_RULE_SHAPE = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)+$")
+
+#: Relative path of the committed derived-enum file.
+ENUMS_RELPATH = os.path.join("benchmarks", "obs_schema_enums.json")
+
+_REGENERATE_HINT = (
+    "regenerate with: PYTHONPATH=src python -m repro.analysis.consistency "
+    "--write benchmarks/obs_schema_enums.json"
+)
+
+
+# ---------------------------------------------------------------------------
+# Literal extraction
+# ---------------------------------------------------------------------------
+
+Site = Tuple[str, str, int]  # (literal, path, lineno)
+
+
+class ExtractedLiterals:
+    def __init__(self) -> None:
+        self.metrics: List[Site] = []
+        self.events: List[Site] = []
+        self.categories: List[Site] = []
+        self.rules: List[Site] = []
+        self.schema_versions: Dict[str, Tuple[int, str]] = {}
+        #: Every string constant per file (the rule-coverage direction).
+        self.constants: Set[str] = set()
+
+    @property
+    def num_sites(self) -> int:
+        return (
+            len(self.metrics)
+            + len(self.events)
+            + len(self.categories)
+            + len(self.rules)
+            + len(self.schema_versions)
+        )
+
+
+def _scope_statements(body) -> List[ast.stmt]:
+    """Statements of one scope, not descending into nested def/class."""
+    out: List[ast.stmt] = []
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        out.append(stmt)
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+    return out
+
+
+def _string_args(call: ast.Call, env: Dict[str, Set[str]]) -> Set[str]:
+    """Possible string values of the call's first argument."""
+    if not call.args:
+        return set()
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return {arg.value}
+    if isinstance(arg, ast.Name):
+        return env.get(arg.id, set())
+    return set()
+
+
+def _extract_file(path: str, out: ExtractedLiterals) -> None:
+    with open(path, "r") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    is_metric_registry = path.endswith(os.path.join(*_METRIC_EXCLUDE))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.constants.add(node.value)
+
+    # Module-level SCHEMA_VERSION constants.
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and "SCHEMA_VERSION" in stmt.targets[0].id
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, int)
+        ):
+            key = f"{os.path.basename(path)}:{stmt.targets[0].id}"
+            out.schema_versions[key] = (
+                int(stmt.value.value),
+                f"{path}:{stmt.lineno}",
+            )
+
+    scopes = [tree.body] + [
+        node.body
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for body in scopes:
+        statements = _scope_statements(body)
+        env: Dict[str, Set[str]] = {}
+        for stmt in statements:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    env.setdefault(target.id, set()).add(stmt.value.value)
+        for stmt in statements:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = _attr_chain(node.func)
+                name = chain[-1] if chain else ""
+                if (
+                    name in _METRIC_METHODS
+                    and len(chain) > 1
+                    and not is_metric_registry
+                ):
+                    for literal in _string_args(node, env):
+                        out.metrics.append((literal, path, node.lineno))
+                elif name == "emit":
+                    for literal in _string_args(node, env):
+                        out.events.append((literal, path, node.lineno))
+                elif name == "alloc_scope":
+                    for literal in _string_args(node, env):
+                        out.categories.append((literal, path, node.lineno))
+                elif name == "_emit" and node.args:
+                    arg = node.args[0]
+                    if (
+                        isinstance(arg, ast.Constant)
+                        and isinstance(arg.value, str)
+                        and _RULE_SHAPE.match(arg.value)
+                    ):
+                        out.rules.append((arg.value, path, node.lineno))
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "rule"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)
+                    ):
+                        out.rules.append((kw.value.value, path, node.lineno))
+
+
+def extract_literals(paths: List[str]) -> ExtractedLiterals:
+    out = ExtractedLiterals()
+    for path in iter_python_files(paths):
+        _extract_file(path, out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Derived enums
+# ---------------------------------------------------------------------------
+
+
+def _repo_root() -> Optional[str]:
+    """The checkout root, if running from one (src/repro layout)."""
+    import repro
+
+    package = os.path.dirname(os.path.abspath(repro.__file__))
+    root = os.path.dirname(os.path.dirname(package))
+    if os.path.isdir(os.path.join(root, "benchmarks")):
+        return root
+    return None
+
+
+def _src_paths() -> List[str]:
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def derive_enums() -> dict:
+    """Derive every schema enum from the code: the single source of truth."""
+    from repro.obs.memory import CATEGORIES
+
+    extracted = extract_literals(_src_paths())
+    events = sorted({name for name, _, _ in extracted.events})
+    journal_path = os.path.join(_src_paths()[0], "obs", "journal.py")
+    if os.path.exists(journal_path):
+        with open(journal_path, "r") as fh:
+            if '"journal.meta"' in fh.read():
+                events = sorted(set(events) | {"journal.meta"})
+    return {
+        "schema_version": 1,
+        "analysis": {
+            "rules": dict(sorted(findings_mod.RULES.items())),
+            "sources": list(findings_mod.SOURCES),
+            "severities": list(findings_mod.SEVERITIES),
+        },
+        "memory": {"categories": list(CATEGORIES)},
+        "metrics": {"names": sorted({n for n, _, _ in extracted.metrics})},
+        "journal": {"events": events},
+        "schema_versions": {
+            key: value
+            for key, (value, _) in sorted(extracted.schema_versions.items())
+        },
+    }
+
+
+def write_enums(path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(derive_enums(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Drift checks
+# ---------------------------------------------------------------------------
+
+
+def _find_literal_line(path: str, literal: str) -> str:
+    try:
+        with open(path, "r") as fh:
+            for lineno, line in enumerate(fh, 1):
+                if f'"{literal}"' in line or f"'{literal}'" in line:
+                    return f"{path}:{lineno}"
+    except OSError:
+        pass
+    return f"{path}:0"
+
+
+def _check_shipped(report: AnalysisReport) -> None:
+    from repro.obs import memory as memory_mod
+
+    extracted = extract_literals(_src_paths())
+    report.checked += extracted.num_sites
+    declared_categories = set(memory_mod.CATEGORIES)
+
+    # Emitted allocation categories must be declared, and vice versa.
+    emitted_categories = set()
+    for literal, path, lineno in extracted.categories:
+        emitted_categories.add(literal)
+        if literal not in declared_categories:
+            report.add(
+                Finding(
+                    rule="consistency-category-drift",
+                    message=(
+                        f"alloc_scope({literal!r}) is not a declared "
+                        "allocation category (obs.memory.CATEGORIES)"
+                    ),
+                    location=f"{path}:{lineno}",
+                )
+            )
+    for category in sorted(declared_categories - emitted_categories):
+        report.add(
+            Finding(
+                rule="consistency-category-drift",
+                message=(
+                    f"declared allocation category {category!r} has no "
+                    "alloc_scope() emit site; remove it or tag the "
+                    "allocation that should carry it"
+                ),
+                location=_find_literal_line(
+                    memory_mod.__file__, category
+                ),
+            )
+        )
+
+    # Every rule emitted at a Finding()/lint site must be declared ...
+    for literal, path, lineno in extracted.rules:
+        if literal not in findings_mod.RULES:
+            report.add(
+                Finding(
+                    rule="consistency-rule-drift",
+                    message=(
+                        f"finding rule {literal!r} is emitted here but not "
+                        "declared in findings.RULES"
+                    ),
+                    location=f"{path}:{lineno}",
+                )
+            )
+    # ... and every declared rule must appear somewhere in the source.
+    for rule in sorted(findings_mod.RULES):
+        if rule not in extracted.constants:
+            report.add(
+                Finding(
+                    rule="consistency-rule-drift",
+                    message=(
+                        f"declared rule {rule!r} has no emit site anywhere "
+                        "in src/repro; dead rules hide real drift"
+                    ),
+                    location=_find_literal_line(findings_mod.__file__, rule),
+                )
+            )
+
+    root = _repo_root()
+    if root is None:
+        return
+    _check_enums_file(report, os.path.join(root, ENUMS_RELPATH))
+    _check_docs(report, os.path.join(root, "docs"))
+
+
+def _check_enums_file(report: AnalysisReport, path: str) -> None:
+    section_rules = {
+        "analysis": "consistency-rule-drift",
+        "memory": "consistency-category-drift",
+        "metrics": "consistency-metric-drift",
+        "journal": "consistency-event-drift",
+        "schema_versions": "consistency-schema-version-drift",
+    }
+    derived = derive_enums()
+    if not os.path.exists(path):
+        report.add(
+            Finding(
+                rule="consistency-schema-version-drift",
+                message=(
+                    "derived enum file is missing; " + _REGENERATE_HINT
+                ),
+                location=f"{path}:0",
+            )
+        )
+        return
+    with open(path, "r") as fh:
+        committed = json.load(fh)
+    for section, rule in section_rules.items():
+        report.checked += 1
+        if committed.get(section) != derived.get(section):
+            report.add(
+                Finding(
+                    rule=rule,
+                    message=(
+                        f"committed enum section {section!r} is stale "
+                        f"against the code; " + _REGENERATE_HINT
+                    ),
+                    location=f"{path}:1",
+                )
+            )
+
+
+def _doc_allowlist() -> Set[str]:
+    """Hyphenated doc tokens that share a rule prefix but are not rules.
+
+    Advisor *verdicts* live in the same ``memory-``/``perf-`` namespace as
+    finding rules; derive them from the advisor module rather than keeping
+    another hand-synced list.
+    """
+    allowed: Set[str] = set()
+    try:
+        from repro.obs import advisor
+
+        allowed |= set(advisor.KERNEL_VERDICTS)
+        with open(advisor.__file__, "r") as fh:
+            tree = ast.parse(fh.read())
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value.endswith("-bound")
+                and _RULE_SHAPE.match(node.value)
+            ):
+                allowed.add(node.value)
+    except (ImportError, OSError, SyntaxError):
+        pass
+    return allowed
+
+
+def _check_docs(report: AnalysisReport, docs_dir: str) -> None:
+    if not os.path.isdir(docs_dir):
+        return
+    prefixes = {rule.split("-", 1)[0] for rule in findings_mod.RULES}
+    allowed = _doc_allowlist()
+    token_re = re.compile(r"`([a-z0-9][a-z0-9-]*)`")
+    for name in sorted(os.listdir(docs_dir)):
+        if not name.endswith(".md"):
+            continue
+        path = os.path.join(docs_dir, name)
+        with open(path, "r") as fh:
+            for lineno, line in enumerate(fh, 1):
+                for token in token_re.findall(line):
+                    if not _RULE_SHAPE.match(token):
+                        continue
+                    if token.split("-", 1)[0] not in prefixes:
+                        continue
+                    if token.endswith("-gate"):
+                        continue  # CI job names share the chaos-/perf- prefix
+                    report.checked += 1
+                    if token in findings_mod.RULES or token in allowed:
+                        continue
+                    report.add(
+                        Finding(
+                            rule="consistency-doc-stale",
+                            message=(
+                                f"docs reference rule-like token "
+                                f"{token!r} which is not a declared "
+                                "finding rule"
+                            ),
+                            location=f"{path}:{lineno}",
+                        )
+                    )
+
+
+def _check_paths(report: AnalysisReport, paths: List[str]) -> None:
+    """Fixture mode: literals in ``paths`` must match the shipped enums."""
+    from repro.obs.memory import CATEGORIES
+
+    derived = derive_enums()
+    known_metrics = set(derived["metrics"]["names"])
+    known_events = set(derived["journal"]["events"])
+    extracted = extract_literals(paths)
+    report.checked += extracted.num_sites
+    checks = (
+        (
+            extracted.metrics,
+            known_metrics,
+            "consistency-metric-drift",
+            "metric",
+        ),
+        (
+            extracted.events,
+            known_events,
+            "consistency-event-drift",
+            "journal event",
+        ),
+        (
+            extracted.categories,
+            set(CATEGORIES),
+            "consistency-category-drift",
+            "allocation category",
+        ),
+        (
+            extracted.rules,
+            set(findings_mod.RULES),
+            "consistency-rule-drift",
+            "finding rule",
+        ),
+    )
+    for sites, known, rule, label in checks:
+        for literal, path, lineno in sites:
+            if literal not in known:
+                report.add(
+                    Finding(
+                        rule=rule,
+                        message=(
+                            f"{label} {literal!r} is not in the derived "
+                            "enum; emit a declared name or extend the enum "
+                            "at its declaration site"
+                        ),
+                        location=f"{path}:{lineno}",
+                    )
+                )
+
+
+def check_consistency(paths: Optional[List[str]] = None) -> AnalysisReport:
+    """Run the drift lint; returns a ``source="consistency"`` report."""
+    report = AnalysisReport(source="consistency")
+    if paths:
+        _check_paths(report, paths)
+    else:
+        _check_shipped(report)
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Derive or check the observability schema enums."
+    )
+    parser.add_argument(
+        "--write",
+        metavar="PATH",
+        help="write the derived enum JSON to PATH and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.write:
+        write_enums(args.write)
+        print(f"wrote {args.write}")
+        return 0
+    report = check_consistency()
+    print(report.to_text())
+    return 1 if report.has_hazards else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,425 @@
+"""Static contract checks for the engine/hook/CLI interface surface.
+
+The platform's cross-module interfaces are deliberately duck-typed — the
+``gpusim.hooks`` registry imports nothing, engines advertise capabilities
+with ``supports_incremental``/``supports_recovery`` class flags, and the
+CLI maps flag names to engines by string.  This module turns those
+conventions into machine-checked contracts:
+
+``contract-missing-capability-kwarg``
+    An engine advertising a capability flag whose ``run`` does not accept
+    the keyword arguments that capability implies
+    (``supports_incremental`` → ``initial_frontier=``/``warm_labels=``;
+    ``supports_recovery`` → ``retry_policy=``/``resume_from=``).
+``contract-hook-signature-mismatch``
+    An :class:`~repro.core.api.LPProgram` subclass overriding a Table-1
+    hook with an incompatible positional signature.
+``contract-registry-callback-mismatch``
+    A ``gpusim.hooks`` subscriber (memory tracker, fault injector,
+    sanitizer) whose callback shape no longer matches what the simulator
+    actually calls.
+``contract-cli-capability-mismatch``
+    A CLI flag wired to an engine that does not implement the capability
+    the flag requires (the ``exit 2`` paths in ``repro run``).
+
+Two modes: with no ``paths`` the *shipped* interfaces are imported and
+checked via :mod:`inspect` (which sees inherited ``run`` methods); with
+explicit ``paths`` the checks run purely on the AST, which is what the
+seeded test fixtures exercise.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.lint import iter_python_files
+
+#: Capability flag -> keyword arguments ``run`` must accept when truthy.
+CAPABILITY_KWARGS: Dict[str, Tuple[str, ...]] = {
+    "supports_incremental": ("initial_frontier", "warm_labels"),
+    "supports_recovery": ("retry_policy", "resume_from"),
+}
+
+#: LP hook -> expected positional parameter count (including ``self``).
+HOOK_ARITY: Dict[str, int] = {
+    "pick_labels": 4,       # self, graph, labels, iteration
+    "load_neighbor": 5,     # self, vertex_ids, neighbor_ids, labels, weights
+    "score": 4,             # self, vertex_ids, labels, frequencies
+    "update_vertices": 5,   # self, vertex_ids, best, scores, current
+}
+
+#: What the simulator actually calls on each ``gpusim.hooks`` slot:
+#: method -> (positional names after self, required keyword-only names).
+#: Derived from the call sites in ``gpusim/device.py`` / ``atomics.py``.
+REGISTRY_SHAPES = {
+    "memory": {
+        "on_alloc": (("device", "handle", "kind"), ()),
+        "on_free": (("device", "handle"), ()),
+        "on_free_all": (("device", "released", "count"), ()),
+        "on_transfer": (
+            ("device", "direction", "nbytes", "seconds"),
+            ("streamed",),
+        ),
+    },
+    "faults": {
+        "on_alloc": (("device", "nbytes"), ()),
+        "on_transfer": (("device", "nbytes", "direction"), ()),
+        "on_launch": (("device", "name"), ()),
+    },
+    "sanitizer": {
+        "record": (("space", "array", "offsets"), ("kind",)),
+    },
+}
+
+
+def _location_of(obj) -> str:
+    try:
+        path = inspect.getsourcefile(obj) or "<unknown>"
+        _, lineno = inspect.getsourcelines(obj)
+        return f"{path}:{lineno}"
+    except (OSError, TypeError):
+        return "<unknown>:0"
+
+
+def _signature_accepts(sig: inspect.Signature, kwarg: str) -> bool:
+    for param in sig.parameters.values():
+        if param.kind == inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == kwarg and param.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Shipped-interface (import) mode
+# ---------------------------------------------------------------------------
+
+
+def _engine_classes():
+    from repro import baselines
+    from repro.core import framework, hybrid, multigpu
+
+    seen = {}
+    for module in (framework, hybrid, multigpu, baselines):
+        for name in sorted(vars(module)):
+            obj = getattr(module, name)
+            if (
+                inspect.isclass(obj)
+                and name.endswith("Engine")
+                and callable(getattr(obj, "run", None))
+            ):
+                seen[f"{obj.__module__}.{name}"] = obj
+    return list(seen.values())
+
+
+def _check_engine_capabilities(report: AnalysisReport) -> None:
+    for cls in _engine_classes():
+        report.checked += 1
+        sig = inspect.signature(cls.run)
+        for flag, required in CAPABILITY_KWARGS.items():
+            if not getattr(cls, flag, False):
+                continue
+            for kwarg in required:
+                if not _signature_accepts(sig, kwarg):
+                    report.add(
+                        Finding(
+                            rule="contract-missing-capability-kwarg",
+                            message=(
+                                f"{cls.__name__} advertises {flag}=True "
+                                f"but run() does not accept {kwarg}="
+                            ),
+                            kernel=cls.__name__,
+                            location=_location_of(cls.run),
+                        )
+                    )
+
+
+def _program_classes():
+    import repro.algorithms  # noqa: F401 -- registers the shipped programs
+    import repro.algorithms.labelrank  # noqa: F401
+    import repro.algorithms.seeded  # noqa: F401
+    import repro.algorithms.slp  # noqa: F401
+    from repro.core.api import LPProgram
+
+    classes, frontier = [], [LPProgram]
+    while frontier:
+        cls = frontier.pop()
+        for sub in cls.__subclasses__():
+            classes.append(sub)
+            frontier.append(sub)
+    return LPProgram, classes
+
+
+def _positional_count(sig: inspect.Signature) -> Tuple[int, bool]:
+    count, variadic = 0, False
+    for param in sig.parameters.values():
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            count += 1
+        elif param.kind == inspect.Parameter.VAR_POSITIONAL:
+            variadic = True
+    return count, variadic
+
+
+def _check_program_hooks(report: AnalysisReport) -> None:
+    base, classes = _program_classes()
+    for cls in classes:
+        for hook, expected in HOOK_ARITY.items():
+            impl = cls.__dict__.get(hook)
+            if impl is None or not callable(impl):
+                continue
+            report.checked += 1
+            count, variadic = _positional_count(inspect.signature(impl))
+            if variadic or count == expected:
+                continue
+            report.add(
+                Finding(
+                    rule="contract-hook-signature-mismatch",
+                    message=(
+                        f"{cls.__name__}.{hook} takes {count} positional "
+                        f"parameter(s); the {base.__name__} hook contract "
+                        f"requires {expected}"
+                    ),
+                    kernel=cls.__name__,
+                    location=_location_of(impl),
+                )
+            )
+
+
+def _check_registry_subscribers(report: AnalysisReport) -> None:
+    from repro.analysis.sanitizer import Sanitizer
+    from repro.obs.memory import MemoryTracker
+    from repro.resilience.faults import FaultInjector
+
+    subscribers = {
+        "memory": MemoryTracker,
+        "faults": FaultInjector,
+        "sanitizer": Sanitizer,
+    }
+    for slot, shapes in REGISTRY_SHAPES.items():
+        cls = subscribers[slot]
+        for method_name, (positional, required_kw) in shapes.items():
+            report.checked += 1
+            method = getattr(cls, method_name, None)
+            if method is None:
+                report.add(
+                    Finding(
+                        rule="contract-registry-callback-mismatch",
+                        message=(
+                            f"{cls.__name__} is missing the registry "
+                            f"callback {method_name}() the simulator calls"
+                        ),
+                        kernel=cls.__name__,
+                        location=_location_of(cls),
+                    )
+                )
+                continue
+            sig = inspect.signature(method)
+            count, variadic = _positional_count(sig)
+            # +1 for self: inspect.signature on the unbound function keeps it.
+            if not variadic and count != len(positional) + 1:
+                report.add(
+                    Finding(
+                        rule="contract-registry-callback-mismatch",
+                        message=(
+                            f"{cls.__name__}.{method_name} takes "
+                            f"{count - 1} positional argument(s); the "
+                            f"simulator calls it with "
+                            f"{len(positional)}: {positional}"
+                        ),
+                        kernel=cls.__name__,
+                        location=_location_of(method),
+                    )
+                )
+                continue
+            for kwarg in required_kw:
+                if not _signature_accepts(sig, kwarg):
+                    report.add(
+                        Finding(
+                            rule="contract-registry-callback-mismatch",
+                            message=(
+                                f"{cls.__name__}.{method_name} does not "
+                                f"accept the {kwarg}= keyword the "
+                                "simulator passes"
+                            ),
+                            kernel=cls.__name__,
+                            location=_location_of(method),
+                        )
+                    )
+
+
+def _check_cli_capabilities(report: AnalysisReport) -> None:
+    from repro import cli
+    from repro.baselines import GHashEngine, GSortEngine
+    from repro.core.framework import GLPEngine
+
+    device_classes = {
+        "glp": GLPEngine,
+        "gsort": GSortEngine,
+        "ghash": GHashEngine,
+    }
+    for name in cli._DEVICE_ENGINES:
+        report.checked += 1
+        cls = device_classes.get(name)
+        if cls is None:
+            report.add(
+                Finding(
+                    rule="contract-cli-capability-mismatch",
+                    message=(
+                        f"CLI device engine {name!r} has no known engine "
+                        "class; the resilience flags would exit 2 at runtime"
+                    ),
+                    location=_location_of(cli),
+                )
+            )
+            continue
+        if not getattr(cls, "supports_recovery", False):
+            report.add(
+                Finding(
+                    rule="contract-cli-capability-mismatch",
+                    message=(
+                        f"CLI accepts resilience flags for engine {name!r} "
+                        f"but {cls.__name__}.supports_recovery is not True"
+                    ),
+                    kernel=cls.__name__,
+                    location=_location_of(cls),
+                )
+            )
+    # ``--frontier`` is only wired to glp; it requires warm-start support.
+    report.checked += 1
+    if not getattr(device_classes["glp"], "supports_incremental", False):
+        report.add(
+            Finding(
+                rule="contract-cli-capability-mismatch",
+                message=(
+                    "CLI wires --frontier to GLPEngine but "
+                    "GLPEngine.supports_incremental is not True"
+                ),
+                kernel="GLPEngine",
+                location=_location_of(device_classes["glp"]),
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# AST (fixture/path) mode
+# ---------------------------------------------------------------------------
+
+
+def _class_flags(node: ast.ClassDef) -> Dict[str, bool]:
+    flags = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id in CAPABILITY_KWARGS
+                and isinstance(stmt.value, ast.Constant)
+            ):
+                flags[target.id] = bool(stmt.value.value)
+    return flags
+
+
+def _def_accepts(func: ast.FunctionDef, kwarg: str) -> bool:
+    if func.args.kwarg is not None:
+        return True
+    names = [a.arg for a in func.args.args]
+    names += [a.arg for a in func.args.kwonlyargs]
+    return kwarg in names
+
+
+def _looks_like_program(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(
+            base, "id", ""
+        )
+        if "LP" in name or "Program" in name:
+            return True
+    return False
+
+
+def _check_ast_file(path: str, report: AnalysisReport) -> None:
+    with open(path, "r") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        defs = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+        flags = _class_flags(node)
+        run_def = defs.get("run")
+        if flags and run_def is not None:
+            report.checked += 1
+            for flag, required in CAPABILITY_KWARGS.items():
+                if not flags.get(flag):
+                    continue
+                for kwarg in required:
+                    if not _def_accepts(run_def, kwarg):
+                        report.add(
+                            Finding(
+                                rule="contract-missing-capability-kwarg",
+                                message=(
+                                    f"{node.name} advertises {flag}=True "
+                                    f"but run() does not accept {kwarg}="
+                                ),
+                                kernel=node.name,
+                                location=f"{path}:{run_def.lineno}",
+                            )
+                        )
+        if _looks_like_program(node):
+            for hook, expected in HOOK_ARITY.items():
+                hook_def = defs.get(hook)
+                if hook_def is None:
+                    continue
+                report.checked += 1
+                if hook_def.args.vararg is not None:
+                    continue
+                count = len(hook_def.args.args)
+                if count != expected:
+                    report.add(
+                        Finding(
+                            rule="contract-hook-signature-mismatch",
+                            message=(
+                                f"{node.name}.{hook} takes {count} "
+                                f"positional parameter(s); the LPProgram "
+                                f"hook contract requires {expected}"
+                            ),
+                            kernel=node.name,
+                            location=f"{path}:{hook_def.lineno}",
+                        )
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def check_contracts(paths: Optional[List[str]] = None) -> AnalysisReport:
+    """Run the contract checker; returns a ``source="contracts"`` report.
+
+    With ``paths`` the AST checks run on those files; without, the shipped
+    engines, LP programs, registry subscribers and CLI wiring are imported
+    and verified.
+    """
+    report = AnalysisReport(source="contracts")
+    if paths:
+        for path in iter_python_files(paths):
+            _check_ast_file(path, report)
+        return report
+    _check_engine_capabilities(report)
+    _check_program_hooks(report)
+    _check_registry_subscribers(report)
+    _check_cli_capabilities(report)
+    return report

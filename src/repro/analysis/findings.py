@@ -18,9 +18,10 @@ from typing import Dict, List, Tuple
 #: Bump when the report payload changes incompatibly.
 SCHEMA_VERSION = 1
 
-#: Every rule either layer can emit, with its severity.  ``error`` findings
+#: Every rule any layer can emit, with its severity.  ``error`` findings
 #: are *hazards*: they fail ``repro check`` and ``repro run --sanitize``;
-#: ``warning`` findings are advisory and never gate.
+#: ``warning`` findings are advisory and only gate under
+#: ``--fail-on warning``; ``info`` findings (positive proofs) never gate.
 RULES: Dict[str, str] = {
     # --- sanitizer (dynamic) -------------------------------------------
     "racecheck-write-write": "error",
@@ -52,9 +53,43 @@ RULES: Dict[str, str] = {
     "memory-planner-underestimate": "error",
     "memory-planner-overestimate": "warning",
     "memory-unreconciled": "error",
+    # --- dataflow verifier (repro.analysis.dataflow) ---------------------
+    # Static interval proofs over named-array accesses: an access whose
+    # symbolic bound cannot be shown < the declared extent for *every*
+    # launch geometry is flagged; one that can is recorded as proven.
+    "dataflow-oob-possible": "error",
+    "dataflow-overlap-possible": "warning",
+    "dataflow-nonmonotone-update": "error",
+    "dataflow-proven-clean": "info",
+    # --- contract checker (repro.analysis.contracts) ---------------------
+    "contract-missing-capability-kwarg": "error",
+    "contract-hook-signature-mismatch": "error",
+    "contract-registry-callback-mismatch": "error",
+    "contract-cli-capability-mismatch": "error",
+    # --- schema-drift lint (repro.analysis.consistency) ------------------
+    "consistency-metric-drift": "error",
+    "consistency-event-drift": "error",
+    "consistency-rule-drift": "error",
+    "consistency-category-drift": "error",
+    "consistency-schema-version-drift": "error",
+    "consistency-doc-stale": "warning",
 }
 
-SEVERITIES = ("error", "warning")
+SEVERITIES = ("error", "warning", "info")
+
+#: Every report producer.  ``AnalysisReport.source`` must be one of these;
+#: the consistency analyzer derives the schema-checker enums from this
+#: tuple and :data:`RULES`.
+SOURCES = (
+    "sanitizer",
+    "lint",
+    "chaos",
+    "slo",
+    "memory",
+    "dataflow",
+    "contracts",
+    "consistency",
+)
 
 
 @dataclass(frozen=True)
@@ -126,10 +161,11 @@ class Finding:
 class AnalysisReport:
     """Aggregated findings from one sanitizer session or lint run."""
 
-    source: str  # "sanitizer" | "lint" | "chaos" | "slo" | "memory"
+    source: str  # one of SOURCES
     findings: List[Finding] = field(default_factory=list)
     #: Units inspected: kernel launches (sanitizer), files (lint),
-    #: fault plans (chaos), or objectives (slo).
+    #: fault plans (chaos), objectives (slo), access sites (dataflow),
+    #: interfaces (contracts), or literal sites (consistency).
     checked: int = 0
 
     def add(self, finding: Finding) -> None:
@@ -147,6 +183,10 @@ class AnalysisReport:
         return [f for f in self.findings if f.severity == "warning"]
 
     @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "info"]
+
+    @property
     def has_hazards(self) -> bool:
         """True when any error-severity finding is present."""
         return any(f.severity == "error" for f in self.findings)
@@ -160,7 +200,7 @@ class AnalysisReport:
     def as_dict(self) -> dict:
         ordered = sorted(
             self.findings,
-            key=lambda f: (f.severity != "error", f.rule, f.where),
+            key=lambda f: (SEVERITIES.index(f.severity), f.rule, f.where),
         )
         return {
             "schema_version": SCHEMA_VERSION,
@@ -168,6 +208,7 @@ class AnalysisReport:
             "checked": int(self.checked),
             "num_errors": len(self.errors),
             "num_warnings": len(self.warnings),
+            "num_infos": len(self.infos),
             "rules": self.counts_by_rule(),
             "findings": [f.as_dict() for f in ordered],
         }
@@ -186,14 +227,20 @@ class AnalysisReport:
             "chaos": "plan(s)",
             "slo": "objective(s)",
             "memory": "device(s)",
+            "dataflow": "site(s)",
+            "contracts": "interface(s)",
+            "consistency": "literal(s)",
         }.get(self.source, "file(s)")
-        lines = [
+        summary = (
             f"{self.source}: {self.checked} {unit} checked, "
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
-        ]
+        )
+        if self.infos:
+            summary += f", {len(self.infos)} proven"
+        lines = [summary]
         for finding in sorted(
             self.findings,
-            key=lambda f: (f.severity != "error", f.rule, f.where),
+            key=lambda f: (SEVERITIES.index(f.severity), f.rule, f.where),
         ):
             lines.append("  " + finding.render())
         return "\n".join(lines)

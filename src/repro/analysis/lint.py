@@ -37,7 +37,9 @@ protects one of the paper's correctness invariants:
     element is stored.
 
 Suppression: append ``# lint: disable=<rule>[,<rule>...]`` (or
-``disable=all``) to the offending line, or put
+``disable=all``) to the offending line, put
+``# lint: disable-next-line=<rule>`` on its own line directly above it
+(the form for statements formatters wrap), or put
 ``# lint: disable-file=<rule>`` anywhere in the file to silence a rule
 file-wide.
 
@@ -211,8 +213,35 @@ class _Lint:
                     r.strip()
                     for r in line[idx + len(marker):].split(",")
                 }
-                return rule in rules or "all" in rules
+                if rule in rules or "all" in rules:
+                    return True
+            rules = self._next_line_rules(lineno)
+            return rule in rules or "all" in rules
         return False
+
+    def _next_line_rules(self, lineno: int) -> Set[str]:
+        """Rules disabled for ``lineno`` by standalone comment lines above.
+
+        ``# lint: disable-next-line=<rule>[,<rule>...]`` on its own line
+        suppresses the next source line — the form to use when the
+        offending statement is too long for an end-of-line directive
+        (formatters wrap it).  Consecutive directive lines stack.
+        """
+        marker = "# lint: disable-next-line="
+        rules: Set[str] = set()
+        index = lineno - 2  # zero-based index of the preceding line
+        while index >= 0:
+            line = self.lines[index].strip()
+            if not line.startswith("#"):
+                break
+            pos = line.find(marker)
+            if pos < 0:
+                break
+            rules.update(
+                r.strip() for r in line[pos + len(marker):].split(",")
+            )
+            index -= 1
+        return rules
 
     def _emit(self, rule: str, lineno: int, message: str, **kw) -> None:
         if self._suppressed(rule, lineno):

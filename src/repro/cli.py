@@ -397,27 +397,66 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_check(args) -> int:
+    import json as _json
     import os
 
     from repro import analysis
 
     paths = list(args.paths)
+    explicit_paths = bool(paths)
     if not paths:
         import repro.kernels as _kernels
 
         paths.append(os.path.dirname(_kernels.__file__))
         if os.path.isdir("examples"):
             paths.append("examples")
-    report = analysis.lint_paths(paths)
-    if args.out:
-        report.write(args.out)
-    if args.json:
-        print(report.to_json(indent=2))
+    reports = [analysis.lint_paths(paths)]
+    if args.all:
+        reports.append(analysis.check_dataflow(paths))
+        # Contracts and consistency check the *shipped* interfaces when no
+        # explicit paths were given; with paths they run in AST/fixture
+        # mode over those files only.
+        reports.append(
+            analysis.check_contracts(paths if explicit_paths else None)
+        )
+        reports.append(
+            analysis.check_consistency(paths if explicit_paths else None)
+        )
+
+    if len(reports) == 1:
+        payload = reports[0].to_json(indent=2)
     else:
-        print(report.to_text())
+        payload = _json.dumps(
+            {
+                "schema_version": analysis.SCHEMA_VERSION,
+                "reports": {r.source: r.as_dict() for r in reports},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+            fh.write("\n")
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        for report in reports:
+            report.write(os.path.join(args.out_dir, f"{report.source}.json"))
+    if args.json:
+        print(payload)
+    else:
+        for report in reports:
+            print(report.to_text())
         if args.out:
             print(f"report written : {args.out}", flush=True)
-    return 1 if report.has_hazards else 0
+
+    gated = ("error", "warning") if args.fail_on == "warning" else ("error",)
+    failed = any(
+        finding.severity in gated
+        for report in reports
+        for finding in report.findings
+    )
+    return 1 if failed else 0
 
 
 def _cmd_chaos(args) -> int:
@@ -960,6 +999,20 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--json", action="store_true",
         help="emit the report as JSON instead of text",
+    )
+    check.add_argument(
+        "--all", action="store_true",
+        help="also run the static dataflow verifier, the engine/hook "
+        "contract checker, and the schema-consistency lint",
+    )
+    check.add_argument(
+        "--fail-on", choices=["error", "warning"], default="error",
+        help="lowest severity that fails the command (default: error; "
+        "'warning' also fails on warning-level findings)",
+    )
+    check.add_argument(
+        "--out-dir", metavar="DIR",
+        help="write one <source>.json report per analyzer into DIR",
     )
     check.set_defaults(func=_cmd_check)
 

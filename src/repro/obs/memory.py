@@ -59,7 +59,6 @@ CATEGORIES = (
     "labels",
     "frontier",
     "exchange",
-    "checkpoint",
     "scratch",
 )
 

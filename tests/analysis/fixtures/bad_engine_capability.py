@@ -1,0 +1,41 @@
+"""Fixture: interface contracts the static checker must reject.
+
+Parsed, never executed.  ``BadIncrementalEngine`` advertises both
+capability flags but its ``run`` accepts none of the keyword arguments
+those capabilities imply (``contract-missing-capability-kwarg``, once per
+missing kwarg).  ``BadHookProgram`` overrides the ``score`` hook with the
+wrong positional arity (``contract-hook-signature-mismatch``).
+"""
+
+from __future__ import annotations
+
+
+class BadIncrementalEngine:
+    supports_incremental = True
+    supports_recovery = True
+
+    def run(self, graph, program, *, max_iterations=20):
+        return None
+
+
+class GoodEngine:
+    supports_incremental = True
+
+    def run(
+        self,
+        graph,
+        program,
+        *,
+        max_iterations=20,
+        initial_frontier=None,
+        warm_labels=None,
+    ):
+        return None
+
+
+class BadHookProgram(LPProgram):  # noqa: F821 -- parsed, never executed
+    def score(self, vertex_ids, labels):
+        return labels
+
+    def update_vertices(self, vertex_ids, best_labels, best_scores, current_labels):
+        return current_labels

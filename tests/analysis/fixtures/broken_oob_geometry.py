@@ -1,0 +1,52 @@
+"""Fixture: shared-memory launch geometries the interval verifier rejects.
+
+Parsed, never executed.  ``run_broken_oob_geometry`` hashes labels modulo
+``config.cms_width`` but declares a table of only ``config.ht_capacity``
+words — for any geometry with ``cms_width > ht_capacity`` the access runs
+off the end, so ``dataflow-oob-possible`` must fire on the atomic (the
+upper-bound direction).  ``run_broken_negative_offset`` shifts a proven
+in-bounds slot left by ``ht_capacity``, breaking the lower bound instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def run_broken_oob_geometry(ctx, edge_labels) -> None:
+    """Hash mod cms_width into a table sized ht_capacity."""
+    device = ctx.device
+    config = ctx.config
+    mixed = np.asarray(edge_labels).astype(np.uint64) * np.uint64(
+        0x9E3779B97F4A7C15
+    )
+    slot = (mixed % np.uint64(config.cms_width)).astype(np.int64)
+    with device.launch("broken-oob-geometry"):
+        device.atomics.shared_atomic_add(
+            slot,
+            array="broken-ht",
+            size=config.ht_capacity,
+        )
+
+
+def update_vertices(self, vertex_ids, best_labels, best_scores, current_labels):
+    # Derives new labels arithmetically -- off the min-frequent-label
+    # lattice (``dataflow-nonmonotone-update``).
+    return (best_labels + current_labels) // 2
+
+
+def run_broken_negative_offset(ctx, edge_labels) -> None:
+    """Slot is bounded above but may be shifted below zero."""
+    device = ctx.device
+    config = ctx.config
+    mixed = np.asarray(edge_labels).astype(np.uint64) * np.uint64(
+        0x9E3779B97F4A7C15
+    )
+    slot = (mixed % np.uint64(config.ht_capacity)).astype(np.int64)
+    shifted = slot - config.ht_capacity
+    with device.launch("broken-negative-offset"):
+        device.atomics.shared_atomic_add(
+            shifted,
+            array="broken-ht",
+            size=config.ht_capacity,
+        )

@@ -1,0 +1,28 @@
+"""Fixture: observability literals that drifted from the derived enums.
+
+Parsed, never executed.  Each emit site below misspells a name that the
+shipped code declares, so the consistency lint (path mode) must flag one
+drift finding per site: a metric (``pipeline_windws_total`` vs
+``pipeline_windows_total``), a journal event (``slide.detectt`` vs
+``slide.detect``), an allocation category (``chekpoint`` — which is not
+even a declared category anymore), and a finding rule
+(``lint-imaginary-rule``).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.analysis.findings import Finding
+from repro.obs.memory import alloc_scope
+
+
+def emit_drifted_telemetry() -> None:
+    registry = obs.metrics()
+    registry.inc("pipeline_windws_total")
+    obs.emit("slide.detectt", window=1)
+    with alloc_scope("chekpoint"):
+        pass
+
+
+def emit_drifted_rule() -> Finding:
+    return Finding(rule="lint-imaginary-rule", message="never constructed")

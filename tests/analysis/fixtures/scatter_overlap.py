@@ -1,0 +1,22 @@
+"""Fixture: a warning-only dataflow report (for the --fail-on matrix).
+
+The store is provably in-bounds (hash mod the declared extent), so no
+error fires — but it is a plain non-atomic scatter whose addresses are
+not lane-disjoint, so ``dataflow-overlap-possible`` (warning) must.  The
+linter finds nothing here, which makes this file the fixture that
+separates ``--fail-on error`` (exit 0) from ``--fail-on warning``
+(exit 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def run_scatter_overlap(device, labels) -> None:
+    table_words = 128
+    slot = (
+        np.asarray(labels).astype(np.uint64) % np.uint64(table_words)
+    ).astype(np.int64)
+    with device.launch("scatter-overlap"):
+        device.shared.store(slot, array="table", size=table_words)

@@ -163,3 +163,53 @@ def test_schema_checker_rejects_unknown_rule(tmp_path):
     path.write_text(json.dumps(doc))
     with pytest.raises(SystemExit):
         checker.check_analysis(str(path))
+
+
+def test_disable_next_line_suppresses_a_wrapped_statement():
+    # The flagged call is wrapped over several lines, so a trailing
+    # ``# lint: disable=`` comment cannot reach it -- the directive goes
+    # on its own line above instead.
+    source = (
+        "def kernel(device, addr):\n"
+        "    device.shared.load(addr, array='t', size=4)\n"
+        "    # lint: disable-next-line=lint-non-atomic-rmw\n"
+        "    device.shared.store(\n"
+        "        addr,\n"
+        "        array='t',\n"
+        "        size=4,\n"
+        "    )\n"
+    )
+    assert analysis.lint_source(source) == []
+    # Without the directive the same source is flagged.
+    stripped = source.replace(
+        "    # lint: disable-next-line=lint-non-atomic-rmw\n", ""
+    )
+    assert [f.rule for f in analysis.lint_source(stripped)] == [
+        "lint-non-atomic-rmw"
+    ]
+
+
+def test_disable_next_line_directives_stack():
+    source = (
+        "import numpy as np\n"
+        "def kernel(device, n, addr):\n"
+        "    buf = np.empty(n)\n"
+        "    device.shared.load(addr, array='t', size=4)\n"
+        "    # lint: disable-next-line=lint-non-atomic-rmw\n"
+        "    # lint: disable-next-line=lint-uninitialized-read\n"
+        "    device.shared.store(buf, array='t', size=4)\n"
+    )
+    assert analysis.lint_source(source) == []
+
+
+def test_disable_next_line_does_not_leak_past_its_line():
+    source = (
+        "def kernel(device, addr):\n"
+        "    device.shared.load(addr, array='t', size=4)\n"
+        "    # lint: disable-next-line=lint-non-atomic-rmw\n"
+        "    x = addr\n"
+        "    device.shared.store(x, array='t', size=4)\n"
+    )
+    assert [f.rule for f in analysis.lint_source(source)] == [
+        "lint-non-atomic-rmw"
+    ]

@@ -193,6 +193,55 @@ class TestCheckCommand:
         assert doc["source"] == "lint"
         assert doc["num_errors"] > 0
 
+    def test_check_all_defaults_are_clean(self, capsys):
+        code = main(["check", "--all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # One report per layer, each with its own unit noun.
+        for unit in ("file(s)", "site(s)", "interface(s)", "literal(s)"):
+            assert unit in out
+
+    def test_check_all_fixtures_flag_every_layer(self, capsys):
+        code = main(["check", "--all", self.FIXTURES])
+        out = capsys.readouterr().out
+        assert code == 1
+        for rule in (
+            "lint-non-atomic-rmw",
+            "dataflow-oob-possible",
+            "dataflow-nonmonotone-update",
+            "contract-missing-capability-kwarg",
+            "contract-hook-signature-mismatch",
+            "consistency-metric-drift",
+        ):
+            assert rule in out
+
+    def test_fail_on_gates_warning_only_reports(self, capsys):
+        fixture = self.FIXTURES + "/scatter_overlap.py"
+        assert main(["check", "--all", fixture]) == 0
+        capsys.readouterr()
+        assert main(["check", "--all", fixture, "--fail-on", "error"]) == 0
+        capsys.readouterr()
+        code = main(["check", "--all", fixture, "--fail-on", "warning"])
+        assert code == 1
+        assert "dataflow-overlap-possible" in capsys.readouterr().out
+
+    def test_check_all_combined_json_and_out_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        code = main([
+            "check", "--all", self.FIXTURES, "--json",
+            "--out-dir", str(out_dir),
+        ])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] >= 1
+        assert set(doc["reports"]) == {
+            "lint", "dataflow", "contracts", "consistency",
+        }
+        for source, report in doc["reports"].items():
+            assert report["source"] == source
+            on_disk = json.loads((out_dir / (source + ".json")).read_text())
+            assert on_disk == report
+
 
 class TestSanitizeFlag:
     def test_sanitized_run_matches_plain_run(self, capsys):
