@@ -17,6 +17,13 @@ Commands
     exits non-zero on regression (the CI perf gate).
 ``pipeline``
     Run the end-to-end fraud-detection pipeline on a synthetic stream.
+``serve``
+    Run the asyncio streaming scoring service under deterministic bursty
+    load: micro-batched ingest drives window slides while per-transaction
+    score requests are answered against the latest label state under
+    admission control (see ``docs/serving.md``).  ``--slo`` gates the run
+    on ``benchmarks/serving_slo.toml``; ``--probe-identity N`` verifies
+    the served labels bitwise against a from-scratch batch replay.
 ``profile``
     Run an LP variant under the profiler and print an nvprof-style
     per-kernel table (see ``docs/observability.md``).
@@ -812,6 +819,73 @@ def _cmd_pipeline_sliding(args) -> int:
     return _finish_serving_outputs(args, session, tracker)
 
 
+def _cmd_serve(args) -> int:
+    """The streaming scoring service under deterministic bursty load."""
+    import asyncio
+
+    from repro import obs
+    from repro.errors import ServingError
+    from repro.pipeline import TransactionStream, TransactionStreamConfig
+    from repro.serving import LoadGenConfig, LoadGenerator, ScoringService
+
+    window_days = min(args.window, args.days - 1)
+    if args.days < window_days + args.slides + 1:
+        print(
+            f"error: need at least {window_days + args.slides + 1} days "
+            f"for {args.slides} slide(s) over a {window_days}-day window",
+            file=sys.stderr,
+        )
+        return 2
+    stream = TransactionStream(
+        TransactionStreamConfig(num_days=args.days, seed=args.seed)
+    )
+    try:
+        generator = LoadGenerator(
+            stream,
+            LoadGenConfig(
+                num_users=args.users,
+                qps=args.qps,
+                burst_factor=args.burst_factor,
+                seed=args.seed,
+            ),
+        )
+        events = generator.schedule(window_days, args.slides)
+        service = ScoringService(
+            stream,
+            window_days=window_days,
+            incremental=not args.no_incremental,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            deadline_seconds=args.deadline_ms / 1e3,
+            probe_every=args.probe_identity,
+        )
+    except ServingError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = _obs_session(args)
+    tracker = _memory_tracker(args)
+    try:
+        report = asyncio.run(service.serve(events, pace=args.pace))
+    finally:
+        obs.disable()
+        _uninstall_memory(tracker)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.to_text())
+    _write_obs_outputs(args, session)
+    _write_memory_outputs(args, tracker)
+    status = _finish_serving_outputs(args, session, tracker)
+    if report.probe_mismatches:
+        print(
+            f"repro serve: {report.probe_mismatches} identity probe(s) "
+            "diverged from the batch replay",
+            file=sys.stderr,
+        )
+        return 1
+    return status
+
+
 def _load_json(path: Optional[str]):
     if not path:
         return None
@@ -1132,6 +1206,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the fused run report (.json for JSON, else markdown)",
     )
     pipeline.set_defaults(func=_cmd_pipeline)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming scoring service under deterministic "
+        "bursty load (window slides + per-transaction scoring)",
+    )
+    serve.add_argument("--days", type=int, default=30,
+                       help="stream length in days")
+    serve.add_argument("--window", type=int, default=14,
+                       help="detection window in days")
+    serve.add_argument("--slides", type=int, default=5,
+                       help="served days (window slides) to replay")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--users", type=int, default=2_000_000,
+        help="score-request user universe (mostly outside the window)",
+    )
+    serve.add_argument("--qps", type=float, default=200.0,
+                       help="baseline request rate per virtual second")
+    serve.add_argument("--burst-factor", type=float, default=4.0,
+                       help="rate multiplier during each day's burst")
+    serve.add_argument(
+        "--queue-capacity", type=int, default=256,
+        help="scoring admission-queue bound (full queue sheds)",
+    )
+    serve.add_argument(
+        "--policy", choices=["shed", "deadline"], default="deadline",
+        help="overload policy: shed at admission only, or also expire "
+        "queued requests past the deadline",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=50.0,
+        help="queueing deadline for --policy deadline (milliseconds)",
+    )
+    serve.add_argument(
+        "--pace", action="store_true",
+        help="sleep to each event's virtual timestamp instead of "
+        "replaying as fast as possible",
+    )
+    serve.add_argument(
+        "--probe-identity", type=int, default=0, metavar="N",
+        help="every Nth slide, verify the served labels_hash against a "
+        "from-scratch batch replay (0 disables)",
+    )
+    serve.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable DynLP incremental planning (full warm recompute "
+        "per slide)",
+    )
+    _add_obs_flags(serve)
+    serve.add_argument(
+        "--slo", metavar="SPEC.toml",
+        help="evaluate a TOML SLO spec against the run's metrics "
+        "(exit 1 on breach); see benchmarks/serving_slo.toml",
+    )
+    serve.add_argument(
+        "--slo-out", metavar="PATH",
+        help="write SLO verdicts as an analysis report (source \"slo\")",
+    )
+    serve.add_argument(
+        "--report-out", metavar="PATH",
+        help="write the fused run report (.json for JSON, else markdown)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the serve report as JSON instead of text",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     obs_cmd = sub.add_parser(
         "obs", help="observability artifact tooling (run reports)"

@@ -108,6 +108,10 @@ class BenchmarkError(GLPError):
     """An experiment definition or sweep configuration is invalid."""
 
 
+class ServingError(GLPError):
+    """Misuse or misconfiguration of the streaming scoring service."""
+
+
 class ObservabilityError(GLPError):
     """Misuse of the tracing / metrics / profiling layer."""
 

@@ -30,6 +30,7 @@ session is active, preserving the zero-perturbation contract.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import uuid
 from typing import Dict, Iterator, List, Optional
@@ -69,6 +70,10 @@ class Journal:
         self.run_id = run_id if run_id is not None else mint_run_id()
         self._origin = time.perf_counter()
         self._seq = 0
+        # The serving path journals from the event loop *and* from the
+        # slide executor thread; the lock keeps ``seq`` strictly
+        # increasing and the append ordered under that concurrency.
+        self._lock = threading.Lock()
         self.events: List[dict] = []
 
     def __len__(self) -> int:
@@ -84,21 +89,22 @@ class Journal:
         fields: Optional[Dict[str, object]] = None,
     ) -> dict:
         """Append one event and return the stored record."""
-        self._seq += 1
-        record = {
-            "seq": self._seq,
-            "ts_us": int((time.perf_counter() - self._origin) * 1e6),
-            "event": str(event),
-            "run_id": self.run_id,
-            "slide_id": slide_id,
-            "attempt_id": attempt_id,
-        }
-        if fields:
-            for key, value in fields.items():
-                if key not in _RESERVED:
-                    record[key] = _jsonable(value)
-        self.events.append(record)
-        return record
+        with self._lock:
+            self._seq += 1
+            record = {
+                "seq": self._seq,
+                "ts_us": int((time.perf_counter() - self._origin) * 1e6),
+                "event": str(event),
+                "run_id": self.run_id,
+                "slide_id": slide_id,
+                "attempt_id": attempt_id,
+            }
+            if fields:
+                for key, value in fields.items():
+                    if key not in _RESERVED:
+                        record[key] = _jsonable(value)
+            self.events.append(record)
+            return record
 
     # ------------------------------------------------------------------
     def events_for(

@@ -5,9 +5,16 @@ Every metric is identified by a name plus a set of labeled dimensions
 instance collects everything a run emits and exports it as JSON or
 prometheus text exposition format.
 
-Histograms keep their raw observations (runs are bounded — thousands of
-iterations, not billions of requests) and compute p50/p95/p99 at export
-time, which keeps the hot path to a single ``list.append``.
+Histograms keep a bounded ring of the most recent raw observations
+(``Histogram.MAX_SAMPLES``, default 8192) and compute p50/p95/p99 at
+export time over that tail, which keeps the hot path to one append and
+memory O(1) under a long-running service.  ``count``/``sum``/``min``/
+``max`` stay exact over *every* observation; percentiles are exact until
+the ring wraps and thereafter describe the trailing window — the right
+bias for serving SLOs, whose burn-rate windows already look only at the
+most recent observations.  Live-registry and snapshot percentiles are
+computed from the same retained ring, so SLO verdicts agree between the
+two sources.
 
 The metric families the instrumented code emits are documented in
 ``docs/observability.md``.
@@ -82,28 +89,70 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution with percentile export."""
+    """Streaming distribution with bounded memory and percentile export.
+
+    Raw observations are retained in a fixed-size ring (the most recent
+    ``max_samples``); ``count``/``sum``/``min``/``max`` are maintained as
+    exact running aggregates over the full stream.  Percentiles (and the
+    :attr:`values` tail the SLO burn-rate windows consume) are computed
+    over the retained ring only — exact until the ring wraps, a
+    trailing-window estimate afterwards.
+    """
 
     kind = "histogram"
 
-    def __init__(self) -> None:
+    #: Default ring capacity.  Large enough that pipeline runs (hundreds
+    #: of slides) keep exact percentiles, small enough that a service
+    #: observing millions of requests stays O(1) in memory.
+    MAX_SAMPLES = 8192
+
+    def __init__(self, max_samples: int = MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ObservabilityError("histogram needs max_samples >= 1")
+        self._max_samples = int(max_samples)
         self._values: List[float] = []
+        self._cursor = 0  # next overwrite position once the ring is full
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def observe(self, value: Number) -> None:
-        self._values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._values) < self._max_samples:
+            self._values.append(value)
+        else:
+            self._values[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self._max_samples
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        """Exact number of observations (not bounded by the ring)."""
+        return self._count
+
+    @property
+    def max_samples(self) -> int:
+        return self._max_samples
 
     @property
     def values(self) -> Tuple[float, ...]:
-        """Raw observations in arrival order (SLO burn-rate windows)."""
-        return tuple(self._values)
+        """Retained observations in arrival order (SLO burn-rate windows).
+
+        At most :attr:`max_samples` entries — the most recent tail of the
+        stream once the ring has wrapped.
+        """
+        return tuple(self._values[self._cursor:] + self._values[:self._cursor])
 
     @property
     def sum(self) -> float:
-        return float(sum(self._values))
+        """Exact sum of every observation."""
+        return self._sum
 
     def percentile(self, q: float) -> float:
         if not self._values:
@@ -112,10 +161,10 @@ class Histogram:
 
     def snapshot(self) -> dict:
         out = {
-            "count": self.count,
-            "sum": self.sum,
-            "min": min(self._values) if self._values else 0.0,
-            "max": max(self._values) if self._values else 0.0,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
         }
         for q in PERCENTILES:
             out[f"p{q:g}"] = self.percentile(q)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -39,7 +39,7 @@ def user_detection_metrics(
     flagged_users: np.ndarray,
     stream: TransactionStream,
     *,
-    active_users: np.ndarray = None,
+    active_users: Optional[np.ndarray] = None,
 ) -> DetectionMetrics:
     """Score a flagged-user set against the stream's ring membership.
 

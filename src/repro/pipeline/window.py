@@ -56,11 +56,14 @@ class WindowGraph:
     def window_vertex_of_user(self, user_ids: np.ndarray) -> np.ndarray:
         """Map global user ids to window vertex ids (-1 when absent)."""
         user_ids = np.asarray(user_ids, dtype=np.int64)
+        # Guard before indexing: ``&`` does not short-circuit, so folding
+        # the emptiness test into the ``found`` mask would still evaluate
+        # ``self.users[positions]`` and raise on a zero-user window.
+        if self.users.size == 0:
+            return np.full(user_ids.shape, -1, dtype=np.int64)
         positions = np.searchsorted(self.users, user_ids)
-        positions = np.clip(positions, 0, max(0, self.users.size - 1))
-        found = (
-            (self.users.size > 0) & (self.users[positions] == user_ids)
-        )
+        positions = np.clip(positions, 0, self.users.size - 1)
+        found = self.users[positions] == user_ids
         return np.where(found, positions, -1).astype(np.int64)
 
     def user_of_window_vertex(self, vertices: np.ndarray) -> np.ndarray:
@@ -143,6 +146,19 @@ class SlidingWindow:
             start += self.step_days
 
     def latest(self) -> WindowGraph:
-        """The most recent complete window."""
+        """The most recent complete window.
+
+        The stream-length guard of ``__init__`` can be invalidated after
+        construction (``window_days``/``step_days`` reconfigured, or the
+        underlying stream swapped for a shorter one), which used to yield
+        a window with a negative ``start_day`` that silently selected the
+        wrong transactions.  Re-check explicitly at call time.
+        """
         start = self.stream.config.num_days - self.window_days
+        if start < 0:
+            raise PipelineError(
+                f"window of {self.window_days} days exceeds the stream "
+                f"length ({self.stream.config.num_days} days); no "
+                "complete window exists"
+            )
         return build_window_graph(self.stream, start, self.window_days)

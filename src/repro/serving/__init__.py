@@ -1,0 +1,50 @@
+"""Streaming scoring service: online serving over the sliding window.
+
+The batch pipeline (:mod:`repro.pipeline`) answers "which users look
+fraudulent in this window?"; this package answers it *per transaction,
+under a latency SLO, while the window keeps moving*:
+
+* :mod:`repro.serving.loadgen` — deterministic bursty load: seeded
+  Poisson score-request arrivals over a millions-of-users universe,
+  interleaved with the transaction stream's micro-batches and day-end
+  slide markers.
+* :mod:`repro.serving.service` — the asyncio :class:`ScoringService`:
+  bounded-queue admission control (shed / deadline-expire), window slides
+  off the event loop via :class:`~repro.pipeline.incremental.SlidingWindowDetector`
+  (DynLP incremental re-convergence plus the degradation ladder), and
+  bitwise ``labels_hash`` identity probes against a from-scratch batch
+  replay.
+
+``repro serve`` drives the whole thing from the CLI, gated by the SLO
+objectives in ``benchmarks/serving_slo.toml``.  See ``docs/serving.md``.
+"""
+
+from repro.serving.loadgen import (
+    DayEnd,
+    Event,
+    LoadGenConfig,
+    LoadGenerator,
+    ScoreRequest,
+    TxnBatch,
+)
+from repro.serving.service import (
+    ScoreResponse,
+    ScoringService,
+    ServeReport,
+    batch_labels_hash,
+    score_user,
+)
+
+__all__ = [
+    "DayEnd",
+    "Event",
+    "LoadGenConfig",
+    "LoadGenerator",
+    "ScoreRequest",
+    "ScoreResponse",
+    "ScoringService",
+    "ServeReport",
+    "TxnBatch",
+    "batch_labels_hash",
+    "score_user",
+]

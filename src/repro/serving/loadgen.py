@@ -1,0 +1,189 @@
+"""Deterministic bursty load generation for the scoring service.
+
+The serving layer needs traffic that looks like production — a transaction
+stream arriving in micro-batches plus a flood of per-transaction score
+requests with diurnal bursts — but is *replayable*: the same seed must
+produce the same arrival schedule so soak tests and CI smoke runs are
+deterministic.  This module compiles a :class:`~repro.pipeline.transactions.TransactionStream`
+plus a :class:`LoadGenConfig` into an explicit event schedule on a virtual
+clock:
+
+* each stream day spans ``day_seconds`` of virtual time;
+* the day's transactions arrive as ``batches_per_day`` micro-batches
+  (:class:`TxnBatch`), closed by a :class:`DayEnd` marker that tells the
+  service the window may slide;
+* score requests (:class:`ScoreRequest`) arrive as a piecewise-constant
+  Poisson process — ``qps * burst_factor`` during the leading
+  ``burst_fraction`` of every day, ``qps`` otherwise — sampled with a
+  seeded generator;
+* requested user ids mix the stream's own users (``hot_fraction``) with a
+  much larger synthetic universe (``num_users``, millions by default), so
+  the service constantly scores users it has never seen.
+
+The schedule is a plain sorted list; the service replays it either paced
+(sleeping to each event's virtual timestamp) or as fast as possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.pipeline.transactions import TransactionStream
+
+
+@dataclass(frozen=True)
+class ScoreRequest:
+    """One per-transaction score request arriving at virtual time ``t``."""
+
+    t: float
+    user: int
+
+
+@dataclass(frozen=True)
+class TxnBatch:
+    """A micro-batch of ``count`` transactions of ``day`` hitting ingest."""
+
+    t: float
+    day: int
+    count: int
+
+
+@dataclass(frozen=True)
+class DayEnd:
+    """All of ``day``'s transactions have arrived; the window may slide."""
+
+    t: float
+    day: int
+
+
+Event = Union[ScoreRequest, TxnBatch, DayEnd]
+
+#: Same-timestamp tie-break: transactions land before the day closes, and
+#: the day closes before any later score request at the same instant.
+_EVENT_ORDER = {TxnBatch: 0, DayEnd: 1, ScoreRequest: 2}
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Parameters of the synthetic serving load."""
+
+    #: Size of the score-request user universe (not the stream's — the
+    #: point is that most requests name users outside any window).
+    num_users: int = 2_000_000
+    #: Mean score-request rate outside bursts, per virtual second.
+    qps: float = 200.0
+    #: Virtual seconds spanned by one stream day.
+    day_seconds: float = 1.0
+    #: Request-rate multiplier inside the burst interval.
+    burst_factor: float = 4.0
+    #: Leading fraction of each day spent bursting.
+    burst_fraction: float = 0.2
+    #: Fraction of requests aimed at the stream's (scoreable) users.
+    hot_fraction: float = 0.5
+    #: Transaction micro-batches per day.
+    batches_per_day: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_users <= 0:
+            raise ServingError("load universe must be non-empty")
+        if self.qps <= 0 or self.day_seconds <= 0:
+            raise ServingError("qps and day_seconds must be positive")
+        if self.burst_factor < 1.0:
+            raise ServingError("burst_factor must be >= 1")
+        if not 0.0 <= self.burst_fraction < 1.0:
+            raise ServingError("burst_fraction must be in [0, 1)")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ServingError("hot_fraction must be in [0, 1]")
+        if self.batches_per_day < 1:
+            raise ServingError("batches_per_day must be >= 1")
+
+
+class LoadGenerator:
+    """Compile a deterministic serving-load schedule from a stream."""
+
+    def __init__(
+        self,
+        stream: TransactionStream,
+        config: LoadGenConfig = LoadGenConfig(),
+    ) -> None:
+        self.stream = stream
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def expected_qps(self) -> float:
+        """Mean request rate over a full day (burst included)."""
+        cfg = self.config
+        return cfg.qps * (
+            cfg.burst_fraction * cfg.burst_factor + (1.0 - cfg.burst_fraction)
+        )
+
+    def schedule(self, first_day: int, num_days: int) -> List[Event]:
+        """The sorted event schedule of ``num_days`` served days.
+
+        ``first_day`` is the first day the service *ingests* (the day the
+        first slide adds); the initial window is built before serving
+        starts and does not appear in the schedule.
+        """
+        cfg = self.config
+        if num_days < 1:
+            raise ServingError("schedule needs at least one day")
+        if first_day + num_days > self.stream.config.num_days:
+            raise ServingError(
+                f"schedule of days [{first_day}, {first_day + num_days}) "
+                f"exceeds the stream ({self.stream.config.num_days} days)"
+            )
+        rng = np.random.default_rng(cfg.seed)
+        events: List[Event] = []
+        for i, day in enumerate(range(first_day, first_day + num_days)):
+            day_start = i * cfg.day_seconds
+            events.extend(self._txn_events(day, day_start))
+            events.extend(self._request_events(rng, day_start))
+        events.sort(key=lambda e: (e.t, _EVENT_ORDER[type(e)]))
+        return events
+
+    # ------------------------------------------------------------------
+    def _txn_events(self, day: int, day_start: float) -> List[Event]:
+        """Micro-batches spread through the day plus the closing marker."""
+        cfg = self.config
+        count = int(self.stream.window_transactions(day, 1).size)
+        batches = cfg.batches_per_day
+        base, extra = divmod(count, batches)
+        out: List[Event] = []
+        for b in range(batches):
+            t = day_start + (b + 1) / (batches + 1) * cfg.day_seconds
+            out.append(
+                TxnBatch(t=t, day=day, count=base + (1 if b < extra else 0))
+            )
+        out.append(DayEnd(t=day_start + cfg.day_seconds, day=day))
+        return out
+
+    def _request_events(
+        self, rng: np.random.Generator, day_start: float
+    ) -> List[Event]:
+        """Piecewise-constant Poisson arrivals across one day."""
+        cfg = self.config
+        burst_end = day_start + cfg.burst_fraction * cfg.day_seconds
+        day_end = day_start + cfg.day_seconds
+        out: List[Event] = []
+        t = day_start
+        while True:
+            rate = cfg.qps * (cfg.burst_factor if t < burst_end else 1.0)
+            gap = rng.exponential(1.0 / rate)
+            # A gap that jumps the burst boundary is re-drawn at the slow
+            # rate from the boundary — the standard piecewise thinning.
+            if t < burst_end < t + gap:
+                t = burst_end
+                continue
+            t += gap
+            if t >= day_end:
+                return out
+            if rng.random() < cfg.hot_fraction:
+                user = int(rng.integers(0, self.stream.config.num_users))
+            else:
+                user = int(rng.integers(0, cfg.num_users))
+            out.append(ScoreRequest(t=t, user=user))

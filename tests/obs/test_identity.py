@@ -237,4 +237,5 @@ def test_sliding_detector_identical_under_full_observability():
         assert observed == baseline
         assert session.journal.events_for(event="slide.end")
         # Evaluating SLOs reads the registry without touching results.
-        assert len(slo_report.verdicts) == 5
+        # (one verdict per objective in the committed serving spec)
+        assert len(slo_report.verdicts) == 10

@@ -65,6 +65,58 @@ class TestHistogram:
         assert snap["count"] == 0
         assert snap["p99"] == 0.0
 
+    def test_memory_bounded_under_service_load(self):
+        """Regression: histograms must not grow without bound.
+
+        A long-running scoring service observes millions of latencies
+        into one histogram; retention has to stay O(max_samples) while
+        count/sum/min/max remain exact over the full stream.
+        """
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram()
+        n = 1_000_000
+        for v in range(n):
+            hist.observe(float(v))
+        assert len(hist.values) == Histogram.MAX_SAMPLES
+        assert hist.count == n
+        assert hist.sum == pytest.approx(n * (n - 1) / 2)
+        snap = hist.snapshot()
+        assert snap["min"] == 0.0
+        assert snap["max"] == float(n - 1)
+
+    def test_ring_keeps_most_recent_tail_in_order(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram(max_samples=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            hist.observe(v)
+        assert hist.values == (3.0, 4.0, 5.0, 6.0)
+        assert hist.count == 6
+        assert hist.sum == 21.0
+        # Percentiles describe the retained trailing window.
+        assert hist.percentile(50.0) == pytest.approx(
+            np.percentile([3.0, 4.0, 5.0, 6.0], 50.0)
+        )
+
+    def test_exact_until_ring_wraps(self):
+        from repro.obs.metrics import Histogram
+
+        hist = Histogram(max_samples=64)
+        values = [float(v) for v in range(64)]
+        for v in values:
+            hist.observe(v)
+        assert hist.values == tuple(values)
+        assert hist.percentile(95.0) == pytest.approx(
+            np.percentile(values, 95.0)
+        )
+
+    def test_invalid_capacity_rejected(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ObservabilityError):
+            Histogram(max_samples=0)
+
 
 class TestRegistry:
     def test_kind_conflict_raises(self):

@@ -98,7 +98,10 @@ class TestSpecParsing:
 
     def test_repo_spec_loads(self):
         slos = load_slo_spec("benchmarks/serving_slo.toml")
-        assert len(slos) == 5
+        assert len(slos) == 10
+        names = {s.name for s in slos}
+        assert "serve-request-p95" in names
+        assert "serve-identity-budget" in names
 
     def test_unknown_schema_version_rejected(self):
         with pytest.raises(ObservabilityError):

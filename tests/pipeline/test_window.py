@@ -79,6 +79,62 @@ class TestWindowGraph:
         assert long.graph.num_edges >= short.graph.num_edges
 
 
+class TestEmptyWindow:
+    """Regression: a zero-user window must answer lookups, not raise.
+
+    ``window_vertex_of_user`` used to evaluate ``self.users[positions]``
+    unconditionally; with an empty user set the clip bound collapsed to
+    ``-1`` and the fancy index raised ``IndexError`` deep inside the
+    serving path (seed translation, score lookups).
+    """
+
+    @pytest.fixture
+    def empty_window(self):
+        from repro.graph.builder import from_edge_arrays
+        from repro.pipeline.window import WindowGraph
+
+        empty = np.empty(0, dtype=np.int64)
+        # One product vertex, zero users, no edges: the shape a day of
+        # product-only activity (or a fully-retired window) produces.
+        graph = from_edge_arrays(
+            empty, empty, 1, symmetrize=True, name="empty-window"
+        )
+        return WindowGraph(
+            graph=graph,
+            users=empty,
+            products=np.array([7], dtype=np.int64),
+            start_day=0,
+            num_days=1,
+        )
+
+    def test_lookup_returns_all_absent(self, empty_window):
+        queried = np.array([0, 3, 10**6], dtype=np.int64)
+        vertices = empty_window.window_vertex_of_user(queried)
+        assert vertices.shape == queried.shape
+        assert np.all(vertices == -1)
+
+    def test_empty_query_on_empty_window(self, empty_window):
+        vertices = empty_window.window_vertex_of_user(
+            np.empty(0, dtype=np.int64)
+        )
+        assert vertices.size == 0
+
+    def test_seed_store_translation(self, empty_window):
+        from repro.pipeline.seeds import SeedStore
+
+        store = SeedStore({4: 1, 9: 2})
+        assert store.window_seeds(empty_window) == {}
+
+    def test_serving_score_on_empty_window(self, empty_window):
+        from repro.serving.service import score_user
+        from repro.types import NO_LABEL
+
+        labels = np.full(1, NO_LABEL, dtype=np.int64)
+        label, flagged = score_user(empty_window, labels, frozenset(), 42)
+        assert label == int(NO_LABEL)
+        assert flagged is False
+
+
 class TestSlidingWindow:
     def test_tumbling_iteration(self, stream):
         windows = list(SlidingWindow(stream, 10))
@@ -103,3 +159,22 @@ class TestSlidingWindow:
             SlidingWindow(stream, 0)
         with pytest.raises(PipelineError):
             SlidingWindow(stream, 5, step_days=0)
+
+    def test_latest_rejects_drifted_config(self, stream):
+        """Regression: config drift past the ``__init__`` guard.
+
+        Reconfiguring ``window_days`` after construction used to make
+        ``latest()`` compute a negative ``start_day`` and silently build
+        a window over the wrong transactions; it must raise instead.
+        """
+        sliding = SlidingWindow(stream, 10)
+        sliding.window_days = stream.config.num_days + 5
+        with pytest.raises(PipelineError, match="no complete window"):
+            sliding.latest()
+
+    def test_latest_exact_stream_length_ok(self, stream):
+        sliding = SlidingWindow(stream, 10)
+        sliding.window_days = stream.config.num_days
+        latest = sliding.latest()
+        assert latest.start_day == 0
+        assert latest.num_days == stream.config.num_days

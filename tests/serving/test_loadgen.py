@@ -1,0 +1,137 @@
+"""Tests for the deterministic bursty load generator."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.pipeline.transactions import (
+    TransactionStream,
+    TransactionStreamConfig,
+)
+from repro.serving.loadgen import (
+    DayEnd,
+    LoadGenConfig,
+    LoadGenerator,
+    ScoreRequest,
+    TxnBatch,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return TransactionStream(
+        TransactionStreamConfig(
+            num_users=600,
+            num_products=300,
+            num_days=10,
+            transactions_per_day=300,
+            num_rings=2,
+            ring_size=5,
+            seed=11,
+        )
+    )
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        LoadGenConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_users": 0},
+            {"qps": 0.0},
+            {"day_seconds": -1.0},
+            {"burst_factor": 0.5},
+            {"burst_fraction": 1.0},
+            {"hot_fraction": 1.5},
+            {"batches_per_day": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ServingError):
+            LoadGenConfig(**kwargs)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self, stream):
+        a = LoadGenerator(stream, LoadGenConfig(seed=5)).schedule(4, 3)
+        b = LoadGenerator(stream, LoadGenConfig(seed=5)).schedule(4, 3)
+        assert a == b
+
+    def test_different_seed_different_requests(self, stream):
+        a = LoadGenerator(stream, LoadGenConfig(seed=5)).schedule(4, 3)
+        b = LoadGenerator(stream, LoadGenConfig(seed=6)).schedule(4, 3)
+        reqs_a = [e for e in a if isinstance(e, ScoreRequest)]
+        reqs_b = [e for e in b if isinstance(e, ScoreRequest)]
+        assert reqs_a != reqs_b
+
+    def test_sorted_by_time(self, stream):
+        events = LoadGenerator(stream).schedule(4, 3)
+        times = [e.t for e in events]
+        assert times == sorted(times)
+
+    def test_one_day_end_per_day_after_its_batches(self, stream):
+        cfg = LoadGenConfig(batches_per_day=3)
+        events = LoadGenerator(stream, cfg).schedule(4, 2)
+        ends = [e for e in events if isinstance(e, DayEnd)]
+        assert [e.day for e in ends] == [4, 5]
+        for end in ends:
+            day_batches = [
+                e
+                for e in events
+                if isinstance(e, TxnBatch) and e.day == end.day
+            ]
+            assert len(day_batches) == 3
+            assert all(b.t <= end.t for b in day_batches)
+
+    def test_batch_counts_sum_to_day_size(self, stream):
+        events = LoadGenerator(stream).schedule(4, 2)
+        for day in (4, 5):
+            total = sum(
+                e.count
+                for e in events
+                if isinstance(e, TxnBatch) and e.day == day
+            )
+            assert total == stream.window_transactions(day, 1).size
+
+    def test_burst_interval_is_denser(self, stream):
+        cfg = LoadGenConfig(
+            qps=500.0, burst_factor=6.0, burst_fraction=0.2, seed=3
+        )
+        events = LoadGenerator(stream, cfg).schedule(4, 1)
+        requests = [e for e in events if isinstance(e, ScoreRequest)]
+        in_burst = sum(1 for r in requests if r.t < 0.2)
+        # Burst rate is 6x over 20% of the day: expected burst share is
+        # 1.2/(1.2+0.8) = 60%; a uniform process would put 20% there.
+        assert in_burst / len(requests) > 0.4
+
+    def test_rate_scales_request_volume(self, stream):
+        low = LoadGenerator(stream, LoadGenConfig(qps=50.0)).schedule(4, 2)
+        high = LoadGenerator(stream, LoadGenConfig(qps=500.0)).schedule(4, 2)
+        n_low = sum(1 for e in low if isinstance(e, ScoreRequest))
+        n_high = sum(1 for e in high if isinstance(e, ScoreRequest))
+        assert n_high > 5 * n_low
+
+    def test_users_mix_hot_and_universe(self, stream):
+        cfg = LoadGenConfig(
+            num_users=1_000_000, hot_fraction=0.5, qps=800.0, seed=1
+        )
+        events = LoadGenerator(stream, cfg).schedule(4, 2)
+        users = [e.user for e in events if isinstance(e, ScoreRequest)]
+        hot = sum(1 for u in users if u < stream.config.num_users)
+        cold = len(users) - hot
+        assert hot > 0 and cold > 0
+        # A 600-user hot set inside a 1M universe: cold draws land
+        # outside the stream almost surely.
+        assert cold / len(users) > 0.3
+
+    def test_schedule_beyond_stream_rejected(self, stream):
+        with pytest.raises(ServingError):
+            LoadGenerator(stream).schedule(8, 5)
+        with pytest.raises(ServingError):
+            LoadGenerator(stream).schedule(0, 0)
+
+    def test_expected_qps_blends_burst(self, stream):
+        cfg = LoadGenConfig(qps=100.0, burst_factor=4.0, burst_fraction=0.25)
+        gen = LoadGenerator(stream, cfg)
+        assert gen.expected_qps() == pytest.approx(100.0 * (1.0 + 0.75))

@@ -409,10 +409,10 @@ class TestServingObservability:
         )
         out = capsys.readouterr().out
         assert code == 0
-        assert "slo: 5 objective(s), 0 breached" in out
+        assert "slo: 10 objective(s), 0 breached" in out
         doc = json.loads((tmp_path / "slo.json").read_text())
         assert doc["source"] == "slo"
-        assert len(doc["verdicts"]) == 5
+        assert len(doc["verdicts"]) == 10
 
     def test_pipeline_slo_breach_exits_nonzero(self, tmp_path, capsys):
         spec = tmp_path / "strict.toml"
